@@ -1,0 +1,60 @@
+"""Micro-benchmarks of client-side and server-side protocol throughput.
+
+These are not paper artifacts; they measure the cost of one collection round
+per protocol (client sanitization + server aggregation) so that regressions in
+the vectorized engines are caught and so that Table 1's communication /
+complexity discussion can be related to wall-clock numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.longitudinal import BiLOLOHA, DBitFlipPM, LGRR, LOSUE, LSUE, OLOLOHA
+from repro.simulation import engine_for
+
+N_USERS = 2_000
+K = 128
+
+
+def _protocols():
+    eps_inf, eps_1 = 2.0, 1.0
+    return {
+        "L-GRR": LGRR(K, eps_inf, eps_1),
+        "RAPPOR": LSUE(K, eps_inf, eps_1),
+        "L-OSUE": LOSUE(K, eps_inf, eps_1),
+        "BiLOLOHA": BiLOLOHA(K, eps_inf, eps_1),
+        "OLOLOHA": OLOLOHA(K, eps_inf, eps_1),
+        "dBitFlipPM(d=1)": DBitFlipPM(K, eps_inf, d=1),
+        "dBitFlipPM(d=b)": DBitFlipPM(K, eps_inf, d=K),
+    }
+
+
+@pytest.mark.benchmark(group="round-throughput")
+@pytest.mark.parametrize("name", list(_protocols()))
+def test_one_collection_round(benchmark, name):
+    protocol = _protocols()[name]
+    engine = engine_for(protocol, N_USERS, rng=0)
+    values = np.random.default_rng(1).integers(0, K, size=N_USERS)
+    # Warm up the memoization so the steady-state round cost is measured.
+    engine.estimate_round(values, np.random.default_rng(2))
+
+    def one_round():
+        return engine.estimate_round(values, np.random.default_rng(3))
+
+    estimate = benchmark(one_round)
+    assert estimate.shape[0] in (K, protocol.estimation_domain_size)
+    benchmark.extra_info["n_users"] = N_USERS
+    benchmark.extra_info["k"] = K
+
+
+@pytest.mark.benchmark(group="client-report")
+@pytest.mark.parametrize("name", ["RAPPOR", "OLOLOHA", "L-GRR"])
+def test_single_client_report(benchmark, name):
+    protocol = _protocols()[name]
+    client = protocol.create_client(rng=0)
+    rng = np.random.default_rng(4)
+
+    def one_report():
+        return client.report(int(rng.integers(0, K)), rng)
+
+    benchmark(one_report)

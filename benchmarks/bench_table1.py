@@ -1,0 +1,28 @@
+"""Benchmark / reproduction of Table 1: theoretical protocol comparison.
+
+Regenerates the communication / complexity / worst-case-budget table for the
+Syn-like configuration and checks the k/g budget-reduction factor the paper
+highlights.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_theoretical_comparison(benchmark):
+    result = benchmark(lambda: run_table1(k=360, n=10_000, eps_inf=2.0, alpha=0.5, d=1))
+    rows = {row["protocol"]: row for row in result.rows()}
+    benchmark.extra_info["table1"] = result.rows()
+
+    assert rows["LOLOHA"]["budget_factor"] == result.g
+    assert rows["RAPPOR"]["budget_factor"] == 360
+    assert rows["L-OSUE"]["budget_factor"] == 360
+    assert rows["L-GRR"]["budget_factor"] == 360
+    assert rows["dBitFlipPM"]["budget_factor"] == 2
+    # The k/g reduction factor advertised by the paper.
+    reduction = rows["RAPPOR"]["worst_case_budget"] / rows["LOLOHA"]["worst_case_budget"]
+    assert reduction == pytest.approx(360 / result.g)
+    # Communication: LOLOHA transmits ceil(log2 g) bits, UE protocols k bits.
+    assert rows["LOLOHA"]["comm_bits"] < rows["RAPPOR"]["comm_bits"]

@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark reproduces one paper artifact (table or figure) at a
+CI-friendly scale and, in addition to timing the harness with
+pytest-benchmark, attaches the reproduced rows/series to
+``benchmark.extra_info`` so the regenerated numbers can be inspected in the
+benchmark JSON output.
+
+Scale can be raised towards the paper's full grids with the environment
+variable ``REPRO_BENCH_SCALE`` (a float multiplier on the population /
+horizon sizes) and ``REPRO_BENCH_FULL_GRID=1`` (use the full eps/alpha grid).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+def _bench_config() -> ExperimentConfig:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+    if os.environ.get("REPRO_BENCH_FULL_GRID", "0") == "1":
+        eps_grid = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0)
+        alphas = (0.4, 0.5, 0.6)
+        n_runs = 20
+    else:
+        eps_grid = (0.5, 2.0, 5.0)
+        alphas = (0.5,)
+        n_runs = 1
+    return ExperimentConfig(
+        eps_inf_values=eps_grid,
+        alpha_values=alphas,
+        n_runs=n_runs,
+        dataset_scale=scale,
+        datasets=("syn", "adult", "db_mt", "db_de"),
+        seed=20230328,
+        variance_n=10_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The grid / scale configuration shared by every benchmark."""
+    return _bench_config()

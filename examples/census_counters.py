@@ -1,0 +1,56 @@
+"""Large-domain counter monitoring: census-style replicate weights.
+
+The paper's DB_MT / DB_DE experiments stress the protocols with a very large
+domain (k above one thousand): this is where the k-linear longitudinal budget
+of RAPPOR-style protocols becomes untenable and where LOLOHA's k/g reduction
+matters most.  This example builds a scaled-down DB_MT-like dataset, runs
+RAPPOR, L-OSUE, BiLOLOHA and OLOLOHA, and contrasts realized budgets against
+worst cases.
+
+Run with:  python examples/census_counters.py
+"""
+
+from repro.datasets import make_census_counters
+from repro.experiments.report import format_table
+from repro.longitudinal import BiLOLOHA, LOSUE, LSUE, OLOLOHA
+from repro.simulation import simulate_protocol
+
+
+def main() -> None:
+    eps_inf, alpha = 1.0, 0.5
+    eps_1 = alpha * eps_inf
+
+    dataset = make_census_counters(n_users=2_000, n_rounds=20, name="db_mt_small", rng=3)
+    k = dataset.k
+    print(f"census-like counters: k={k}, n={dataset.n_users}, tau={dataset.n_rounds}")
+    print(f"mean value changes per user: {dataset.change_counts().mean():.1f}")
+
+    protocols = [
+        LSUE(k, eps_inf, eps_1),
+        LOSUE(k, eps_inf, eps_1),
+        BiLOLOHA(k, eps_inf, eps_1),
+        OLOLOHA(k, eps_inf, eps_1),
+    ]
+
+    rows = []
+    for protocol in protocols:
+        result = simulate_protocol(protocol, dataset, rng=5)
+        rows.append(
+            {
+                "protocol": result.protocol_name,
+                "MSE_avg": result.mse_avg,
+                "eps_avg (realized)": result.eps_avg,
+                "worst case": result.worst_case_budget,
+                "comm_bits/round": protocol.communication_bits,
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\nWith k in the thousands, RAPPOR/L-OSUE transmit k bits per round and their\n"
+        "realized budget grows with every distinct counter value, whereas LOLOHA\n"
+        "transmits ceil(log2 g) bits and caps the budget at g * eps_inf."
+    )
+
+
+if __name__ == "__main__":
+    main()

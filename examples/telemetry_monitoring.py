@@ -1,0 +1,64 @@
+"""Telemetry monitoring scenario: app-usage minutes, every six hours.
+
+This mirrors the deployment that motivates the paper's *Syn* dataset (and the
+original dBitFlipPM deployment at Microsoft): a counter in [0, 360) minutes is
+collected from every device four times a day, and the vendor wants the usage
+histogram over time without learning any individual device's usage.
+
+The example compares the paper's protocol line-up on utility (MSE_avg) and on
+longitudinal privacy consumption (eps_avg), reproducing in miniature the story
+of Figures 3a and 4a.
+
+Run with:  python examples/telemetry_monitoring.py
+"""
+
+from repro.datasets import make_syn
+from repro.experiments.report import format_table
+from repro.longitudinal import BiLOLOHA, DBitFlipPM, LGRR, LOSUE, LSUE, OLOLOHA
+from repro.simulation import simulate_protocol
+
+
+def main() -> None:
+    eps_inf, alpha = 2.0, 0.5
+    eps_1 = alpha * eps_inf
+
+    # A scaled-down Syn dataset (the paper uses n=10000, tau=120).
+    dataset = make_syn(n_users=3_000, n_rounds=30, rng=42)
+    k = dataset.k
+
+    protocols = [
+        LSUE(k, eps_inf, eps_1),                    # RAPPOR
+        LOSUE(k, eps_inf, eps_1),
+        LGRR(k, eps_inf, eps_1),
+        DBitFlipPM(k, eps_inf, d=1),                # privacy-oriented
+        DBitFlipPM(k, eps_inf, d=k),                # utility-oriented
+        BiLOLOHA(k, eps_inf, eps_1),
+        OLOLOHA(k, eps_inf, eps_1),
+    ]
+
+    rows = []
+    for protocol in protocols:
+        result = simulate_protocol(protocol, dataset, rng=1)
+        rows.append(
+            {
+                "protocol": result.protocol_name,
+                "MSE_avg": result.mse_avg,
+                "eps_avg": result.eps_avg,
+                "worst_case_budget": result.worst_case_budget,
+                "comm_bits": protocol.communication_bits,
+            }
+        )
+
+    print(f"Syn-like telemetry: k={k}, n={dataset.n_users}, tau={dataset.n_rounds}, "
+          f"eps_inf={eps_inf}, eps_1={eps_1}")
+    print(format_table(rows))
+    print(
+        "\nReading the table: bBitFlipPM wins on MSE but consumes budget linearly in\n"
+        "bucket changes (and its changes are fully detectable, see Table 2);\n"
+        "OLOLOHA matches L-OSUE's utility while keeping the realized budget bounded\n"
+        "by g * eps_inf."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Theoretical bounds: Proposition 3.6, Theorem 3.1 and sequential composition.
+
+``estimation_error_bound`` is the high-probability bound of Proposition 3.6::
+
+    max_v |f_hat(v) - f(v)| < sqrt( k / (4 n beta (p1 - q1')(p2 - q2)) )
+
+with probability at least ``1 - beta``.  ``minimum_users_for_error`` inverts
+it to answer "how many users do I need for a target error".
+
+``sequential_composition_budget`` expresses Proposition 2.3 (and the
+motivation of Theorem 3.1): a sequence of ``t`` reports, each ``eps``-LDP,
+composes to ``t * eps`` — which is why naive repetition (and memoization with
+unbounded key sets) cannot satisfy a fixed LDP budget as ``tau`` grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import (
+    require_domain_size,
+    require_epsilon,
+    require_int_at_least,
+    require_probability,
+)
+from ..exceptions import ParameterError
+from ..longitudinal.parameters import ChainedParameters
+
+__all__ = [
+    "estimation_error_bound",
+    "minimum_users_for_error",
+    "sequential_composition_budget",
+    "rounds_until_budget_exceeded",
+]
+
+
+def estimation_error_bound(
+    params: ChainedParameters, n: int, k: int, beta: float
+) -> float:
+    """Proposition 3.6: high-probability bound on the max estimation error."""
+    n = require_int_at_least(n, 1, "n")
+    k = require_domain_size(k, "k")
+    beta = require_probability(beta, "beta", inclusive=False)
+    gap_product = (params.p1 - params.estimator_q1) * (params.p2 - params.q2)
+    if gap_product <= 0:
+        raise ParameterError("the parameter gaps must be positive")
+    return math.sqrt(k / (4.0 * n * beta * gap_product))
+
+
+def minimum_users_for_error(
+    params: ChainedParameters, k: int, beta: float, target_error: float
+) -> int:
+    """Smallest ``n`` for which Proposition 3.6 guarantees ``target_error``."""
+    k = require_domain_size(k, "k")
+    beta = require_probability(beta, "beta", inclusive=False)
+    if target_error <= 0:
+        raise ParameterError(f"target_error must be positive, got {target_error}")
+    gap_product = (params.p1 - params.estimator_q1) * (params.p2 - params.q2)
+    if gap_product <= 0:
+        raise ParameterError("the parameter gaps must be positive")
+    n = k / (4.0 * beta * gap_product * target_error**2)
+    return int(math.ceil(n))
+
+
+def sequential_composition_budget(eps_per_report: float, n_reports: int) -> float:
+    """Proposition 2.3: the budget of ``n_reports`` sequential ``eps``-LDP reports."""
+    eps_per_report = require_epsilon(eps_per_report, "eps_per_report")
+    n_reports = require_int_at_least(n_reports, 0, "n_reports")
+    return eps_per_report * n_reports
+
+
+def rounds_until_budget_exceeded(eps_total: float, alpha_per_round: float) -> int:
+    """Theorem 3.1 quantified: the number of rounds after which any mechanism
+    whose per-round leakage is at least ``alpha_per_round`` cannot be
+    ``eps_total``-LDP, namely ``ceil(eps_total / alpha_per_round)``."""
+    eps_total = require_epsilon(eps_total, "eps_total")
+    alpha_per_round = require_epsilon(alpha_per_round, "alpha_per_round")
+    return int(math.ceil(eps_total / alpha_per_round))

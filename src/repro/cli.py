@@ -1,0 +1,176 @@
+"""Command-line interface for the reproduction harnesses.
+
+Usage (after installation, or via ``python -m repro.cli``)::
+
+    python -m repro.cli figure1
+    python -m repro.cli figure2 --alpha 0.5
+    python -m repro.cli figure3 --dataset syn --scale 0.05 --eps 0.5 2 5
+    python -m repro.cli figure4 --dataset adult --scale 0.05
+    python -m repro.cli table1 --k 360 --eps-inf 2.0
+    python -m repro.cli table2 --dataset syn --scale 0.05
+    python -m repro.cli datasets
+
+Each subcommand prints the regenerated rows/series of one paper artifact as a
+text table (and optionally saves them with ``--output-dir``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .datasets import dataset_summaries, make_dataset
+from .experiments import (
+    ExperimentConfig,
+    format_figure1,
+    format_figure2,
+    format_figure3,
+    format_figure4,
+    format_table,
+    format_table1,
+    format_table2,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+)
+from .store import ResultsStore
+
+__all__ = ["build_parser", "main"]
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Translate CLI options into an :class:`ExperimentConfig`."""
+    datasets = tuple(args.dataset) if getattr(args, "dataset", None) else ("syn",)
+    return ExperimentConfig(
+        eps_inf_values=tuple(args.eps),
+        alpha_values=tuple(args.alpha),
+        n_runs=args.runs,
+        dataset_scale=args.scale,
+        datasets=datasets,
+        seed=args.seed,
+    )
+
+
+def _add_grid_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--eps", type=float, nargs="+", default=[0.5, 2.0, 5.0],
+        help="longitudinal privacy budgets eps_inf to sweep",
+    )
+    parser.add_argument(
+        "--alpha", type=float, nargs="+", default=[0.5],
+        help="ratios eps_1 / eps_inf to sweep",
+    )
+    parser.add_argument("--runs", type=int, default=1, help="repetitions per grid point")
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="fraction of the paper-sized population / horizon to simulate",
+    )
+    parser.add_argument("--seed", type=int, default=20230328, help="root random seed")
+    parser.add_argument(
+        "--output-dir", default=None,
+        help="directory in which to persist the regenerated rows as CSV",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with one subcommand per paper artifact."""
+    parser = argparse.ArgumentParser(
+        prog="repro-loloha",
+        description="Regenerate the figures and tables of the LOLOHA paper (EDBT 2023).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, helptext in (
+        ("figure1", "optimal g selection (Eq. 6)"),
+        ("figure2", "approximate variance comparison"),
+        ("figure3", "empirical MSE_avg per protocol and dataset"),
+        ("figure4", "averaged longitudinal privacy loss"),
+        ("table1", "theoretical protocol comparison"),
+        ("table2", "dBitFlipPM change-detection percentages"),
+    ):
+        sub = subparsers.add_parser(name, help=helptext)
+        _add_grid_options(sub)
+        if name in ("figure3", "figure4", "table2"):
+            sub.add_argument(
+                "--dataset", nargs="+", default=["syn"],
+                choices=["syn", "adult", "db_mt", "db_de"],
+                help="datasets to simulate",
+            )
+        if name == "table1":
+            sub.add_argument("--k", type=int, default=360, help="domain size")
+            sub.add_argument("--n", type=int, default=10_000, help="number of users")
+            sub.add_argument("--eps-inf", type=float, default=2.0, help="longitudinal budget")
+            sub.add_argument("--d", type=int, default=1, help="dBitFlipPM sampled bits")
+
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="summarize the evaluation workloads"
+    )
+    datasets_parser.add_argument("--scale", type=float, default=0.02)
+    datasets_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _maybe_save(args: argparse.Namespace, experiment_id: str, rows: List[dict]) -> None:
+    output_dir = getattr(args, "output_dir", None)
+    if output_dir:
+        path = ResultsStore(output_dir).save_rows(experiment_id, rows, overwrite=True)
+        print(f"\nsaved {len(rows)} rows to {path}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        rows = dataset_summaries(scale=args.scale, rng=args.seed)
+        print(format_table(rows))
+        return 0
+
+    if args.command == "table1":
+        result = run_table1(
+            k=args.k, n=args.n, eps_inf=args.eps_inf, alpha=args.alpha[0], d=args.d
+        )
+        print(format_table1(result))
+        _maybe_save(args, "table1", result.rows())
+        return 0
+
+    config = _config_from_args(args)
+
+    if args.command == "figure1":
+        result = run_figure1(config, include_numeric=False)
+        print(format_figure1(result))
+        _maybe_save(args, "figure1", result.rows())
+    elif args.command == "figure2":
+        result = run_figure2(config, alpha_values=tuple(args.alpha))
+        print(format_figure2(result, alpha=args.alpha[0]))
+        _maybe_save(args, "figure2", result.rows())
+    elif args.command in ("figure3", "figure4", "table2"):
+        datasets = {
+            name: make_dataset(name, scale=config.dataset_scale, rng=config.seed)
+            for name in config.datasets
+        }
+        if args.command == "figure3":
+            result = run_figure3(config, datasets=datasets)
+            for name in config.datasets:
+                print(format_figure3(result, name, args.alpha[0]))
+                print()
+            _maybe_save(args, "figure3", result.rows())
+        elif args.command == "figure4":
+            result = run_figure4(config, datasets=datasets)
+            for name in config.datasets:
+                print(format_figure4(result, name, args.alpha[0]))
+                print()
+            _maybe_save(args, "figure4", result.rows())
+        else:
+            result = run_table2(config, datasets=datasets)
+            print(format_table2(result))
+            _maybe_save(args, "table2", result.rows())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Experiment harnesses reproducing every figure and table of the paper.
+
+Each module exposes a ``run_*`` function that returns a structured result
+(rows / series matching the paper's artifact) plus a ``format_*`` helper that
+renders it as text.  All harnesses accept an :class:`ExperimentConfig` so the
+same code can run the paper-scale grids or the scaled-down CI defaults.
+
+==================  ===========================================  =======================
+Paper artifact      Harness                                      What it reports
+==================  ===========================================  =======================
+Figure 1            :func:`repro.experiments.figure1.run_figure1`  optimal ``g`` vs ``eps_inf`` per ``alpha``
+Figure 2            :func:`repro.experiments.figure2.run_figure2`  approximate variance V* per protocol
+Figure 3 (a-d)      :func:`repro.experiments.figure3.run_figure3`  empirical ``MSE_avg`` per protocol/dataset
+Figure 4 (a-d)      :func:`repro.experiments.figure4.run_figure4`  empirical ``eps_avg`` per protocol/dataset
+Table 1             :func:`repro.experiments.table1.run_table1`    communication / complexity / budget
+Table 2             :func:`repro.experiments.table2.run_table2`    dBitFlipPM change-detection percentage
+==================  ===========================================  =======================
+"""
+
+from .config import ExperimentConfig, PAPER_CONFIG, QUICK_CONFIG
+from .figure1 import run_figure1, format_figure1
+from .figure2 import run_figure2, format_figure2
+from .figure3 import run_figure3, format_figure3
+from .figure4 import run_figure4, format_figure4
+from .table1 import run_table1, format_table1
+from .table2 import run_table2, format_table2
+from .report import ascii_curve, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_CONFIG",
+    "QUICK_CONFIG",
+    "run_figure1",
+    "format_figure1",
+    "run_figure2",
+    "format_figure2",
+    "run_figure3",
+    "format_figure3",
+    "run_figure4",
+    "format_figure4",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "ascii_curve",
+    "format_table",
+]

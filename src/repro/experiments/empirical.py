@@ -1,0 +1,87 @@
+"""Shared empirical sweep used by Figures 3 and 4.
+
+Both figures come from the same simulations: every protocol is run over every
+dataset for the full ``(eps_inf, alpha)`` grid; Figure 3 reads off the
+``MSE_avg`` of each run and Figure 4 the realized ``eps_avg``.  This module
+builds the protocol line-up of Section 5.1 (including the two dBitFlipPM
+configurations and the paper's bucket-count rule) and runs the sweep once per
+dataset so the two figures can share the results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..datasets import make_dataset
+from ..datasets.base import LongitudinalDataset
+from ..longitudinal import BiLOLOHA, DBitFlipPM, LGRR, LOSUE, LSUE, OLOLOHA
+from ..simulation.sweep import ProtocolFactory, SweepPoint, run_sweep
+from .config import ExperimentConfig
+
+__all__ = [
+    "paper_protocol_factories",
+    "dbitflip_bucket_count",
+    "run_empirical_sweep",
+    "EMPIRICAL_PROTOCOLS",
+]
+
+#: Display order of the evaluated protocols (legend order of Figures 3/4).
+EMPIRICAL_PROTOCOLS = (
+    "bBitFlipPM",
+    "L-OSUE",
+    "OLOLOHA",
+    "RAPPOR",
+    "BiLOLOHA",
+    "1BitFlipPM",
+    "L-GRR",
+)
+
+
+def dbitflip_bucket_count(k: int) -> int:
+    """The paper's bucket-count rule: ``b = k`` for ``k <= 360``, else ``b = k // 4``."""
+    return k if k <= 360 else max(2, k // 4)
+
+
+def paper_protocol_factories(include_dbitflip: bool = True) -> Dict[str, ProtocolFactory]:
+    """Factories for the protocol line-up evaluated in Section 5.2.
+
+    Each factory receives ``(k, eps_inf, eps_1)`` and returns a configured
+    protocol; dBitFlipPM ignores ``eps_1`` (single round) and derives its
+    bucket count from the paper's rule.
+    """
+    factories: Dict[str, ProtocolFactory] = {
+        "RAPPOR": lambda k, eps_inf, eps_1: LSUE(k, eps_inf, eps_1),
+        "L-OSUE": lambda k, eps_inf, eps_1: LOSUE(k, eps_inf, eps_1),
+        "L-GRR": lambda k, eps_inf, eps_1: LGRR(k, eps_inf, eps_1),
+        "BiLOLOHA": lambda k, eps_inf, eps_1: BiLOLOHA(k, eps_inf, eps_1),
+        "OLOLOHA": lambda k, eps_inf, eps_1: OLOLOHA(k, eps_inf, eps_1),
+    }
+    if include_dbitflip:
+        factories["1BitFlipPM"] = lambda k, eps_inf, eps_1: DBitFlipPM(
+            k, eps_inf, b=dbitflip_bucket_count(k), d=1
+        )
+        factories["bBitFlipPM"] = lambda k, eps_inf, eps_1: DBitFlipPM(
+            k, eps_inf, b=dbitflip_bucket_count(k), d=dbitflip_bucket_count(k)
+        )
+    return factories
+
+
+def run_empirical_sweep(
+    config: ExperimentConfig,
+    dataset_name: str,
+    dataset: Optional[LongitudinalDataset] = None,
+    include_dbitflip: bool = True,
+) -> List[SweepPoint]:
+    """Run the full protocol sweep over one dataset of the configuration."""
+    if dataset is None:
+        dataset = make_dataset(dataset_name, scale=config.dataset_scale, rng=config.seed)
+    factories = paper_protocol_factories(include_dbitflip=include_dbitflip)
+    return run_sweep(
+        protocol_factories=factories,
+        dataset=dataset,
+        eps_inf_values=config.eps_inf_values,
+        alpha_values=config.alpha_values,
+        n_runs=config.n_runs,
+        rng=config.seed,
+        keep_runs=False,
+    )

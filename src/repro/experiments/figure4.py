@@ -1,0 +1,116 @@
+"""Figure 4 — averaged longitudinal privacy loss ``eps_avg`` (Eq. 8).
+
+For the same sweeps as Figure 3, the paper reports the population-averaged
+realized longitudinal budget of every protocol.  Expected shape:
+
+* RAPPOR, L-OSUE, L-GRR and bBitFlipPM grow linearly with the number of data
+  (or bucket) changes — tens to hundreds of epsilon over the experimental
+  horizons;
+* BiLOLOHA stays at most ``2 * eps_inf`` and OLOLOHA at most ``g * eps_inf``;
+* 1BitFlipPM stays at most ``2 * eps_inf`` as well (``min(d + 1, b)`` with
+  ``d = 1``), but pays for it with the worst utility in Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..datasets.base import LongitudinalDataset
+from ..exceptions import ExperimentError
+from .config import ExperimentConfig, PAPER_CONFIG
+from .empirical import run_empirical_sweep
+from .report import ascii_curve, format_table
+
+__all__ = ["Figure4Result", "run_figure4", "format_figure4"]
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """``eps_avg`` per (dataset, protocol, alpha, eps_inf)."""
+
+    eps_inf_values: Tuple[float, ...]
+    alpha_values: Tuple[float, ...]
+    datasets: Tuple[str, ...]
+    #: eps_avg[dataset][protocol][alpha] aligned with eps_inf_values.
+    eps_avg: Dict[str, Dict[str, Dict[float, List[float]]]]
+    #: worst_case[dataset][protocol] — the Table 1 bound for reference.
+    worst_case: Dict[str, Dict[str, float]]
+
+    def series(self, dataset: str, alpha: float) -> Dict[str, List[float]]:
+        """Per-protocol eps_avg curves of one subplot (dataset, alpha)."""
+        return {
+            protocol: per_alpha[alpha]
+            for protocol, per_alpha in self.eps_avg[dataset].items()
+        }
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat rows for CSV export."""
+        rows: List[Dict[str, object]] = []
+        for dataset, per_protocol in self.eps_avg.items():
+            for protocol, per_alpha in per_protocol.items():
+                for alpha, values in per_alpha.items():
+                    for eps_inf, value in zip(self.eps_inf_values, values):
+                        rows.append(
+                            {
+                                "dataset": dataset,
+                                "protocol": protocol,
+                                "alpha": alpha,
+                                "eps_inf": eps_inf,
+                                "eps_avg": value,
+                                "worst_case": self.worst_case[dataset][protocol],
+                            }
+                        )
+        return rows
+
+
+def run_figure4(
+    config: ExperimentConfig = PAPER_CONFIG,
+    datasets: Optional[Dict[str, LongitudinalDataset]] = None,
+) -> Figure4Result:
+    """Run the Figure 4 sweep (same simulations as Figure 3, privacy metric)."""
+    dataset_names = tuple(datasets.keys()) if datasets else config.datasets
+    eps_avg: Dict[str, Dict[str, Dict[float, List[float]]]] = {}
+    worst_case: Dict[str, Dict[str, float]] = {}
+    for name in dataset_names:
+        dataset = datasets[name] if datasets else None
+        points = run_empirical_sweep(config, name, dataset=dataset, include_dbitflip=True)
+        per_protocol: Dict[str, Dict[float, List[float]]] = {}
+        per_protocol_worst: Dict[str, float] = {}
+        for point in points:
+            per_alpha = per_protocol.setdefault(point.protocol_name, {})
+            per_alpha.setdefault(point.alpha, []).append(point.eps_avg)
+            per_protocol_worst[point.protocol_name] = max(
+                per_protocol_worst.get(point.protocol_name, 0.0), point.worst_case_budget
+            )
+        eps_avg[name] = per_protocol
+        worst_case[name] = per_protocol_worst
+    return Figure4Result(
+        eps_inf_values=tuple(config.eps_inf_values),
+        alpha_values=tuple(config.alpha_values),
+        datasets=dataset_names,
+        eps_avg=eps_avg,
+        worst_case=worst_case,
+    )
+
+
+def format_figure4(result: Figure4Result, dataset: Optional[str] = None, alpha: Optional[float] = None) -> str:
+    """Render one Figure 4 subplot as an ASCII curve plus table."""
+    dataset = dataset or result.datasets[0]
+    alpha = alpha if alpha is not None else result.alpha_values[0]
+    if dataset not in result.eps_avg:
+        raise ExperimentError(f"no results for dataset {dataset!r}")
+    series = result.series(dataset, alpha)
+    rows = []
+    for i, eps_inf in enumerate(result.eps_inf_values):
+        row: Dict[str, object] = {"eps_inf": eps_inf}
+        for protocol, values in series.items():
+            row[protocol] = values[i]
+        rows.append(row)
+    curve = ascii_curve(
+        result.eps_inf_values,
+        series,
+        log_scale=False,
+        title=f"Figure 4 — eps_avg on {dataset} (alpha={alpha})",
+    )
+    return f"{curve}\n\n{format_table(rows)}"

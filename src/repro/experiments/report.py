@@ -1,0 +1,108 @@
+"""Plain-text rendering of experiment outputs (tables and ASCII curves).
+
+The paper reports its results as line plots and tables; in a terminal-first
+reproduction we render the same rows and series as aligned text tables and
+simple logarithmic ASCII curves so that shapes (who wins, where curves cross)
+can be inspected without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+
+__all__ = ["format_table", "ascii_curve"]
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        raise ExperimentError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def ascii_curve(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    log_scale: bool = True,
+    title: str = "",
+) -> str:
+    """Render one or more series as a coarse ASCII line chart.
+
+    Each series gets a distinct marker; values can be plotted on a log scale
+    (the natural choice for variances and MSEs that span orders of
+    magnitude).
+    """
+    if height < 3:
+        raise ExperimentError("chart height must be at least 3")
+    if not series:
+        raise ExperimentError("at least one series is required")
+    x_values = list(x_values)
+    markers = "ox+*#@%&"
+    all_values: List[float] = []
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ExperimentError(
+                f"series {name!r} has {len(values)} points but there are {len(x_values)} x values"
+            )
+        all_values.extend(float(v) for v in values)
+
+    def transform(value: float) -> float:
+        if log_scale:
+            return math.log10(max(value, 1e-300))
+        return value
+
+    transformed = [transform(v) for v in all_values]
+    low, high = min(transformed), max(transformed)
+    span = high - low if high > low else 1.0
+
+    grid = [[" "] * len(x_values) for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for i, value in enumerate(values):
+            level = (transform(float(value)) - low) / span
+            row = height - 1 - int(round(level * (height - 1)))
+            grid[row][i] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        level = high - span * row_index / (height - 1)
+        label = f"{10 ** level:9.2e}" if log_scale else f"{level:9.3g}"
+        lines.append(f"{label} | " + " ".join(row))
+    lines.append(" " * 11 + "  " + " ".join("-" for _ in x_values))
+    lines.append(" " * 11 + "  " + " ".join(f"{x:g}"[0] for x in x_values))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""One-shot (single collection) LDP frequency-estimation oracles.
+
+These are the building blocks reviewed in Section 2.3 of the paper: Generalized
+Randomized Response (GRR), Unary Encoding (SUE / OUE) and Local Hashing
+(BLH / OLH).  The longitudinal protocols in :mod:`repro.longitudinal` chain two
+of these primitives (a permanent and an instantaneous round) to obtain
+memoization-based longitudinal guarantees.
+
+Every oracle follows the same life cycle::
+
+    oracle = GRR(k=100, epsilon=1.0)
+    reports = oracle.privatize_batch(values, rng=0)     # client side
+    estimate = oracle.estimate_frequencies(reports)     # server side
+
+Estimates are unbiased (Eq. 1 of the paper); :mod:`repro.freq_oneshot.histogram`
+offers optional post-processing (clipping, simplex projection).
+"""
+
+from .base import (
+    FrequencyOracle,
+    PerturbationParameters,
+    grr_parameters,
+    oue_parameters,
+    sue_parameters,
+    unbiased_estimate,
+)
+from .grr import GRR
+from .local_hashing import BLH, OLH, LocalHashing, optimal_lh_g
+from .unary_encoding import OUE, SUE, UnaryEncoding
+from .histogram import (
+    clip_and_normalize,
+    estimate_with_postprocessing,
+    normalize_non_negative,
+    project_onto_simplex,
+)
+
+__all__ = [
+    "FrequencyOracle",
+    "PerturbationParameters",
+    "grr_parameters",
+    "sue_parameters",
+    "oue_parameters",
+    "unbiased_estimate",
+    "GRR",
+    "UnaryEncoding",
+    "SUE",
+    "OUE",
+    "LocalHashing",
+    "BLH",
+    "OLH",
+    "optimal_lh_g",
+    "clip_and_normalize",
+    "project_onto_simplex",
+    "normalize_non_negative",
+    "estimate_with_postprocessing",
+]

@@ -1,0 +1,201 @@
+"""Common infrastructure for one-shot LDP frequency oracles.
+
+The central abstractions are:
+
+``PerturbationParameters``
+    The pair ``(p, q)`` of keep/flip probabilities that fully parameterizes a
+    randomized-response style perturbation, together with the privacy budget
+    it realizes.
+
+``FrequencyOracle``
+    Abstract base class with the client-side ``privatize`` /
+    ``privatize_batch`` API and the server-side ``aggregate`` /
+    ``estimate_frequencies`` API.
+
+``unbiased_estimate``
+    Equation (1) of the paper: debias the observed support counts.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import (
+    as_rng,
+    require_domain_size,
+    require_epsilon,
+    require_int_at_least,
+    validate_values_array,
+)
+from ..exceptions import AggregationError, ParameterError
+from ..rng import RngLike
+
+__all__ = [
+    "PerturbationParameters",
+    "FrequencyOracle",
+    "unbiased_estimate",
+    "grr_parameters",
+    "sue_parameters",
+    "oue_parameters",
+]
+
+
+@dataclass(frozen=True)
+class PerturbationParameters:
+    """Keep/flip probabilities of a randomized-response style perturbation.
+
+    Attributes
+    ----------
+    p:
+        Probability of reporting the "true" symbol (or of keeping a 1-bit).
+    q:
+        Probability of reporting a specific other symbol (or of flipping a
+        0-bit to 1).
+    epsilon:
+        The LDP budget realized by this pair (``ln`` of the largest likelihood
+        ratio achievable between two inputs).
+    """
+
+    p: float
+    q: float
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.q <= 1.0 and 0.0 <= self.p <= 1.0):
+            raise ParameterError(f"p and q must be probabilities, got p={self.p}, q={self.q}")
+        if self.p <= self.q:
+            raise ParameterError(
+                f"p must exceed q for a useful perturbation, got p={self.p}, q={self.q}"
+            )
+
+    @property
+    def gap(self) -> float:
+        """The estimator denominator term ``p - q``."""
+        return self.p - self.q
+
+
+def unbiased_estimate(counts: np.ndarray, n: int, p: float, q: float) -> np.ndarray:
+    """Equation (1): unbiased frequency estimate from support counts.
+
+    Parameters
+    ----------
+    counts:
+        Per-value support counts ``C(v)`` (how many reports support value v).
+    n:
+        Number of reports aggregated.
+    p, q:
+        Perturbation parameters of the protocol that produced the reports.
+    """
+    n = require_int_at_least(n, 1, "n")
+    counts = np.asarray(counts, dtype=np.float64)
+    gap = p - q
+    if gap <= 0:
+        raise ParameterError(f"p - q must be positive, got p={p}, q={q}")
+    return (counts - n * q) / (n * gap)
+
+
+def grr_parameters(epsilon: float, k: int) -> PerturbationParameters:
+    """GRR parameters: ``p = e^eps / (e^eps + k - 1)``, ``q = (1 - p)/(k - 1)``."""
+    epsilon = require_epsilon(epsilon)
+    k = require_domain_size(k)
+    e = math.exp(epsilon)
+    p = e / (e + k - 1)
+    q = 1.0 / (e + k - 1)
+    return PerturbationParameters(p=p, q=q, epsilon=epsilon)
+
+
+def sue_parameters(epsilon: float) -> PerturbationParameters:
+    """Symmetric UE (RAPPOR) parameters: ``p = e^{eps/2}/(e^{eps/2}+1)``, ``q = 1 - p``."""
+    epsilon = require_epsilon(epsilon)
+    half = math.exp(epsilon / 2.0)
+    p = half / (half + 1.0)
+    q = 1.0 / (half + 1.0)
+    return PerturbationParameters(p=p, q=q, epsilon=epsilon)
+
+
+def oue_parameters(epsilon: float) -> PerturbationParameters:
+    """Optimal UE parameters: ``p = 1/2``, ``q = 1/(e^eps + 1)``."""
+    epsilon = require_epsilon(epsilon)
+    p = 0.5
+    q = 1.0 / (math.exp(epsilon) + 1.0)
+    return PerturbationParameters(p=p, q=q, epsilon=epsilon)
+
+
+class FrequencyOracle(ABC):
+    """Abstract one-shot LDP frequency oracle over the domain ``[0..k)``.
+
+    Subclasses define how a single value is privatized, how reports are
+    aggregated into per-value support counts, and the effective ``(p, q)``
+    pair used for debiasing.
+    """
+
+    #: Short protocol name used in experiment reports.
+    name: str = "oracle"
+
+    def __init__(self, k: int, epsilon: float) -> None:
+        self.k = require_domain_size(k, "k")
+        self.epsilon = require_epsilon(epsilon)
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def privatize(self, value: int, rng: RngLike = None):
+        """Sanitize a single value, returning one report."""
+
+    def privatize_batch(self, values: Sequence[int], rng: RngLike = None) -> list:
+        """Sanitize a batch of values.
+
+        The default implementation loops over :meth:`privatize`; subclasses
+        override it with a vectorized version where possible.
+        """
+        generator = as_rng(rng)
+        values = validate_values_array(values, self.k)
+        return [self.privatize(int(v), generator) for v in values]
+
+    # ------------------------------------------------------------------ #
+    # Server side
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def support_counts(self, reports: Sequence) -> np.ndarray:
+        """Per-value support counts ``C(v)`` from a collection of reports."""
+
+    @property
+    @abstractmethod
+    def estimation_parameters(self) -> PerturbationParameters:
+        """The effective ``(p, q)`` pair used by the unbiased estimator."""
+
+    def estimate_frequencies(self, reports: Sequence, n: Optional[int] = None) -> np.ndarray:
+        """Unbiased frequency estimate (Eq. 1) from a collection of reports."""
+        reports = list(reports) if not isinstance(reports, (list, np.ndarray)) else reports
+        if n is None:
+            n = len(reports)
+        if n <= 0:
+            raise AggregationError("cannot estimate frequencies from an empty report set")
+        counts = self.support_counts(reports)
+        params = self.estimation_parameters
+        return unbiased_estimate(counts, n, params.p, params.q)
+
+    # ------------------------------------------------------------------ #
+    # Theory
+    # ------------------------------------------------------------------ #
+    def estimator_variance(self, n: int, f: float = 0.0) -> float:
+        """Variance of the frequency estimator for a value with true frequency ``f``.
+
+        The generic randomized-response variance is
+        ``q(1-q)/(n (p-q)^2) + f (1 - p - q)/(n (p - q))`` which reduces to the
+        familiar approximate variance at ``f = 0``.
+        """
+        n = require_int_at_least(n, 1, "n")
+        params = self.estimation_parameters
+        p, q = params.p, params.q
+        gap = p - q
+        return q * (1 - q) / (n * gap**2) + f * (1 - p - q) / (n * gap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(k={self.k}, epsilon={self.epsilon})"

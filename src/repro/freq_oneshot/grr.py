@@ -1,0 +1,82 @@
+"""Generalized Randomized Response (GRR), Section 2.3.1 of the paper.
+
+GRR reports the true value with probability ``p = e^eps / (e^eps + k - 1)``
+and a uniformly random *different* value otherwise.  It satisfies ``eps``-LDP
+because ``p / q = e^eps``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_rng, validate_value_in_domain, validate_values_array
+from ..rng import RngLike
+from .base import FrequencyOracle, PerturbationParameters, grr_parameters
+
+__all__ = ["GRR", "grr_perturb_array"]
+
+
+def grr_perturb_array(
+    values: np.ndarray, k: int, p: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorized GRR perturbation of an integer array over domain ``[0..k)``.
+
+    Each entry is kept with probability ``p``; otherwise it is replaced by a
+    value drawn uniformly from the other ``k - 1`` symbols.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    keep = rng.random(values.shape) < p
+    # Draw from [0, k-1) and shift values >= true value by one so the noise
+    # value is uniform over the k-1 symbols different from the input.
+    noise = rng.integers(0, k - 1, size=values.shape)
+    noise = noise + (noise >= values)
+    return np.where(keep, values, noise).astype(np.int64)
+
+
+class GRR(FrequencyOracle):
+    """Generalized Randomized Response frequency oracle.
+
+    Parameters
+    ----------
+    k:
+        Domain size (``k >= 2``).
+    epsilon:
+        LDP budget of a single report.
+    """
+
+    name = "GRR"
+
+    def __init__(self, k: int, epsilon: float) -> None:
+        super().__init__(k, epsilon)
+        self._params = grr_parameters(epsilon, k)
+
+    @property
+    def estimation_parameters(self) -> PerturbationParameters:
+        return self._params
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def privatize(self, value: int, rng: RngLike = None) -> int:
+        """Perturb a single value; the report is an integer in ``[0..k)``."""
+        value = validate_value_in_domain(value, self.k)
+        generator = as_rng(rng)
+        return int(
+            grr_perturb_array(np.asarray([value]), self.k, self._params.p, generator)[0]
+        )
+
+    def privatize_batch(self, values: Sequence[int], rng: RngLike = None) -> np.ndarray:
+        """Vectorized perturbation of a batch of values."""
+        generator = as_rng(rng)
+        values = validate_values_array(values, self.k)
+        return grr_perturb_array(values, self.k, self._params.p, generator)
+
+    # ------------------------------------------------------------------ #
+    # Server side
+    # ------------------------------------------------------------------ #
+    def support_counts(self, reports: Sequence[int]) -> np.ndarray:
+        """Support counts are simply how many times each symbol was reported."""
+        reports = np.asarray(reports, dtype=np.int64)
+        return np.bincount(reports, minlength=self.k).astype(np.float64)

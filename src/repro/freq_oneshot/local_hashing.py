@@ -1,0 +1,150 @@
+"""Local Hashing (LH) oracles: BLH (``g = 2``) and OLH (``g = round(e^eps) + 1``).
+
+Section 2.3.2 of the paper.  Each user samples a hash function ``H`` from a
+universal family mapping the domain ``[0..k)`` to ``[0..g)``, applies GRR over
+the hashed domain, and reports the pair ``(H, perturbed hash)``.  The server
+counts, for each candidate value ``v``, how many users' reports *support* it
+(``H_u(v) == reported hash``) and debiases with ``p = e^eps/(e^eps + g - 1)``
+and ``q = 1/g``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_rng, require_domain_size, validate_value_in_domain, validate_values_array
+from ..exceptions import EncodingError
+from ..hashing import HashFunction, MultiplyShiftHashFamily, UniversalHashFamily
+from ..rng import RngLike
+from .base import FrequencyOracle, PerturbationParameters, grr_parameters
+from .grr import grr_perturb_array
+
+__all__ = ["LHReport", "LocalHashing", "BLH", "OLH", "optimal_lh_g"]
+
+
+def optimal_lh_g(epsilon: float) -> int:
+    """The OLH choice of hashed-domain size: ``round(e^eps + 1)``, at least 2."""
+    return max(2, int(round(math.exp(epsilon) + 1.0)))
+
+
+@dataclass(frozen=True)
+class LHReport:
+    """A single local-hashing report: the sampled hash function and the
+    perturbed hash value."""
+
+    hash_function: HashFunction
+    value: int
+
+
+class LocalHashing(FrequencyOracle):
+    """Generic Local Hashing oracle with configurable hashed-domain size ``g``.
+
+    Parameters
+    ----------
+    k:
+        Original domain size.
+    epsilon:
+        LDP budget of a single report.
+    g:
+        Hashed domain size (defaults to the OLH optimum).
+    family:
+        Universal hash family to sample from.  Defaults to the fast
+        multiply-shift family; any family from :mod:`repro.hashing` works.
+    """
+
+    name = "LH"
+
+    def __init__(
+        self,
+        k: int,
+        epsilon: float,
+        g: Optional[int] = None,
+        family: Optional[UniversalHashFamily] = None,
+    ) -> None:
+        super().__init__(k, epsilon)
+        if g is None:
+            g = optimal_lh_g(epsilon)
+        self.g = require_domain_size(g, "g")
+        if family is None:
+            family = MultiplyShiftHashFamily(self.g)
+        if family.g != self.g:
+            raise EncodingError(
+                f"hash family output size {family.g} does not match g={self.g}"
+            )
+        self.family = family
+        self._grr_params = grr_parameters(epsilon, self.g)
+        # Estimation uses q' = 1/g (the collision probability of a universal
+        # family), not the GRR q over the hashed domain.
+        self._estimation = PerturbationParameters(
+            p=self._grr_params.p, q=1.0 / self.g, epsilon=epsilon
+        )
+
+    @property
+    def estimation_parameters(self) -> PerturbationParameters:
+        return self._estimation
+
+    @property
+    def perturbation_parameters(self) -> PerturbationParameters:
+        """The GRR ``(p, q)`` pair actually used over the hashed domain."""
+        return self._grr_params
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def privatize(self, value: int, rng: RngLike = None) -> LHReport:
+        """Sample a hash function, hash the value, perturb it with GRR."""
+        value = validate_value_in_domain(value, self.k)
+        generator = as_rng(rng)
+        hash_function = self.family.sample(generator)
+        hashed = hash_function(value)
+        perturbed = grr_perturb_array(
+            np.asarray([hashed]), self.g, self._grr_params.p, generator
+        )[0]
+        return LHReport(hash_function=hash_function, value=int(perturbed))
+
+    def privatize_batch(self, values: Sequence[int], rng: RngLike = None) -> list:
+        """Perturb a batch; each user samples an independent hash function."""
+        generator = as_rng(rng)
+        values = validate_values_array(values, self.k)
+        reports = []
+        for value in values:
+            reports.append(self.privatize(int(value), generator))
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Server side
+    # ------------------------------------------------------------------ #
+    def support_counts(self, reports: Sequence[LHReport]) -> np.ndarray:
+        """Count, per candidate value, the reports whose hash supports it."""
+        counts = np.zeros(self.k, dtype=np.float64)
+        domain = np.arange(self.k, dtype=np.int64)
+        for report in reports:
+            if not isinstance(report, LHReport):
+                raise EncodingError(
+                    f"LocalHashing expects LHReport instances, got {type(report).__name__}"
+                )
+            hashed_domain = report.hash_function.hash_array(domain)
+            counts += hashed_domain == report.value
+        return counts
+
+
+class BLH(LocalHashing):
+    """Binary Local Hashing (``g = 2``)."""
+
+    name = "BLH"
+
+    def __init__(self, k: int, epsilon: float, family: Optional[UniversalHashFamily] = None) -> None:
+        super().__init__(k, epsilon, g=2, family=family)
+
+
+class OLH(LocalHashing):
+    """Optimal Local Hashing (``g = round(e^eps + 1)``)."""
+
+    name = "OLH"
+
+    def __init__(self, k: int, epsilon: float, family: Optional[UniversalHashFamily] = None) -> None:
+        super().__init__(k, epsilon, g=optimal_lh_g(epsilon), family=family)

@@ -1,0 +1,122 @@
+"""Unary Encoding (UE) oracles: SUE (RAPPOR's encoding) and OUE, Section 2.3.3.
+
+The user's value is one-hot encoded into a ``k``-bit vector and every bit is
+flipped independently: a 1-bit stays 1 with probability ``p``; a 0-bit becomes
+1 with probability ``q``.  SUE uses the symmetric pair ``p + q = 1``; OUE fixes
+``p = 1/2`` and ``q = 1/(e^eps + 1)`` to minimize estimator variance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_rng, require_probability, validate_value_in_domain, validate_values_array
+from ..exceptions import EncodingError, ParameterError
+from ..rng import RngLike
+from .base import (
+    FrequencyOracle,
+    PerturbationParameters,
+    oue_parameters,
+    sue_parameters,
+)
+
+__all__ = ["UnaryEncoding", "SUE", "OUE", "ue_perturb_matrix", "one_hot"]
+
+
+def one_hot(values: np.ndarray, k: int) -> np.ndarray:
+    """One-hot encode an integer array into a ``(len(values), k)`` 0/1 matrix."""
+    values = np.asarray(values, dtype=np.int64)
+    encoded = np.zeros((values.size, k), dtype=np.uint8)
+    encoded[np.arange(values.size), values.ravel()] = 1
+    return encoded
+
+
+def ue_perturb_matrix(
+    encoded: np.ndarray, p: float, q: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Flip each bit of a one-hot matrix independently with UE probabilities."""
+    uniform = rng.random(encoded.shape)
+    keep_probability = np.where(encoded == 1, p, q)
+    return (uniform < keep_probability).astype(np.uint8)
+
+
+class UnaryEncoding(FrequencyOracle):
+    """Generic Unary Encoding oracle parameterized by an explicit ``(p, q)``.
+
+    Use the :class:`SUE` and :class:`OUE` subclasses for the two standard
+    parameterizations; this class also accepts custom pairs (it recomputes the
+    realized ``epsilon = ln(p(1-q) / ((1-p) q))``).
+    """
+
+    name = "UE"
+
+    def __init__(self, k: int, epsilon: float, params: Optional[PerturbationParameters] = None) -> None:
+        super().__init__(k, epsilon)
+        if params is None:
+            params = sue_parameters(epsilon)
+        self._params = params
+
+    @classmethod
+    def from_probabilities(cls, k: int, p: float, q: float) -> "UnaryEncoding":
+        """Build a UE oracle from explicit bit-keeping probabilities."""
+        p = require_probability(p, "p", inclusive=False)
+        q = require_probability(q, "q", inclusive=False)
+        if p <= q:
+            raise ParameterError(f"UE requires p > q, got p={p}, q={q}")
+        epsilon = float(np.log(p * (1 - q) / ((1 - p) * q)))
+        return cls(k, epsilon, PerturbationParameters(p=p, q=q, epsilon=epsilon))
+
+    @property
+    def estimation_parameters(self) -> PerturbationParameters:
+        return self._params
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def privatize(self, value: int, rng: RngLike = None) -> np.ndarray:
+        """Perturb a single value; the report is a ``k``-bit 0/1 vector."""
+        value = validate_value_in_domain(value, self.k)
+        generator = as_rng(rng)
+        encoded = one_hot(np.asarray([value]), self.k)
+        return ue_perturb_matrix(encoded, self._params.p, self._params.q, generator)[0]
+
+    def privatize_batch(self, values: Sequence[int], rng: RngLike = None) -> np.ndarray:
+        """Vectorized perturbation; returns an ``(n, k)`` 0/1 matrix."""
+        generator = as_rng(rng)
+        values = validate_values_array(values, self.k)
+        encoded = one_hot(values, self.k)
+        return ue_perturb_matrix(encoded, self._params.p, self._params.q, generator)
+
+    # ------------------------------------------------------------------ #
+    # Server side
+    # ------------------------------------------------------------------ #
+    def support_counts(self, reports: Sequence) -> np.ndarray:
+        """Column sums of the report matrix (how often each bit was set)."""
+        matrix = np.asarray(reports)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.shape[1] != self.k:
+            raise EncodingError(
+                f"UE reports must have {self.k} bits, got vectors of length {matrix.shape[1]}"
+            )
+        return matrix.sum(axis=0).astype(np.float64)
+
+
+class SUE(UnaryEncoding):
+    """Symmetric Unary Encoding (the encoding used by RAPPOR)."""
+
+    name = "SUE"
+
+    def __init__(self, k: int, epsilon: float) -> None:
+        super().__init__(k, epsilon, sue_parameters(epsilon))
+
+
+class OUE(UnaryEncoding):
+    """Optimal Unary Encoding (``p = 1/2``, ``q = 1/(e^eps + 1)``)."""
+
+    name = "OUE"
+
+    def __init__(self, k: int, epsilon: float) -> None:
+        super().__init__(k, epsilon, oue_parameters(epsilon))

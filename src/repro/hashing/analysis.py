@@ -1,0 +1,151 @@
+"""Diagnostics for hash families: collision rates, universality, uniformity.
+
+These tools back the ablation study on hash-family choice (DESIGN.md §5) and
+the property-based tests: LOLOHA's estimator only assumes that the family is
+universal (pairwise collision probability at most ``1/g``), so any family that
+passes :func:`empirical_universality` should yield statistically
+indistinguishable estimation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import as_rng, require_domain_size, require_int_at_least
+from ..rng import RngLike
+from .families import UniversalHashFamily
+
+__all__ = [
+    "collision_rate",
+    "empirical_universality",
+    "hashed_domain_histogram",
+    "uniformity_chi_square",
+    "UniversalityReport",
+]
+
+
+@dataclass(frozen=True)
+class UniversalityReport:
+    """Result of an empirical universality check.
+
+    Attributes
+    ----------
+    max_pair_collision_rate:
+        The largest observed collision frequency over the tested input pairs.
+    bound:
+        The theoretical universal bound ``1/g`` (plus sampling slack).
+    n_functions:
+        Number of sampled hash functions.
+    n_pairs:
+        Number of distinct input pairs tested.
+    satisfied:
+        Whether every tested pair collided at a rate within the slackened
+        bound.
+    """
+
+    max_pair_collision_rate: float
+    bound: float
+    n_functions: int
+    n_pairs: int
+    satisfied: bool
+
+
+def hashed_domain_histogram(
+    family: UniversalHashFamily, k: int, n_functions: int = 100, rng: RngLike = None
+) -> np.ndarray:
+    """Aggregate histogram of hash outputs over the whole domain.
+
+    Samples ``n_functions`` functions, hashes the full domain ``[0..k)`` with
+    each, and returns the pooled count per output cell.  For a well-behaved
+    family the counts are close to uniform.
+    """
+    k = require_domain_size(k, "k")
+    n_functions = require_int_at_least(n_functions, 1, "n_functions")
+    generator = as_rng(rng)
+    counts = np.zeros(family.g, dtype=np.int64)
+    for _ in range(n_functions):
+        hashed = family.sample(generator).hash_all(k)
+        counts += np.bincount(hashed, minlength=family.g)
+    return counts
+
+
+def uniformity_chi_square(counts: np.ndarray) -> float:
+    """Pearson chi-square statistic of observed cell counts against uniform.
+
+    A value far above ``g - 1`` (the degrees of freedom) indicates a
+    non-uniform family.  The statistic is returned rather than a p-value to
+    avoid a scipy dependency in the core package; tests compare it against a
+    generous multiple of the degrees of freedom.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    expected = total / counts.size
+    return float(((counts - expected) ** 2 / expected).sum())
+
+
+def collision_rate(
+    family: UniversalHashFamily,
+    value_a: int,
+    value_b: int,
+    n_functions: int = 1000,
+    rng: RngLike = None,
+) -> float:
+    """Fraction of sampled functions for which two distinct values collide."""
+    if value_a == value_b:
+        raise ValueError("collision_rate requires two distinct values")
+    n_functions = require_int_at_least(n_functions, 1, "n_functions")
+    generator = as_rng(rng)
+    values = np.asarray([value_a, value_b], dtype=np.int64)
+    collisions = 0
+    for _ in range(n_functions):
+        hashed = family.sample(generator).hash_array(values)
+        if hashed[0] == hashed[1]:
+            collisions += 1
+    return collisions / n_functions
+
+
+def empirical_universality(
+    family: UniversalHashFamily,
+    k: int,
+    n_functions: int = 500,
+    n_pairs: int = 30,
+    slack: float = 3.0,
+    rng: RngLike = None,
+) -> UniversalityReport:
+    """Empirically verify the universal-hashing property.
+
+    Samples ``n_pairs`` random distinct input pairs and checks that the
+    observed collision rate of each pair stays below ``1/g`` plus ``slack``
+    binomial standard deviations.
+
+    Returns a :class:`UniversalityReport`; ``report.satisfied`` is the
+    pass/fail verdict.
+    """
+    k = require_domain_size(k, "k")
+    generator = as_rng(rng)
+    bound = 1.0 / family.g
+    std = np.sqrt(bound * (1 - bound) / n_functions)
+    threshold = bound + slack * std
+
+    functions = [family.sample(generator) for _ in range(n_functions)]
+    max_rate = 0.0
+    tested = 0
+    for _ in range(n_pairs):
+        a, b = generator.choice(k, size=2, replace=False)
+        values = np.asarray([a, b], dtype=np.int64)
+        collisions = sum(1 for h in functions if h.hash_array(values)[0] == h.hash_array(values)[1])
+        rate = collisions / n_functions
+        max_rate = max(max_rate, rate)
+        tested += 1
+    return UniversalityReport(
+        max_pair_collision_rate=max_rate,
+        bound=threshold,
+        n_functions=n_functions,
+        n_pairs=tested,
+        satisfied=max_rate <= threshold,
+    )

@@ -1,0 +1,275 @@
+"""Universal hash families mapping an integer domain ``[0..k)`` to ``[0..g)``.
+
+Each family exposes :meth:`UniversalHashFamily.sample`, which draws a random
+member function.  Member functions are lightweight, picklable value objects
+identified by their integer parameters, so a client can transmit "which hash
+function I chose" to the server as required by LH / LOLOHA protocols.
+
+All functions support scalar evaluation (``h(value)``) and vectorized
+evaluation over numpy arrays (``h.hash_array(values)``), and expose
+``h.hash_all(k)``: the image of the whole input domain, which is what the
+server needs in order to compute support counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._validation import as_rng, require_domain_size, require_int_at_least
+from ..exceptions import ParameterError
+from ..rng import RngLike
+
+__all__ = [
+    "HashFunction",
+    "UniversalHashFamily",
+    "MultiplyShiftHashFamily",
+    "PolynomialHashFamily",
+    "TabulationHashFamily",
+    "BlakeHashFamily",
+    "family_from_name",
+]
+
+#: Mersenne prime 2^61 - 1, used as the field size of the polynomial family.
+_MERSENNE_61 = (1 << 61) - 1
+
+
+class HashFunction(ABC):
+    """A single hash function ``h : [0..k) -> [0..g)``."""
+
+    #: Size of the output range.
+    g: int
+
+    def __call__(self, value: int) -> int:
+        """Hash a single value."""
+        return int(self.hash_array(np.asarray([value], dtype=np.int64))[0])
+
+    @abstractmethod
+    def hash_array(self, values: np.ndarray) -> np.ndarray:
+        """Hash a numpy array of values element-wise, returning int64 hashes."""
+
+    def hash_all(self, k: int) -> np.ndarray:
+        """Return the hashes of the full input domain ``0, 1, ..., k - 1``."""
+        return self.hash_array(np.arange(int(k), dtype=np.int64))
+
+    @property
+    @abstractmethod
+    def identity(self) -> Tuple:
+        """A hashable tuple of parameters uniquely identifying this function."""
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashFunction):
+            return NotImplemented
+        return type(self) is type(other) and self.identity == other.identity
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.identity))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(g={self.g}, identity={self.identity})"
+
+
+class UniversalHashFamily(ABC):
+    """A family of hash functions from which clients sample uniformly."""
+
+    def __init__(self, g: int) -> None:
+        self.g = require_domain_size(g, "g", minimum=2)
+
+    @abstractmethod
+    def sample(self, rng: RngLike = None) -> HashFunction:
+        """Draw a uniformly random member of the family."""
+
+    @property
+    def name(self) -> str:
+        """Short family name used in configuration files and reports."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(g={self.g})"
+
+
+@dataclass(frozen=True)
+class _MultiplyShiftFunction(HashFunction):
+    """Dietzfelbinger multiply-shift: ``h(x) = ((a*x + b) mod 2^64) >> (64 - log2(m))``
+    reduced to ``[0..g)`` by a final modulo."""
+
+    a: int
+    b: int
+    g: int
+
+    def hash_array(self, values: np.ndarray) -> np.ndarray:
+        x = np.asarray(values, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = (np.uint64(self.a) * x + np.uint64(self.b))
+        # Take the high 32 bits before reducing: the high bits of a
+        # multiply-shift product are the (near-)uniform ones.
+        high = (mixed >> np.uint64(32)).astype(np.int64)
+        return high % np.int64(self.g)
+
+    @property
+    def identity(self) -> Tuple:
+        return (self.a, self.b, self.g)
+
+
+class MultiplyShiftHashFamily(UniversalHashFamily):
+    """2-universal multiply-shift family for 64-bit integer keys."""
+
+    def sample(self, rng: RngLike = None) -> HashFunction:
+        generator = as_rng(rng)
+        # ``a`` must be odd for the multiply-shift scheme.
+        a = int(generator.integers(1, 2**63, dtype=np.uint64)) * 2 + 1
+        b = int(generator.integers(0, 2**63, dtype=np.uint64))
+        return _MultiplyShiftFunction(a=a & (2**64 - 1), b=b, g=self.g)
+
+
+@dataclass(frozen=True)
+class _PolynomialFunction(HashFunction):
+    """Polynomial hashing over the field GF(2^61 - 1), reduced modulo ``g``."""
+
+    coefficients: Tuple[int, ...]
+    g: int
+
+    def hash_array(self, values: np.ndarray) -> np.ndarray:
+        x = np.asarray(values, dtype=np.object_) % _MERSENNE_61
+        acc = np.zeros(x.shape, dtype=np.object_)
+        # Horner evaluation with python ints (exact arithmetic; the domain
+        # sizes used by LDP protocols keep this fast enough).
+        for coef in self.coefficients:
+            acc = (acc * x + coef) % _MERSENNE_61
+        return (acc % self.g).astype(np.int64)
+
+    @property
+    def identity(self) -> Tuple:
+        return (self.coefficients, self.g)
+
+
+class PolynomialHashFamily(UniversalHashFamily):
+    """``degree``-independent polynomial family modulo a Mersenne prime."""
+
+    def __init__(self, g: int, degree: int = 2) -> None:
+        super().__init__(g)
+        self.degree = require_int_at_least(degree, 1, "degree")
+
+    def sample(self, rng: RngLike = None) -> HashFunction:
+        generator = as_rng(rng)
+        coefficients = [int(generator.integers(0, _MERSENNE_61)) for _ in range(self.degree + 1)]
+        # Ensure the leading coefficient is non-zero so the degree is exact.
+        if coefficients[0] == 0:
+            coefficients[0] = 1
+        return _PolynomialFunction(coefficients=tuple(coefficients), g=self.g)
+
+
+@dataclass(frozen=True)
+class _TabulationFunction(HashFunction):
+    """Simple tabulation hashing over four 16-bit characters of the key."""
+
+    tables: Tuple[Tuple[int, ...], ...]
+    g: int
+
+    def hash_array(self, values: np.ndarray) -> np.ndarray:
+        x = np.asarray(values, dtype=np.uint64)
+        out = np.zeros(x.shape, dtype=np.uint64)
+        for chunk_index, table in enumerate(self.tables):
+            chunk = ((x >> np.uint64(16 * chunk_index)) & np.uint64(0xFFFF)).astype(np.int64)
+            out ^= np.asarray(table, dtype=np.uint64)[chunk]
+        return (out % np.uint64(self.g)).astype(np.int64)
+
+    @property
+    def identity(self) -> Tuple:
+        # The tables are large; identify by a digest of their bytes.
+        digest = hashlib.blake2b(
+            b"".join(np.asarray(t, dtype=np.uint64).tobytes() for t in self.tables),
+            digest_size=16,
+        ).hexdigest()
+        return (digest, self.g)
+
+
+class TabulationHashFamily(UniversalHashFamily):
+    """Simple tabulation hashing (Zobrist hashing) with four 16-bit chunks."""
+
+    n_chunks = 4
+
+    def sample(self, rng: RngLike = None) -> HashFunction:
+        generator = as_rng(rng)
+        tables = tuple(
+            tuple(int(v) for v in generator.integers(0, 2**63, size=2**16, dtype=np.uint64))
+            for _ in range(self.n_chunks)
+        )
+        return _TabulationFunction(tables=tables, g=self.g)
+
+
+@dataclass(frozen=True)
+class _BlakeFunction(HashFunction):
+    """Seeded BLAKE2b hashing, reduced modulo ``g``.
+
+    Mirrors the seeded xxhash construction used by the reference LOLOHA and
+    pure-LDP implementations: the seed plays the role of the hash-function
+    identifier transmitted to the server.
+    """
+
+    seed: int
+    g: int
+    _cache: dict = field(default_factory=dict, compare=False, repr=False, hash=False)
+
+    def _hash_one(self, value: int) -> int:
+        cached = self._cache.get(value)
+        if cached is not None:
+            return cached
+        payload = int(value).to_bytes(8, "little", signed=False)
+        salt = int(self.seed).to_bytes(8, "little", signed=False)
+        digest = hashlib.blake2b(payload, digest_size=8, salt=salt + b"\x00" * 8).digest()
+        result = int.from_bytes(digest, "little") % self.g
+        self._cache[value] = result
+        return result
+
+    def hash_array(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=np.int64).ravel()
+        out = np.fromiter((self._hash_one(int(v)) for v in flat), dtype=np.int64, count=flat.size)
+        return out.reshape(np.asarray(values).shape)
+
+    @property
+    def identity(self) -> Tuple:
+        return (self.seed, self.g)
+
+
+class BlakeHashFamily(UniversalHashFamily):
+    """Seeded cryptographic hash family (BLAKE2b)."""
+
+    def sample(self, rng: RngLike = None) -> HashFunction:
+        generator = as_rng(rng)
+        seed = int(generator.integers(0, 2**63 - 1))
+        return _BlakeFunction(seed=seed, g=self.g)
+
+
+_FAMILY_REGISTRY = {
+    "multiply-shift": MultiplyShiftHashFamily,
+    "polynomial": PolynomialHashFamily,
+    "tabulation": TabulationHashFamily,
+    "blake": BlakeHashFamily,
+}
+
+
+def family_from_name(name: str, g: int, **kwargs) -> UniversalHashFamily:
+    """Instantiate a hash family by its registry name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"multiply-shift"``, ``"polynomial"``, ``"tabulation"``,
+        ``"blake"``.
+    g:
+        Output range size.
+    kwargs:
+        Extra family-specific arguments (e.g. ``degree`` for the polynomial
+        family).
+    """
+    try:
+        cls = _FAMILY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_FAMILY_REGISTRY))
+        raise ParameterError(f"unknown hash family {name!r}; known families: {known}") from None
+    return cls(g, **kwargs)

@@ -1,0 +1,90 @@
+"""L-GRR: chained Generalized Randomized Response (Section 2.4.3).
+
+The user's value is perturbed once with GRR at budget ``eps_inf`` (permanent
+round, memoized per distinct value) and the memoized symbol is re-perturbed
+with a second GRR at every collection round so that the chain satisfies
+``eps_1`` on the first report.  L-GRR is the strongest baseline for small
+domains but degrades quickly as ``k`` grows (its variance depends on ``k``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_rng, validate_value_in_domain
+from ..freq_oneshot.grr import grr_perturb_array
+from ..rng import RngLike
+from .base import LongitudinalClient, LongitudinalProtocol
+from .memoization import MemoizationTable
+from .parameters import ChainedParameters, l_grr_parameters
+
+__all__ = ["LGRR", "LGRRClient"]
+
+
+class LGRRClient(LongitudinalClient):
+    """Per-user L-GRR state: one memoized GRR output per distinct true value."""
+
+    def __init__(self, protocol: "LGRR") -> None:
+        super().__init__(protocol)
+        self._memo = MemoizationTable(max_keys=protocol.k)
+
+    def report(self, value: int, rng: RngLike = None) -> int:
+        """Produce the round's report for ``value`` (an integer in ``[0..k)``)."""
+        value = validate_value_in_domain(value, self.protocol.k)
+        generator = as_rng(rng)
+        params = self.protocol.chained_parameters
+
+        def permanent() -> int:
+            return int(
+                grr_perturb_array(
+                    np.asarray([value]), self.protocol.k, params.p1, generator
+                )[0]
+            )
+
+        memoized, _ = self._memo.get_or_create(value, permanent)
+        instantaneous = grr_perturb_array(
+            np.asarray([memoized]), self.protocol.k, params.p2, generator
+        )[0]
+        return int(instantaneous)
+
+    @property
+    def distinct_memoized(self) -> int:
+        return self._memo.distinct_keys
+
+    @property
+    def memoization_keys(self) -> tuple:
+        return self._memo.first_use_order
+
+
+class LGRR(LongitudinalProtocol):
+    """Longitudinal GRR protocol (L-GRR)."""
+
+    name = "L-GRR"
+
+    def __init__(self, k: int, eps_inf: float, eps_1: float) -> None:
+        super().__init__(k, eps_inf, eps_1)
+        self._params = l_grr_parameters(eps_inf, eps_1, k)
+
+    @property
+    def chained_parameters(self) -> ChainedParameters:
+        return self._params
+
+    @property
+    def budget_domain_size(self) -> int:
+        """Worst case: one permanent randomization per distinct value."""
+        return self.k
+
+    @property
+    def communication_bits(self) -> float:
+        """A report is a single symbol of the original domain."""
+        return float(np.ceil(np.log2(self.k)))
+
+    def create_client(self, rng: RngLike = None) -> LGRRClient:
+        return LGRRClient(self)
+
+    def support_counts(self, reports: Sequence[int]) -> np.ndarray:
+        """Support counts are symbol occurrence counts."""
+        reports = np.asarray(reports, dtype=np.int64)
+        return np.bincount(reports, minlength=self.k).astype(np.float64)

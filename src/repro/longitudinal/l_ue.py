@@ -1,0 +1,150 @@
+"""Longitudinal Unary Encoding protocols: L-SUE (RAPPOR), L-OSUE, L-OUE, L-SOUE.
+
+All four chain two unary-encoding perturbations (Section 2.4.1 / 2.4.2): the
+permanent round memoizes a noisy ``k``-bit vector per distinct true value and
+the instantaneous round re-flips every bit of the memoized vector at each
+collection round.  They differ only in which ``(p, q)`` shapes are used in the
+two rounds:
+
+=========  ==================  =====================
+Protocol   Permanent round      Instantaneous round
+=========  ==================  =====================
+L-SUE      symmetric (SUE)      symmetric (SUE)
+L-OSUE     optimal (OUE)        symmetric (SUE)
+L-OUE      optimal (OUE)        optimal-shaped (OUE)
+L-SOUE     symmetric (SUE)      optimal-shaped (OUE)
+=========  ==================  =====================
+
+``RAPPOR`` is provided as an alias of :class:`LSUE` — the paper refers to the
+utility-oriented RAPPOR configuration as L-SUE.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_rng, validate_value_in_domain
+from ..exceptions import EncodingError
+from ..freq_oneshot.unary_encoding import one_hot, ue_perturb_matrix
+from ..rng import RngLike
+from .base import LongitudinalClient, LongitudinalProtocol
+from .memoization import MemoizationTable
+from .parameters import (
+    ChainedParameters,
+    l_osue_parameters,
+    l_oue_parameters,
+    l_soue_parameters,
+    l_sue_parameters,
+)
+
+__all__ = ["LongitudinalUnaryEncoding", "LUEClient", "LSUE", "RAPPOR", "LOSUE", "LOUE", "LSOUE"]
+
+
+class LUEClient(LongitudinalClient):
+    """Per-user state of a longitudinal UE protocol.
+
+    Memoizes, per distinct true value, the permanently randomized ``k``-bit
+    vector; every report re-perturbs that vector with the instantaneous round.
+    """
+
+    def __init__(self, protocol: "LongitudinalUnaryEncoding") -> None:
+        super().__init__(protocol)
+        self._memo = MemoizationTable(max_keys=protocol.k)
+
+    def report(self, value: int, rng: RngLike = None) -> np.ndarray:
+        """Produce the round's report for ``value`` (a ``k``-bit 0/1 vector)."""
+        value = validate_value_in_domain(value, self.protocol.k)
+        generator = as_rng(rng)
+        params = self.protocol.chained_parameters
+
+        def permanent() -> np.ndarray:
+            encoded = one_hot(np.asarray([value]), self.protocol.k)
+            return ue_perturb_matrix(encoded, params.p1, params.q1, generator)[0]
+
+        memoized, _ = self._memo.get_or_create(value, permanent)
+        return ue_perturb_matrix(
+            memoized.reshape(1, -1), params.p2, params.q2, generator
+        )[0]
+
+    @property
+    def distinct_memoized(self) -> int:
+        return self._memo.distinct_keys
+
+    @property
+    def memoization_keys(self) -> tuple:
+        return self._memo.first_use_order
+
+
+class LongitudinalUnaryEncoding(LongitudinalProtocol):
+    """Generic longitudinal UE protocol parameterized by a chain derivation."""
+
+    name = "L-UE"
+    _parameter_factory: Callable[[float, float], ChainedParameters] = staticmethod(
+        l_sue_parameters
+    )
+
+    def __init__(self, k: int, eps_inf: float, eps_1: float) -> None:
+        super().__init__(k, eps_inf, eps_1)
+        self._params = type(self)._parameter_factory(eps_inf, eps_1)
+
+    @property
+    def chained_parameters(self) -> ChainedParameters:
+        return self._params
+
+    @property
+    def budget_domain_size(self) -> int:
+        """Worst case: one permanent randomization per distinct value."""
+        return self.k
+
+    @property
+    def communication_bits(self) -> float:
+        """A report is a full ``k``-bit vector."""
+        return float(self.k)
+
+    def create_client(self, rng: RngLike = None) -> LUEClient:
+        return LUEClient(self)
+
+    def support_counts(self, reports: Sequence) -> np.ndarray:
+        """Column sums of the stacked report matrix."""
+        matrix = np.asarray(reports)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.shape[1] != self.k:
+            raise EncodingError(
+                f"longitudinal UE reports must have {self.k} bits, got {matrix.shape[1]}"
+            )
+        return matrix.sum(axis=0).astype(np.float64)
+
+
+class LSUE(LongitudinalUnaryEncoding):
+    """L-SUE: the utility-oriented RAPPOR protocol (SUE chained with SUE)."""
+
+    name = "RAPPOR"
+    _parameter_factory = staticmethod(l_sue_parameters)
+
+
+#: The paper uses "RAPPOR" for the L-SUE configuration; expose both names.
+RAPPOR = LSUE
+
+
+class LOSUE(LongitudinalUnaryEncoding):
+    """L-OSUE: OUE permanent round chained with an SUE instantaneous round."""
+
+    name = "L-OSUE"
+    _parameter_factory = staticmethod(l_osue_parameters)
+
+
+class LOUE(LongitudinalUnaryEncoding):
+    """L-OUE: OUE-shaped randomization in both rounds."""
+
+    name = "L-OUE"
+    _parameter_factory = staticmethod(l_oue_parameters)
+
+
+class LSOUE(LongitudinalUnaryEncoding):
+    """L-SOUE: SUE permanent round chained with an OUE-shaped instantaneous round."""
+
+    name = "L-SOUE"
+    _parameter_factory = staticmethod(l_soue_parameters)

@@ -1,0 +1,71 @@
+"""Selection of LOLOHA's hashed-domain size ``g``.
+
+``optimal_g`` implements Eq. (6) of the paper: the closed-form minimizer of the
+approximate variance V* (Eq. 5) with respect to ``g``, expressed in terms of
+``a = e^{eps_inf}`` and ``b = e^{alpha * eps_inf}``.  ``optimal_g_numeric``
+minimizes Eq. (5) by direct search and is used as an independent cross-check
+in the test suite and in the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .._validation import require_epsilon_pair, require_int_at_least
+from ..exceptions import ParameterError
+from .parameters import loloha_parameters
+from .variance import approximate_variance
+
+__all__ = ["optimal_g", "optimal_g_numeric"]
+
+
+def optimal_g(eps_inf: float, eps_1: float) -> int:
+    """Closed-form optimal ``g`` for OLOLOHA, Eq. (6) of the paper.
+
+    .. math::
+
+        g = 1 + \\max\\Big(1,\\Big\\lfloor
+            \\frac{1 - a^2 + \\sqrt{a^4 - 14a^2 + 12ab(1 - ab) + 12a^3 b + 1}}
+                 {6(a - b)}
+        \\Big\\rceil\\Big)
+
+    with ``a = e^{eps_inf}`` and ``b = e^{eps_1}`` (``eps_1 = alpha *
+    eps_inf``), and where ``⌊·⌉`` denotes rounding to the closest integer.
+    The result is always at least 2 (binary LOLOHA).
+    """
+    eps_1, eps_inf = require_epsilon_pair(eps_1, eps_inf)
+    a = math.exp(eps_inf)
+    b = math.exp(eps_1)
+    discriminant = a**4 - 14.0 * a**2 + 12.0 * a * b * (1.0 - a * b) + 12.0 * a**3 * b + 1.0
+    if discriminant < 0:
+        # Should not happen for valid (eps_inf, eps_1) pairs, but guard anyway:
+        # fall back to the strongest-privacy choice.
+        return 2
+    ratio = (1.0 - a**2 + math.sqrt(discriminant)) / (6.0 * (a - b))
+    rounded = int(math.floor(ratio + 0.5))
+    return 1 + max(1, rounded)
+
+
+def optimal_g_numeric(
+    eps_inf: float, eps_1: float, n: int = 10_000, g_max: int = 512
+) -> int:
+    """Optimal ``g`` by direct minimization of the approximate variance (Eq. 5).
+
+    Scans ``g`` in ``[2, g_max]`` and returns the variance minimizer.  Used to
+    validate the closed-form selection of :func:`optimal_g` (the two agree up
+    to rounding at the boundary between consecutive integers).
+    """
+    eps_1, eps_inf = require_epsilon_pair(eps_1, eps_inf)
+    n = require_int_at_least(n, 1, "n")
+    g_max = require_int_at_least(g_max, 2, "g_max")
+    best_g: Optional[int] = None
+    best_variance = math.inf
+    for g in range(2, g_max + 1):
+        variance = approximate_variance(loloha_parameters(eps_inf, eps_1, g), n)
+        if variance < best_variance - 1e-18:
+            best_variance = variance
+            best_g = g
+    if best_g is None:  # pragma: no cover - g_max >= 2 guarantees a result
+        raise ParameterError("failed to locate an optimal g")
+    return best_g

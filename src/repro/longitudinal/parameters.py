@@ -1,0 +1,263 @@
+"""Chained-randomization parameter derivations for longitudinal protocols.
+
+Every memoization-based protocol in the paper perturbs the user's (encoded)
+value twice:
+
+* a **permanent randomized response** (PRR) with parameters ``(p1, q1)``,
+  executed once per distinct memoization key and controlling the longitudinal
+  budget ``eps_inf``;
+* an **instantaneous randomized response** (IRR) with parameters ``(p2, q2)``,
+  executed at every collection round and tuned so that the *chained* protocol
+  satisfies the first-report budget ``eps_1 < eps_inf``.
+
+This module derives ``(p1, q1, p2, q2)`` for each protocol from
+``(eps_inf, eps_1)`` — the formulas of Sections 2.4 and 3 of the paper — and
+packages them as :class:`ChainedParameters`, which also records the ``q``
+value used by the server-side estimator (for local hashing the estimator uses
+the collision probability ``1/g`` instead of the GRR ``q1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .._validation import require_domain_size, require_epsilon_pair
+from ..exceptions import ParameterError
+
+__all__ = [
+    "ChainedParameters",
+    "chained_bit_epsilon",
+    "l_grr_parameters",
+    "l_sue_parameters",
+    "l_osue_parameters",
+    "l_oue_parameters",
+    "l_soue_parameters",
+    "loloha_parameters",
+    "loloha_irr_epsilon",
+]
+
+
+@dataclass(frozen=True)
+class ChainedParameters:
+    """Parameters of a two-round (PRR + IRR) randomization chain.
+
+    Attributes
+    ----------
+    p1, q1:
+        Permanent randomized response keep / flip probabilities.
+    p2, q2:
+        Instantaneous randomized response keep / flip probabilities.
+    eps_inf:
+        Longitudinal (upper-bound) privacy budget realized by the PRR step.
+    eps_1:
+        First-report privacy budget realized by the full chain.
+    q1_estimation:
+        The ``q1`` value used by the unbiased estimator of Eq. (3).  It equals
+        ``q1`` for every protocol except local hashing, where the estimator
+        uses the universal-hash collision probability ``1/g``.
+    """
+
+    p1: float
+    q1: float
+    p2: float
+    q2: float
+    eps_inf: float
+    eps_1: float
+    q1_estimation: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("p1", "q1", "p2", "q2"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0) or not math.isfinite(value):
+                raise ParameterError(f"{name} must be a probability, got {value!r}")
+        if self.p1 <= self.q1:
+            raise ParameterError(f"p1 must exceed q1, got p1={self.p1}, q1={self.q1}")
+        if self.p2 <= self.q2:
+            raise ParameterError(f"p2 must exceed q2, got p2={self.p2}, q2={self.q2}")
+
+    @property
+    def estimator_q1(self) -> float:
+        """The ``q1`` fed to the estimator (``q1_estimation`` when provided)."""
+        return self.q1 if self.q1_estimation is None else self.q1_estimation
+
+    @property
+    def ps(self) -> float:
+        """End-to-end probability that a supported symbol/bit survives the chain."""
+        return self.p1 * self.p2 + (1.0 - self.p1) * self.q2
+
+    @property
+    def qs(self) -> float:
+        """End-to-end probability that an unsupported symbol/bit is reported."""
+        return self.q1 * self.p2 + (1.0 - self.q1) * self.q2
+
+    def as_tuple(self) -> tuple:
+        """Return ``(p1, q1, p2, q2)``."""
+        return (self.p1, self.q1, self.p2, self.q2)
+
+
+def _check_domain_budget(eps_1: float, eps_inf: float) -> tuple:
+    return require_epsilon_pair(eps_1, eps_inf)
+
+
+# --------------------------------------------------------------------------- #
+# GRR chains (L-GRR and LOLOHA's chain over the hashed domain)
+# --------------------------------------------------------------------------- #
+def l_grr_parameters(eps_inf: float, eps_1: float, k: int) -> ChainedParameters:
+    """Chained GRR parameters over a domain of size ``k`` (Section 2.4.3).
+
+    PRR: ``p1 = e^{eps_inf} / (e^{eps_inf} + k - 1)``.
+    IRR: ``p2 = (e^{eps_inf + eps_1} - 1) /
+    ((k - 1)(e^{eps_inf} - e^{eps_1}) + e^{eps_inf + eps_1} - 1)``.
+    """
+    eps_1, eps_inf = _check_domain_budget(eps_1, eps_inf)
+    k = require_domain_size(k, "k")
+    a = math.exp(eps_inf)
+    b = math.exp(eps_1)
+    p1 = a / (a + k - 1)
+    q1 = (1.0 - p1) / (k - 1)
+    numerator = a * b - 1.0
+    denominator = (k - 1) * (a - b) + a * b - 1.0
+    p2 = numerator / denominator
+    q2 = (1.0 - p2) / (k - 1)
+    return ChainedParameters(p1=p1, q1=q1, p2=p2, q2=q2, eps_inf=eps_inf, eps_1=eps_1)
+
+
+def loloha_irr_epsilon(eps_inf: float, eps_1: float) -> float:
+    """The IRR budget of LOLOHA's second GRR round (Algorithm 1, line 3):
+    ``eps_IRR = ln((e^{eps_inf + eps_1} - 1) / (e^{eps_inf} - e^{eps_1}))``."""
+    eps_1, eps_inf = _check_domain_budget(eps_1, eps_inf)
+    a = math.exp(eps_inf)
+    b = math.exp(eps_1)
+    return math.log((a * b - 1.0) / (a - b))
+
+
+def loloha_parameters(eps_inf: float, eps_1: float, g: int) -> ChainedParameters:
+    """LOLOHA parameters over the hashed domain of size ``g`` (Section 3).
+
+    The chain is exactly the L-GRR chain with ``k`` replaced by ``g``; the
+    only difference is that the estimator uses ``q1' = 1/g`` (the universal
+    hashing collision probability) instead of the PRR ``q1``.
+    """
+    g = require_domain_size(g, "g")
+    params = l_grr_parameters(eps_inf, eps_1, g)
+    return ChainedParameters(
+        p1=params.p1,
+        q1=params.q1,
+        p2=params.p2,
+        q2=params.q2,
+        eps_inf=eps_inf,
+        eps_1=eps_1,
+        q1_estimation=1.0 / g,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Unary-encoding chains (RAPPOR / L-SUE, L-OSUE, L-OUE, L-SOUE)
+# --------------------------------------------------------------------------- #
+def l_sue_parameters(eps_inf: float, eps_1: float) -> ChainedParameters:
+    """L-SUE (= utility-oriented RAPPOR): SUE permanent round + SUE instantaneous round.
+
+    PRR: ``p1 = e^{eps_inf/2} / (e^{eps_inf/2} + 1)``, ``q1 = 1 - p1``.
+    IRR (symmetric, ``q2 = 1 - p2``): chosen so the chained bit flip satisfies
+    ``eps_1``, which gives
+    ``p2 = (e^{(eps_inf + eps_1)/2} - 1) / ((e^{eps_1/2} + 1)(e^{eps_inf/2} - 1))``.
+    """
+    eps_1, eps_inf = _check_domain_budget(eps_1, eps_inf)
+    half_inf = math.exp(eps_inf / 2.0)
+    half_one = math.exp(eps_1 / 2.0)
+    p1 = half_inf / (half_inf + 1.0)
+    q1 = 1.0 - p1
+    p2 = (half_inf * half_one - 1.0) / ((half_one + 1.0) * (half_inf - 1.0))
+    q2 = 1.0 - p2
+    return ChainedParameters(p1=p1, q1=q1, p2=p2, q2=q2, eps_inf=eps_inf, eps_1=eps_1)
+
+
+def l_osue_parameters(eps_inf: float, eps_1: float) -> ChainedParameters:
+    """L-OSUE: OUE permanent round + SUE instantaneous round (Section 2.4.2).
+
+    PRR: ``p1 = 1/2``, ``q1 = 1/(e^{eps_inf} + 1)``.
+    IRR (symmetric): ``p2 = (e^{eps_inf + eps_1} - 1) /
+    (e^{eps_inf} - e^{eps_1} + e^{eps_inf + eps_1} - 1)``.
+    """
+    eps_1, eps_inf = _check_domain_budget(eps_1, eps_inf)
+    a = math.exp(eps_inf)
+    b = math.exp(eps_1)
+    p1 = 0.5
+    q1 = 1.0 / (a + 1.0)
+    p2 = (a * b - 1.0) / (a - b + a * b - 1.0)
+    q2 = 1.0 - p2
+    return ChainedParameters(p1=p1, q1=q1, p2=p2, q2=q2, eps_inf=eps_inf, eps_1=eps_1)
+
+
+def chained_bit_epsilon(p1: float, q1: float, p2: float, q2: float) -> float:
+    """Realized first-report budget of a two-round bit-flipping chain.
+
+    ``eps_1 = ln( ps (1 - qs) / ((1 - ps) qs) )`` with the end-to-end
+    probabilities ``ps = p1 p2 + (1 - p1) q2`` and ``qs = q1 p2 + (1 - q1) q2``.
+    """
+    ps = p1 * p2 + (1.0 - p1) * q2
+    qs = q1 * p2 + (1.0 - q1) * q2
+    if not (0.0 < qs < 1.0 and 0.0 < ps < 1.0) or ps <= qs:
+        raise ParameterError(
+            f"invalid chained probabilities ps={ps}, qs={qs}; the chain must keep ps > qs"
+        )
+    return math.log(ps * (1.0 - qs) / ((1.0 - ps) * qs))
+
+
+def _solve_irr_q2(p1: float, q1: float, p2: float, eps_1: float) -> float:
+    """Solve for the IRR flip probability ``q2`` (with ``p2`` fixed) such that
+    the chained bit flip realizes ``eps_1``.
+
+    The realized budget is strictly decreasing in ``q2`` on ``(0, p2)``, so a
+    bisection is exact up to floating-point tolerance.  Raises
+    :class:`ParameterError` when even the most accurate choice (``q2 -> 0``)
+    cannot reach ``eps_1``.
+    """
+    low, high = 1e-12, p2 - 1e-12
+    eps_at_low = chained_bit_epsilon(p1, q1, p2, low)
+    if eps_at_low < eps_1:
+        raise ParameterError(
+            f"the requested first-report budget eps_1={eps_1} is unreachable for this "
+            f"chain (maximum achievable is {eps_at_low:.6f}); decrease eps_1 or alpha"
+        )
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if chained_bit_epsilon(p1, q1, p2, mid) > eps_1:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def l_oue_parameters(eps_inf: float, eps_1: float) -> ChainedParameters:
+    """L-OUE: OUE in both the permanent and instantaneous rounds.
+
+    PRR: ``p1 = 1/2``, ``q1 = 1/(e^{eps_inf} + 1)``.
+    IRR keeps the OUE shape (``p2 = 1/2``) and the flip probability ``q2`` is
+    solved numerically so the chained bit flip satisfies ``eps_1``.
+    """
+    eps_1, eps_inf = _check_domain_budget(eps_1, eps_inf)
+    a = math.exp(eps_inf)
+    p1 = 0.5
+    q1 = 1.0 / (a + 1.0)
+    p2 = 0.5
+    q2 = _solve_irr_q2(p1, q1, p2, eps_1)
+    return ChainedParameters(p1=p1, q1=q1, p2=p2, q2=q2, eps_inf=eps_inf, eps_1=eps_1)
+
+
+def l_soue_parameters(eps_inf: float, eps_1: float) -> ChainedParameters:
+    """L-SOUE: SUE permanent round + OUE-shaped instantaneous round.
+
+    PRR: ``p1 = e^{eps_inf/2}/(e^{eps_inf/2} + 1)``, ``q1 = 1 - p1``.
+    IRR fixes ``p2 = 1/2`` and the flip probability ``q2`` is solved
+    numerically from the chained-budget equation.
+    """
+    eps_1, eps_inf = _check_domain_budget(eps_1, eps_inf)
+    half_inf = math.exp(eps_inf / 2.0)
+    p1 = half_inf / (half_inf + 1.0)
+    q1 = 1.0 - p1
+    p2 = 0.5
+    q2 = _solve_irr_q2(p1, q1, p2, eps_1)
+    return ChainedParameters(p1=p1, q1=q1, p2=p2, q2=q2, eps_inf=eps_inf, eps_1=eps_1)

@@ -1,0 +1,59 @@
+"""Longitudinal collection simulation: population engines, metrics and sweeps.
+
+The paper's empirical results (Figures 3 and 4, Table 2) are produced by
+simulating the full client/server loop over a longitudinal dataset:
+
+1. every user is given a protocol client (with its per-user randomness such
+   as the LOLOHA hash function or the dBitFlipPM sampled buckets);
+2. at every round ``t`` each user sanitizes its current value and the server
+   estimates the round's histogram;
+3. utility is scored with the round-averaged MSE of Eq. (7) and privacy with
+   the population-averaged realized budget of Eq. (8).
+
+Two execution paths are provided:
+
+* the *reference* path drives the per-user client objects of
+  :mod:`repro.longitudinal` directly (clear, used by the tests);
+* the *vectorized* path (:mod:`repro.simulation.engines`) re-implements each
+  protocol's client population with numpy batch operations and is used by the
+  experiment harness, where populations of tens of thousands of users are
+  simulated for hundreds of rounds.
+
+Both paths implement exactly the same protocols; a cross-validation test
+checks that they agree statistically.
+"""
+
+from .engines import (
+    DBitFlipEngine,
+    GRRChainEngine,
+    LOLOHAEngine,
+    PopulationEngine,
+    UnaryChainEngine,
+    engine_for,
+)
+from .metrics import (
+    averaged_longitudinal_privacy_loss,
+    averaged_mse,
+    mse_per_round,
+    worst_case_privacy_loss,
+)
+from .runner import SimulationResult, simulate_protocol, simulate_with_clients
+from .sweep import SweepPoint, run_sweep
+
+__all__ = [
+    "PopulationEngine",
+    "GRRChainEngine",
+    "UnaryChainEngine",
+    "DBitFlipEngine",
+    "LOLOHAEngine",
+    "engine_for",
+    "mse_per_round",
+    "averaged_mse",
+    "averaged_longitudinal_privacy_loss",
+    "worst_case_privacy_loss",
+    "SimulationResult",
+    "simulate_protocol",
+    "simulate_with_clients",
+    "SweepPoint",
+    "run_sweep",
+]

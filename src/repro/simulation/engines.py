@@ -1,0 +1,316 @@
+"""Vectorized population engines for large-scale longitudinal simulation.
+
+Driving one Python client object per user is the clearest way to run a
+protocol, but for the paper-sized populations (up to 45k users over 260
+rounds) the per-call overhead dominates.  Each engine in this module
+re-implements one protocol family's *entire client population* with numpy
+batch operations while preserving the exact same randomized behaviour:
+
+* the permanent randomization of each (user, memoization key) pair is
+  executed exactly once and reused afterwards (memoization);
+* the instantaneous randomization is re-drawn at every round;
+* per-user privacy consumption (number of distinct memoization keys) is
+  tracked for the ``eps_avg`` metric.
+
+Every engine exposes the same two-method protocol:
+
+``run_round(values_t, rng) -> support_counts``
+    Process one collection round for all users and return the support counts
+    the server aggregates for that round.
+
+``distinct_memoized_per_user() -> np.ndarray``
+    Per-user count of permanently randomized keys so far.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from .._validation import as_rng, require_int_at_least
+from ..exceptions import ExperimentError, ParameterError
+from ..longitudinal.base import LongitudinalProtocol, longitudinal_estimate
+from ..longitudinal.dbitflip import DBitFlipPM
+from ..longitudinal.l_grr import LGRR
+from ..longitudinal.l_ue import LongitudinalUnaryEncoding
+from ..longitudinal.loloha import LOLOHA
+from ..rng import RngLike
+
+__all__ = [
+    "PopulationEngine",
+    "GRRChainEngine",
+    "UnaryChainEngine",
+    "DBitFlipEngine",
+    "LOLOHAEngine",
+    "engine_for",
+]
+
+
+def _grr_perturb(values: np.ndarray, domain: int, keep_probability: float, rng) -> np.ndarray:
+    """Vectorized GRR over ``[0..domain)`` (same semantics as the client code)."""
+    keep = rng.random(values.shape) < keep_probability
+    noise = rng.integers(0, domain - 1, size=values.shape)
+    noise = noise + (noise >= values)
+    return np.where(keep, values, noise).astype(values.dtype)
+
+
+class PopulationEngine(ABC):
+    """Base class: a vectorized population of clients for one protocol."""
+
+    def __init__(self, protocol: LongitudinalProtocol, n_users: int, rng: RngLike = None) -> None:
+        self.protocol = protocol
+        self.n_users = require_int_at_least(n_users, 1, "n_users")
+        self._rng = as_rng(rng)
+
+    @abstractmethod
+    def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Process one round of values (one per user) and return support counts."""
+
+    @abstractmethod
+    def distinct_memoized_per_user(self) -> np.ndarray:
+        """Per-user number of permanently randomized memoization keys."""
+
+    def estimate_round(
+        self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Run one round and return the unbiased frequency estimate (Eq. 3)."""
+        counts = self.run_round(values_t, rng)
+        return longitudinal_estimate(counts, self.n_users, self.protocol.chained_parameters)
+
+    def _validate_round(self, values_t: np.ndarray) -> np.ndarray:
+        values_t = np.asarray(values_t, dtype=np.int64)
+        if values_t.shape != (self.n_users,):
+            raise ExperimentError(
+                f"expected one value per user (shape ({self.n_users},)), got {values_t.shape}"
+            )
+        if values_t.min() < 0 or values_t.max() >= self.protocol.k:
+            raise ExperimentError(
+                f"round values must lie in [0, {self.protocol.k})"
+            )
+        return values_t
+
+    def _round_rng(self, rng: Optional[np.random.Generator]) -> np.random.Generator:
+        return self._rng if rng is None else as_rng(rng)
+
+
+class GRRChainEngine(PopulationEngine):
+    """Vectorized population for :class:`repro.longitudinal.LGRR`."""
+
+    def __init__(self, protocol: LGRR, n_users: int, rng: RngLike = None) -> None:
+        if not isinstance(protocol, LGRR):
+            raise ParameterError("GRRChainEngine requires an LGRR protocol")
+        super().__init__(protocol, n_users, rng)
+        # memo[u, v] is the permanently randomized symbol for value v of user
+        # u, or -1 when the pair has not been memoized yet.
+        self._memo = np.full((n_users, protocol.k), -1, dtype=np.int32)
+
+    def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        values_t = self._validate_round(values_t)
+        generator = self._round_rng(rng)
+        params = self.protocol.chained_parameters
+        users = np.arange(self.n_users)
+
+        memoized = self._memo[users, values_t]
+        missing = memoized < 0
+        if missing.any():
+            fresh = _grr_perturb(values_t[missing], self.protocol.k, params.p1, generator)
+            self._memo[users[missing], values_t[missing]] = fresh
+            memoized = self._memo[users, values_t]
+
+        reports = _grr_perturb(memoized.astype(np.int64), self.protocol.k, params.p2, generator)
+        return np.bincount(reports, minlength=self.protocol.k).astype(np.float64)
+
+    def distinct_memoized_per_user(self) -> np.ndarray:
+        return (self._memo >= 0).sum(axis=1)
+
+
+class UnaryChainEngine(PopulationEngine):
+    """Vectorized population for the longitudinal UE protocols.
+
+    The permanently randomized ``k``-bit vectors are stored per (user, value)
+    pair in a dictionary of packed rows, generated lazily the first time the
+    pair occurs.
+    """
+
+    def __init__(
+        self, protocol: LongitudinalUnaryEncoding, n_users: int, rng: RngLike = None
+    ) -> None:
+        if not isinstance(protocol, LongitudinalUnaryEncoding):
+            raise ParameterError("UnaryChainEngine requires a longitudinal UE protocol")
+        super().__init__(protocol, n_users, rng)
+        self._memo: dict = {}
+        self._distinct = np.zeros(n_users, dtype=np.int64)
+
+    def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        values_t = self._validate_round(values_t)
+        generator = self._round_rng(rng)
+        params = self.protocol.chained_parameters
+        k = self.protocol.k
+
+        # Assemble the memoized matrix for this round, creating missing rows.
+        missing_users = [u for u in range(self.n_users) if (u, values_t[u]) not in self._memo]
+        if missing_users:
+            missing_users_arr = np.asarray(missing_users)
+            missing_values = values_t[missing_users_arr]
+            encoded = np.zeros((missing_users_arr.size, k), dtype=np.uint8)
+            encoded[np.arange(missing_users_arr.size), missing_values] = 1
+            keep_probability = np.where(encoded == 1, params.p1, params.q1)
+            fresh = (generator.random(encoded.shape) < keep_probability).astype(np.uint8)
+            for row, user, value in zip(fresh, missing_users, missing_values):
+                self._memo[(user, int(value))] = np.packbits(row)
+                self._distinct[user] += 1
+
+        memo_matrix = np.empty((self.n_users, k), dtype=np.uint8)
+        for user in range(self.n_users):
+            memo_matrix[user] = np.unpackbits(
+                self._memo[(user, int(values_t[user]))], count=k
+            )
+
+        keep_probability = np.where(memo_matrix == 1, params.p2, params.q2)
+        reports = generator.random(memo_matrix.shape) < keep_probability
+        return reports.sum(axis=0).astype(np.float64)
+
+    def distinct_memoized_per_user(self) -> np.ndarray:
+        return self._distinct.copy()
+
+
+class DBitFlipEngine(PopulationEngine):
+    """Vectorized population for :class:`repro.longitudinal.DBitFlipPM`.
+
+    Beyond the support counts this engine records, per user, the sequence of
+    memoized responses actually sent — which is what the data-change
+    detection attack of Table 2 observes.
+    """
+
+    def __init__(self, protocol: DBitFlipPM, n_users: int, rng: RngLike = None) -> None:
+        if not isinstance(protocol, DBitFlipPM):
+            raise ParameterError("DBitFlipEngine requires a DBitFlipPM protocol")
+        super().__init__(protocol, n_users, rng)
+        d, b = protocol.d, protocol.b
+        # Sampled buckets, fixed per user (without replacement).
+        self.sampled_buckets = np.empty((n_users, d), dtype=np.int64)
+        for user in range(n_users):
+            self.sampled_buckets[user] = self._rng.choice(b, size=d, replace=False)
+        # Memoized bits per (user, indicator key); key d means "no sampled
+        # bucket matches".  A value of 255 marks a not-yet-memoized key.
+        self._memo_bits = np.full((n_users, d + 1, d), 255, dtype=np.uint8)
+        self._distinct = np.zeros(n_users, dtype=np.int64)
+        #: Per-round memoization keys used by each user (filled by run_round);
+        #: consumed by the change-detection attack.
+        self.key_history: list = []
+
+    def _indicator_keys(self, buckets: np.ndarray) -> np.ndarray:
+        """Position of each user's current bucket among its sampled buckets, or d."""
+        matches = self.sampled_buckets == buckets[:, None]
+        keys = np.full(self.n_users, self.protocol.d, dtype=np.int64)
+        matched_users, matched_positions = np.nonzero(matches)
+        keys[matched_users] = matched_positions
+        return keys
+
+    def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        values_t = self._validate_round(values_t)
+        generator = self._round_rng(rng)
+        p, q = self.protocol.bit_probabilities
+        d = self.protocol.d
+
+        buckets = self.protocol.bucket_of(values_t)
+        keys = self._indicator_keys(buckets)
+        self.key_history.append(keys.copy())
+
+        users = np.arange(self.n_users)
+        current = self._memo_bits[users, keys]
+        missing = (current == 255).any(axis=1)
+        if missing.any():
+            missing_users = users[missing]
+            missing_keys = keys[missing]
+            # Bit l is the indicator of "my bucket is my l-th sampled bucket";
+            # it is kept with probability p exactly when l equals the key.
+            positions = np.arange(d)[None, :]
+            is_true_bit = positions == missing_keys[:, None]
+            probabilities = np.where(is_true_bit, p, q)
+            fresh = (generator.random((missing_users.size, d)) < probabilities).astype(np.uint8)
+            self._memo_bits[missing_users, missing_keys] = fresh
+            self._distinct[missing_users] += 1
+            current = self._memo_bits[users, keys]
+
+        counts = np.zeros(self.protocol.b, dtype=np.float64)
+        np.add.at(counts, self.sampled_buckets.ravel(), current.ravel())
+        return counts
+
+    def estimate_round(
+        self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """dBitFlipPM uses the one-round estimator with effective n = n d / b."""
+        counts = self.run_round(values_t, rng)
+        p, q = self.protocol.bit_probabilities
+        effective_n = max(self.n_users * self.protocol.d / self.protocol.b, 1e-12)
+        return (counts - effective_n * q) / (effective_n * (p - q))
+
+    def distinct_memoized_per_user(self) -> np.ndarray:
+        return self._distinct.copy()
+
+    def memoized_bits(self, user: int, key: int) -> Optional[np.ndarray]:
+        """The memoized response of ``user`` for indicator ``key`` (or ``None``)."""
+        bits = self._memo_bits[user, key]
+        if (bits == 255).any():
+            return None
+        return bits.copy()
+
+
+class LOLOHAEngine(PopulationEngine):
+    """Vectorized population for :class:`repro.longitudinal.LOLOHA`."""
+
+    def __init__(self, protocol: LOLOHA, n_users: int, rng: RngLike = None) -> None:
+        if not isinstance(protocol, LOLOHA):
+            raise ParameterError("LOLOHAEngine requires a LOLOHA protocol")
+        super().__init__(protocol, n_users, rng)
+        # Pre-hash the whole domain for every user's hash function; this is
+        # the per-user table Algorithm 2 needs for the support counts.
+        domain_dtype = np.int16 if protocol.g < 2**15 else np.int32
+        self.hashed_domain = np.empty((n_users, protocol.k), dtype=domain_dtype)
+        for user in range(n_users):
+            hash_function = protocol.family.sample(self._rng)
+            self.hashed_domain[user] = hash_function.hash_all(protocol.k).astype(domain_dtype)
+        # memo[u, x] is the permanently randomized symbol for hash value x.
+        self._memo = np.full((n_users, protocol.g), -1, dtype=np.int32)
+
+    def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        values_t = self._validate_round(values_t)
+        generator = self._round_rng(rng)
+        params = self.protocol.chained_parameters
+        g = self.protocol.g
+        users = np.arange(self.n_users)
+
+        hashed = self.hashed_domain[users, values_t].astype(np.int64)
+        memoized = self._memo[users, hashed]
+        missing = memoized < 0
+        if missing.any():
+            fresh = _grr_perturb(hashed[missing], g, params.p1, generator)
+            self._memo[users[missing], hashed[missing]] = fresh
+            memoized = self._memo[users, hashed]
+
+        reports = _grr_perturb(memoized.astype(np.int64), g, params.p2, generator)
+        support = self.hashed_domain == reports[:, None].astype(self.hashed_domain.dtype)
+        return support.sum(axis=0, dtype=np.float64)
+
+    def distinct_memoized_per_user(self) -> np.ndarray:
+        return (self._memo >= 0).sum(axis=1)
+
+
+def engine_for(
+    protocol: LongitudinalProtocol, n_users: int, rng: RngLike = None
+) -> PopulationEngine:
+    """Instantiate the vectorized engine matching ``protocol``'s family."""
+    if isinstance(protocol, LOLOHA):
+        return LOLOHAEngine(protocol, n_users, rng)
+    if isinstance(protocol, LGRR):
+        return GRRChainEngine(protocol, n_users, rng)
+    if isinstance(protocol, LongitudinalUnaryEncoding):
+        return UnaryChainEngine(protocol, n_users, rng)
+    if isinstance(protocol, DBitFlipPM):
+        return DBitFlipEngine(protocol, n_users, rng)
+    raise ParameterError(
+        f"no vectorized engine is registered for protocol type {type(protocol).__name__}"
+    )

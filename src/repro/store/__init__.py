@@ -1,0 +1,14 @@
+"""Storage helpers: a columnar in-memory report store and a results store.
+
+* :class:`ReportStore` accumulates sanitized reports per round in columnar
+  numpy buffers, which is how a real collection server would stage reports
+  before aggregation.
+* :class:`ResultsStore` persists experiment outputs (sweep points, figure
+  series, table rows) to JSON / CSV files so benchmark runs can be inspected
+  and compared after the fact.
+"""
+
+from .report_store import ReportStore, RoundBatch
+from .results_store import ResultsStore
+
+__all__ = ["ReportStore", "RoundBatch", "ResultsStore"]

@@ -1,0 +1,120 @@
+"""Columnar in-memory staging area for sanitized reports.
+
+A collection server receives one report per user per round.  The
+:class:`ReportStore` groups reports by round, keeps them in compact numpy
+buffers and hands complete rounds to the protocol's aggregator.  It is used
+by the examples to show what a deployment's ingestion path looks like, and it
+gives the tests a place to exercise out-of-order and partial-round arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import AggregationError
+
+__all__ = ["RoundBatch", "ReportStore"]
+
+
+@dataclass
+class RoundBatch:
+    """All reports received for one collection round.
+
+    Attributes
+    ----------
+    round_index:
+        The collection round the batch belongs to.
+    reports:
+        The raw reports in arrival order (protocol-specific objects).
+    user_ids:
+        The submitting users, aligned with ``reports``.
+    """
+
+    round_index: int
+    reports: List[object]
+    user_ids: List[int]
+
+    @property
+    def n_reports(self) -> int:
+        """Number of reports in the batch."""
+        return len(self.reports)
+
+
+class ReportStore:
+    """Accumulates sanitized reports grouped by collection round.
+
+    Parameters
+    ----------
+    expected_users:
+        When provided, :meth:`is_round_complete` compares against this count
+        and :meth:`add` rejects duplicate submissions from the same user in
+        the same round.
+    """
+
+    def __init__(self, expected_users: Optional[int] = None) -> None:
+        self.expected_users = expected_users
+        self._rounds: Dict[int, RoundBatch] = {}
+        self._seen: Dict[int, set] = {}
+
+    def add(self, round_index: int, user_id: int, report: object) -> None:
+        """Register one report from ``user_id`` for ``round_index``."""
+        if round_index < 0:
+            raise AggregationError(f"round_index must be non-negative, got {round_index}")
+        seen = self._seen.setdefault(round_index, set())
+        if user_id in seen:
+            raise AggregationError(
+                f"user {user_id} already submitted a report for round {round_index}"
+            )
+        seen.add(user_id)
+        batch = self._rounds.setdefault(
+            round_index, RoundBatch(round_index=round_index, reports=[], user_ids=[])
+        )
+        batch.reports.append(report)
+        batch.user_ids.append(user_id)
+
+    def add_round(self, round_index: int, reports: Sequence[object]) -> None:
+        """Register a full round of reports at once (users numbered 0..n-1)."""
+        for user_id, report in enumerate(reports):
+            self.add(round_index, user_id, report)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def rounds(self) -> List[int]:
+        """Round indices with at least one report, in increasing order."""
+        return sorted(self._rounds)
+
+    def batch(self, round_index: int) -> RoundBatch:
+        """The batch for ``round_index`` (raises if no report was received)."""
+        try:
+            return self._rounds[round_index]
+        except KeyError:
+            raise AggregationError(f"no reports received for round {round_index}") from None
+
+    def n_reports(self, round_index: int) -> int:
+        """Number of reports received for ``round_index`` (0 if none)."""
+        batch = self._rounds.get(round_index)
+        return 0 if batch is None else batch.n_reports
+
+    def is_round_complete(self, round_index: int) -> bool:
+        """Whether every expected user has reported for ``round_index``."""
+        if self.expected_users is None:
+            raise AggregationError(
+                "is_round_complete requires the store to be built with expected_users"
+            )
+        return self.n_reports(round_index) >= self.expected_users
+
+    def iter_complete_rounds(self) -> Iterator[RoundBatch]:
+        """Iterate over batches that have reached the expected user count."""
+        for round_index in self.rounds():
+            if self.expected_users is None or self.is_round_complete(round_index):
+                yield self._rounds[round_index]
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReportStore(rounds={len(self._rounds)}, expected_users={self.expected_users})"

@@ -1,0 +1,115 @@
+"""Persistence of experiment results to JSON and CSV files.
+
+Every experiment harness in :mod:`repro.experiments` can hand its output to a
+:class:`ResultsStore`, which writes one JSON document per experiment plus an
+optional flat CSV for spreadsheet-style inspection.  The store never
+overwrites silently: re-saving an experiment requires ``overwrite=True``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..exceptions import ExperimentError
+
+__all__ = ["ResultsStore"]
+
+
+class ResultsStore:
+    """Directory-backed store for experiment outputs.
+
+    Parameters
+    ----------
+    root:
+        Directory in which result files are written (created on demand).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def _path(self, experiment_id: str, suffix: str) -> Path:
+        safe = experiment_id.replace("/", "_").replace(" ", "_").lower()
+        return self.root / f"{safe}.{suffix}"
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def save_json(
+        self, experiment_id: str, payload: Dict[str, object], overwrite: bool = False
+    ) -> Path:
+        """Persist ``payload`` as ``<experiment_id>.json`` and return the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(experiment_id, "json")
+        if path.exists() and not overwrite:
+            raise ExperimentError(
+                f"{path} already exists; pass overwrite=True to replace it"
+            )
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=_jsonify)
+        return path
+
+    def save_rows(
+        self,
+        experiment_id: str,
+        rows: Sequence[Dict[str, object]],
+        overwrite: bool = False,
+    ) -> Path:
+        """Persist a list of flat dictionaries as ``<experiment_id>.csv``."""
+        if not rows:
+            raise ExperimentError("cannot save an empty row list")
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(experiment_id, "csv")
+        if path.exists() and not overwrite:
+            raise ExperimentError(
+                f"{path} already exists; pass overwrite=True to replace it"
+            )
+        fieldnames = list(rows[0].keys())
+        for row in rows:
+            if list(row.keys()) != fieldnames:
+                raise ExperimentError("all rows must share the same columns")
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def load_json(self, experiment_id: str) -> Dict[str, object]:
+        """Load a previously saved JSON document."""
+        path = self._path(experiment_id, "json")
+        if not path.exists():
+            raise ExperimentError(f"no saved results found at {path}")
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def load_rows(self, experiment_id: str) -> List[Dict[str, str]]:
+        """Load a previously saved CSV as a list of string-valued dictionaries."""
+        path = self._path(experiment_id, "csv")
+        if not path.exists():
+            raise ExperimentError(f"no saved results found at {path}")
+        with path.open("r", encoding="utf-8", newline="") as handle:
+            return list(csv.DictReader(handle))
+
+    def list_experiments(self) -> List[str]:
+        """Identifiers of every experiment with a saved JSON document."""
+        if not self.root.exists():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+
+def _jsonify(value: object) -> object:
+    """JSON encoder fallback for numpy scalars and arrays."""
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    raise TypeError(f"object of type {type(value).__name__} is not JSON serializable")

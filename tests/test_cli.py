@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure3_accepts_dataset_choices(self):
+        args = build_parser().parse_args(["figure3", "--dataset", "syn", "adult"])
+        assert args.dataset == ["syn", "adult"]
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure3", "--dataset", "imaginary"])
+
+    def test_grid_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.eps == [0.5, 2.0, 5.0]
+        assert args.alpha == [0.5]
+
+
+class TestCommands:
+    def test_datasets_summary(self, capsys):
+        assert main(["datasets", "--scale", "0.01", "--seed", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "syn" in output and "adult" in output
+
+    def test_figure1_command(self, capsys):
+        assert main(["figure1", "--eps", "0.5", "2.0", "--alpha", "0.5"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_figure2_command(self, capsys):
+        assert main(["figure2", "--eps", "0.5", "2.0", "--alpha", "0.4"]) == 0
+        assert "OLOLOHA" in capsys.readouterr().out
+
+    def test_table1_command_with_save(self, capsys, tmp_path):
+        code = main(["table1", "--k", "100", "--eps-inf", "2.0", "--output-dir", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert list(tmp_path.glob("*.csv"))
+
+    def test_figure3_command_small(self, capsys, tmp_path):
+        code = main(
+            [
+                "figure3",
+                "--dataset", "syn",
+                "--eps", "0.5", "2.0",
+                "--alpha", "0.5",
+                "--scale", "0.02",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "MSE_avg" in output
+        assert list(tmp_path.glob("figure3.csv"))
+
+    def test_table2_command_small(self, capsys):
+        code = main(
+            ["table2", "--dataset", "syn", "--eps", "0.5", "--alpha", "0.5", "--scale", "0.02"]
+        )
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out

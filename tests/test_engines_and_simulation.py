@@ -1,0 +1,196 @@
+"""Tests for the vectorized population engines and the simulation runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError, ParameterError
+from repro.longitudinal import BiLOLOHA, DBitFlipPM, LGRR, LOSUE, LSUE, OLOLOHA
+from repro.simulation import (
+    DBitFlipEngine,
+    GRRChainEngine,
+    LOLOHAEngine,
+    UnaryChainEngine,
+    engine_for,
+    simulate_protocol,
+    simulate_with_clients,
+)
+from repro.simulation.metrics import averaged_mse
+from repro.simulation.sweep import run_sweep
+
+
+class TestEngineDispatch:
+    def test_engine_for_each_protocol_family(self):
+        assert isinstance(engine_for(LGRR(10, 2.0, 1.0), 5), GRRChainEngine)
+        assert isinstance(engine_for(LSUE(10, 2.0, 1.0), 5), UnaryChainEngine)
+        assert isinstance(engine_for(BiLOLOHA(10, 2.0, 1.0), 5), LOLOHAEngine)
+        assert isinstance(engine_for(DBitFlipPM(10, 2.0), 5), DBitFlipEngine)
+
+    def test_engine_type_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            GRRChainEngine(LSUE(10, 2.0, 1.0), 5)
+        with pytest.raises(ParameterError):
+            LOLOHAEngine(LGRR(10, 2.0, 1.0), 5)
+
+    def test_round_shape_validation(self):
+        engine = engine_for(LGRR(10, 2.0, 1.0), 5, rng=0)
+        with pytest.raises(ExperimentError):
+            engine.run_round(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ExperimentError):
+            engine.run_round(np.full(5, 10, dtype=np.int64))
+
+
+class TestEngineMemoization:
+    def test_grr_engine_counts_distinct_values(self):
+        protocol = LGRR(6, 2.0, 1.0)
+        engine = GRRChainEngine(protocol, 4, rng=0)
+        rounds = np.asarray(
+            [
+                [0, 1, 2, 3],
+                [0, 1, 2, 3],
+                [1, 1, 3, 3],
+            ]
+        )
+        for values in rounds:
+            engine.run_round(values)
+        assert list(engine.distinct_memoized_per_user()) == [2, 1, 2, 1]
+
+    def test_loloha_engine_budget_bounded_by_g(self):
+        protocol = BiLOLOHA(50, 2.0, 1.0)
+        engine = LOLOHAEngine(protocol, 20, rng=0)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            engine.run_round(rng.integers(0, 50, size=20))
+        assert engine.distinct_memoized_per_user().max() <= 2
+
+    def test_ue_engine_counts_distinct_values(self):
+        protocol = LOSUE(5, 2.0, 1.0)
+        engine = UnaryChainEngine(protocol, 3, rng=0)
+        engine.run_round(np.asarray([0, 1, 2]))
+        engine.run_round(np.asarray([0, 2, 2]))
+        assert list(engine.distinct_memoized_per_user()) == [1, 2, 1]
+
+    def test_dbitflip_engine_budget_bounded(self):
+        protocol = DBitFlipPM(40, 2.0, b=10, d=2)
+        engine = DBitFlipEngine(protocol, 15, rng=0)
+        rng = np.random.default_rng(2)
+        for _ in range(12):
+            engine.run_round(rng.integers(0, 40, size=15))
+        assert engine.distinct_memoized_per_user().max() <= 3
+
+    def test_dbitflip_key_history_recorded(self):
+        protocol = DBitFlipPM(40, 2.0, b=10, d=2)
+        engine = DBitFlipEngine(protocol, 15, rng=0)
+        engine.run_round(np.zeros(15, dtype=np.int64))
+        engine.run_round(np.full(15, 39, dtype=np.int64))
+        assert len(engine.key_history) == 2
+        assert engine.key_history[0].shape == (15,)
+
+
+class TestEngineVsClients:
+    """The engines must agree statistically with the reference client path."""
+
+    @pytest.mark.parametrize(
+        "protocol_factory",
+        [
+            lambda k: LGRR(k, 3.0, 1.5),
+            lambda k: LSUE(k, 3.0, 1.5),
+            lambda k: OLOLOHA(k, 3.0, 1.5),
+        ],
+        ids=["L-GRR", "RAPPOR", "OLOLOHA"],
+    )
+    def test_engine_matches_client_path(self, protocol_factory, tiny_dataset):
+        engine_result = simulate_protocol(protocol_factory(tiny_dataset.k), tiny_dataset, rng=0)
+        client_result = simulate_with_clients(
+            protocol_factory(tiny_dataset.k), tiny_dataset, rng=0
+        )
+        # Same memoization structure (depends only on the value sequences).
+        if isinstance(protocol_factory(tiny_dataset.k), (LGRR, LSUE)):
+            assert np.array_equal(
+                np.sort(engine_result.distinct_memoized_per_user),
+                np.sort(client_result.distinct_memoized_per_user),
+            )
+        # Similar error level (both unbiased with the same variance).
+        assert engine_result.mse_avg < 8 * client_result.mse_avg + 0.05
+        assert client_result.mse_avg < 8 * engine_result.mse_avg + 0.05
+
+
+class TestSimulationRunner:
+    def test_result_shapes(self, small_dataset):
+        result = simulate_protocol(OLOLOHA(small_dataset.k, 2.0, 1.0), small_dataset, rng=0)
+        assert result.estimates.shape == (small_dataset.n_rounds, small_dataset.k)
+        assert result.true_frequencies.shape == result.estimates.shape
+        assert result.mse_by_round.shape == (small_dataset.n_rounds,)
+        assert result.mse_avg == pytest.approx(
+            averaged_mse(result.estimates, result.true_frequencies)
+        )
+
+    def test_eps_avg_bounded_by_worst_case_for_loloha(self, small_dataset):
+        result = simulate_protocol(BiLOLOHA(small_dataset.k, 2.0, 1.0), small_dataset, rng=0)
+        assert result.eps_avg <= result.worst_case_budget + 1e-9
+
+    def test_dbitflip_estimates_bucket_histogram(self, small_dataset):
+        protocol = DBitFlipPM(small_dataset.k, 2.0, b=6, d=6)
+        result = simulate_protocol(protocol, small_dataset, rng=0)
+        assert result.estimates.shape == (small_dataset.n_rounds, 6)
+        assert np.allclose(result.true_frequencies.sum(axis=1), 1.0)
+
+    def test_domain_mismatch_rejected(self, small_dataset):
+        with pytest.raises(ExperimentError):
+            simulate_protocol(OLOLOHA(small_dataset.k + 1, 2.0, 1.0), small_dataset, rng=0)
+
+    def test_loloha_more_private_than_rappor_on_changing_data(self, small_dataset):
+        rappor = simulate_protocol(LSUE(small_dataset.k, 2.0, 1.0), small_dataset, rng=1)
+        loloha = simulate_protocol(BiLOLOHA(small_dataset.k, 2.0, 1.0), small_dataset, rng=1)
+        assert loloha.eps_avg < rappor.eps_avg
+
+    def test_reproducible_with_same_seed(self, tiny_dataset):
+        a = simulate_protocol(OLOLOHA(tiny_dataset.k, 2.0, 1.0), tiny_dataset, rng=5)
+        b = simulate_protocol(OLOLOHA(tiny_dataset.k, 2.0, 1.0), tiny_dataset, rng=5)
+        assert np.allclose(a.estimates, b.estimates)
+        assert a.mse_avg == pytest.approx(b.mse_avg)
+
+
+class TestSweep:
+    def test_sweep_grid_size_and_ordering(self, tiny_dataset):
+        factories = {
+            "OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1),
+            "RAPPOR": lambda k, e, e1: LSUE(k, e, e1),
+        }
+        points = run_sweep(
+            factories, tiny_dataset, eps_inf_values=[1.0, 2.0], alpha_values=[0.5], n_runs=2, rng=0
+        )
+        assert len(points) == 4
+        assert all(len(point.runs) == 2 for point in points)
+        assert {point.protocol_name for point in points} == {"OLOLOHA", "RAPPOR"}
+
+    def test_sweep_requires_valid_alpha(self, tiny_dataset):
+        with pytest.raises(ExperimentError):
+            run_sweep(
+                {"OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1)},
+                tiny_dataset,
+                eps_inf_values=[1.0],
+                alpha_values=[1.5],
+            )
+
+    def test_sweep_requires_protocols(self, tiny_dataset):
+        with pytest.raises(ExperimentError):
+            run_sweep({}, tiny_dataset, eps_inf_values=[1.0], alpha_values=[0.5])
+
+    def test_sweep_mse_decreases_with_budget(self, small_dataset):
+        factories = {"OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1)}
+        points = run_sweep(
+            factories, small_dataset, eps_inf_values=[0.5, 4.0], alpha_values=[0.5], rng=1
+        )
+        low_budget = next(p for p in points if p.eps_inf == 0.5)
+        high_budget = next(p for p in points if p.eps_inf == 4.0)
+        assert high_budget.mse_avg < low_budget.mse_avg
+
+    def test_keep_runs_false_drops_details(self, tiny_dataset):
+        points = run_sweep(
+            {"RAPPOR": lambda k, e, e1: LSUE(k, e, e1)},
+            tiny_dataset,
+            eps_inf_values=[1.0],
+            alpha_values=[0.5],
+            keep_runs=False,
+        )
+        assert points[0].runs == []

@@ -1,0 +1,192 @@
+"""Tests for the experiment harnesses (Figures 1-4, Tables 1-2) at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_uniform_changing
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    ExperimentConfig,
+    QUICK_CONFIG,
+    format_figure1,
+    format_figure2,
+    format_figure3,
+    format_figure4,
+    format_table1,
+    format_table2,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.empirical import dbitflip_bucket_count, paper_protocol_factories
+from repro.experiments.report import ascii_curve, format_table
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return QUICK_CONFIG.scaled(
+        eps_inf_values=(0.5, 2.0),
+        alpha_values=(0.5,),
+        n_runs=1,
+        dataset_scale=0.02,
+        datasets=("syn",),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_named_datasets():
+    dataset = make_uniform_changing(
+        k=24, n_users=300, n_rounds=6, change_probability=0.3, name="syn", rng=0
+    )
+    return {"syn": dataset}
+
+
+class TestConfig:
+    def test_scaled_returns_modified_copy(self):
+        config = QUICK_CONFIG.scaled(n_runs=3)
+        assert config.n_runs == 3
+        assert QUICK_CONFIG.n_runs == 1
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(alpha_values=(1.2,))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(eps_inf_values=())
+
+
+class TestFigure1:
+    def test_series_shapes(self, tiny_config):
+        result = run_figure1(tiny_config, alpha_values=(0.3, 0.6), include_numeric=False)
+        assert set(result.closed_form) == {0.3, 0.6}
+        assert len(result.closed_form[0.3]) == len(tiny_config.eps_inf_values)
+
+    def test_numeric_cross_check_close(self, tiny_config):
+        result = run_figure1(tiny_config, alpha_values=(0.5,), include_numeric=True)
+        for closed, numeric in zip(result.closed_form[0.5], result.numeric[0.5]):
+            assert abs(closed - numeric) <= 1
+
+    def test_high_alpha_curves_dominate(self, tiny_config):
+        result = run_figure1(tiny_config, alpha_values=(0.1, 0.6), include_numeric=False)
+        for low, high in zip(result.closed_form[0.1], result.closed_form[0.6]):
+            assert high >= low
+
+    def test_formatting_and_rows(self, tiny_config):
+        result = run_figure1(tiny_config, alpha_values=(0.5,), include_numeric=False)
+        assert "Figure 1" in format_figure1(result)
+        assert len(result.rows()) == len(tiny_config.eps_inf_values)
+
+
+class TestFigure2:
+    def test_grid_contains_paper_protocols(self, tiny_config):
+        result = run_figure2(tiny_config, alpha_values=(0.5,))
+        assert set(result.variances) == {"L-OSUE", "OLOLOHA", "RAPPOR", "BiLOLOHA"}
+
+    def test_variance_decreasing_in_eps(self, tiny_config):
+        result = run_figure2(tiny_config, alpha_values=(0.5,))
+        for protocol, per_alpha in result.variances.items():
+            values = per_alpha[0.5]
+            assert values[0] > values[-1]
+
+    def test_formatting(self, tiny_config):
+        result = run_figure2(tiny_config, alpha_values=(0.5,))
+        rendered = format_figure2(result, alpha=0.5)
+        assert "Figure 2" in rendered
+        assert "OLOLOHA" in rendered
+
+
+class TestFigure3And4:
+    def test_figure3_structure_and_shape(self, tiny_config, tiny_named_datasets):
+        result = run_figure3(tiny_config, datasets=tiny_named_datasets)
+        series = result.series("syn", 0.5)
+        assert "OLOLOHA" in series and "RAPPOR" in series
+        assert len(series["OLOLOHA"]) == len(tiny_config.eps_inf_values)
+        # Utility improves (MSE drops) as the budget grows.
+        for values in series.values():
+            assert values[-1] <= values[0] * 1.5
+
+    def test_figure3_rows_and_formatting(self, tiny_config, tiny_named_datasets):
+        result = run_figure3(tiny_config, datasets=tiny_named_datasets)
+        assert len(result.rows()) > 0
+        assert "MSE_avg" in format_figure3(result, "syn", 0.5)
+
+    def test_figure4_loloha_bounded_rappor_linear(self, tiny_config, tiny_named_datasets):
+        result = run_figure4(tiny_config, datasets=tiny_named_datasets)
+        series = result.series("syn", 0.5)
+        eps_values = tiny_config.eps_inf_values
+        for i, eps_inf in enumerate(eps_values):
+            assert series["BiLOLOHA"][i] <= 2 * eps_inf + 1e-9
+            assert series["RAPPOR"][i] >= series["BiLOLOHA"][i] - 1e-9
+
+    def test_figure4_formatting(self, tiny_config, tiny_named_datasets):
+        result = run_figure4(tiny_config, datasets=tiny_named_datasets)
+        assert "eps_avg" in format_figure4(result, "syn", 0.5)
+
+    def test_unknown_dataset_in_formatting_raises(self, tiny_config, tiny_named_datasets):
+        result = run_figure3(tiny_config, datasets=tiny_named_datasets)
+        with pytest.raises(ExperimentError):
+            format_figure3(result, "adult", 0.5)
+
+
+class TestTables:
+    def test_table1_budget_factors(self):
+        result = run_table1(k=360, n=10_000, eps_inf=2.0, alpha=0.5, d=1)
+        rows = {row["protocol"]: row for row in result.rows()}
+        assert rows["LOLOHA"]["budget_factor"] == result.g
+        assert rows["RAPPOR"]["budget_factor"] == 360
+        assert rows["dBitFlipPM"]["budget_factor"] == 2
+        assert "Table 1" in format_table1(result)
+
+    def test_table2_detection_contrast(self, tiny_config, tiny_named_datasets):
+        result = run_table2(tiny_config, datasets=tiny_named_datasets)
+        for i in range(len(tiny_config.eps_inf_values)):
+            assert result.detection["syn"]["d=b"][i] >= result.detection["syn"]["d=1"][i]
+        assert "Table 2" in format_table2(result)
+
+    def test_table2_rows_structure(self, tiny_config, tiny_named_datasets):
+        result = run_table2(tiny_config, datasets=tiny_named_datasets)
+        rows = result.rows()
+        assert len(rows) == len(tiny_config.eps_inf_values)
+        assert "syn d=1" in rows[0]
+
+
+class TestEmpiricalHelpers:
+    def test_bucket_count_rule(self):
+        assert dbitflip_bucket_count(360) == 360
+        assert dbitflip_bucket_count(1412) == 353
+        assert dbitflip_bucket_count(96) == 96
+
+    def test_factories_instantiate_protocols(self):
+        factories = paper_protocol_factories()
+        for name, factory in factories.items():
+            protocol = factory(24, 2.0, 1.0)
+            assert protocol.k == 24
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}]
+        rendered = format_table(rows)
+        assert "a" in rendered and "b" in rendered
+        assert len(rendered.splitlines()) == 4
+
+    def test_format_table_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            format_table([])
+
+    def test_ascii_curve_contains_legend(self):
+        rendered = ascii_curve([1, 2, 3], {"x": [1.0, 0.1, 0.01]}, title="demo")
+        assert "demo" in rendered
+        assert "legend" in rendered
+
+    def test_ascii_curve_validates_lengths(self):
+        with pytest.raises(ExperimentError):
+            ascii_curve([1, 2], {"x": [1.0]})
+
+    def test_ascii_curve_requires_series(self):
+        with pytest.raises(ExperimentError):
+            ascii_curve([1, 2], {})

@@ -1,0 +1,149 @@
+"""Tests for the universal hash families and their diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.hashing import (
+    BlakeHashFamily,
+    MultiplyShiftHashFamily,
+    PolynomialHashFamily,
+    TabulationHashFamily,
+    collision_rate,
+    empirical_universality,
+    family_from_name,
+    hashed_domain_histogram,
+    uniformity_chi_square,
+)
+
+ALL_FAMILIES = [
+    MultiplyShiftHashFamily,
+    PolynomialHashFamily,
+    TabulationHashFamily,
+    BlakeHashFamily,
+]
+
+
+@pytest.mark.parametrize("family_cls", ALL_FAMILIES)
+class TestFamilyBasics:
+    def test_outputs_in_range(self, family_cls):
+        family = family_cls(g=5)
+        function = family.sample(rng=0)
+        hashes = function.hash_all(200)
+        assert hashes.min() >= 0
+        assert hashes.max() < 5
+
+    def test_function_is_deterministic(self, family_cls):
+        family = family_cls(g=7)
+        function = family.sample(rng=1)
+        first = function.hash_all(100)
+        second = function.hash_all(100)
+        assert np.array_equal(first, second)
+
+    def test_scalar_and_vector_agree(self, family_cls):
+        family = family_cls(g=4)
+        function = family.sample(rng=2)
+        values = np.arange(50)
+        vectorized = function.hash_array(values)
+        scalars = np.asarray([function(int(v)) for v in values])
+        assert np.array_equal(vectorized, scalars)
+
+    def test_same_seed_same_function(self, family_cls):
+        family = family_cls(g=6)
+        a = family.sample(rng=3)
+        b = family.sample(rng=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_seeds_usually_differ(self, family_cls):
+        family = family_cls(g=6)
+        functions = {family.sample(rng=seed) for seed in range(8)}
+        assert len(functions) > 1
+
+    def test_rejects_domain_below_two(self, family_cls):
+        with pytest.raises(ParameterError):
+            family_cls(g=1)
+
+
+class TestUniversality:
+    @pytest.mark.parametrize("family_cls", [MultiplyShiftHashFamily, PolynomialHashFamily])
+    def test_empirical_universality_holds(self, family_cls):
+        family = family_cls(g=4)
+        report = empirical_universality(
+            family, k=64, n_functions=400, n_pairs=10, slack=4.0, rng=0
+        )
+        assert report.satisfied, (
+            f"max pair collision rate {report.max_pair_collision_rate} exceeded "
+            f"bound {report.bound}"
+        )
+
+    def test_collision_rate_close_to_inverse_g(self):
+        family = MultiplyShiftHashFamily(g=2)
+        rate = collision_rate(family, 3, 17, n_functions=2000, rng=1)
+        assert 0.35 <= rate <= 0.65
+
+    def test_collision_rate_requires_distinct_values(self):
+        family = MultiplyShiftHashFamily(g=2)
+        with pytest.raises(ValueError):
+            collision_rate(family, 5, 5)
+
+
+class TestUniformity:
+    def test_pooled_histogram_roughly_uniform(self):
+        family = MultiplyShiftHashFamily(g=8)
+        counts = hashed_domain_histogram(family, k=64, n_functions=200, rng=0)
+        statistic = uniformity_chi_square(counts)
+        # Degrees of freedom is 7; allow a generous multiple.
+        assert statistic < 20 * 7
+
+    def test_chi_square_of_empty_counts_is_zero(self):
+        assert uniformity_chi_square(np.zeros(4)) == 0.0
+
+    def test_chi_square_detects_gross_nonuniformity(self):
+        skewed = np.asarray([1000, 0, 0, 0])
+        assert uniformity_chi_square(skewed) > 100
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["multiply-shift", "polynomial", "tabulation", "blake"]
+    )
+    def test_family_from_name(self, name):
+        family = family_from_name(name, g=3)
+        assert family.g == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ParameterError):
+            family_from_name("md5", g=3)
+
+    def test_polynomial_accepts_degree(self):
+        family = family_from_name("polynomial", g=3, degree=3)
+        assert family.degree == 3
+
+
+class TestPropertyBased:
+    @given(
+        g=st.integers(min_value=2, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        values=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiply_shift_range_property(self, g, seed, values):
+        """Every hash output lies in [0, g) for arbitrary inputs and seeds."""
+        function = MultiplyShiftHashFamily(g).sample(rng=seed)
+        hashes = function.hash_array(np.asarray(values, dtype=np.int64))
+        assert hashes.min() >= 0
+        assert hashes.max() < g
+
+    @given(
+        g=st.integers(min_value=2, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        value=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_polynomial_determinism_property(self, g, seed, value):
+        """The same member function always maps a value to the same hash."""
+        function = PolynomialHashFamily(g).sample(rng=seed)
+        assert function(value) == function(value)

@@ -1,0 +1,197 @@
+"""Behavioural tests of the per-user clients of every longitudinal protocol."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError, EncodingError, ParameterError
+from repro.longitudinal import (
+    BiLOLOHA,
+    DBitFlipPM,
+    LGRR,
+    LOLOHA,
+    LOSUE,
+    LSUE,
+    OLOLOHA,
+)
+from repro.longitudinal.dbitflip import DBitFlipReport, equal_width_buckets
+from repro.longitudinal.loloha import LOLOHAReport
+
+
+class TestLGRRClient:
+    def test_reports_in_domain(self, rng):
+        protocol = LGRR(k=10, eps_inf=2.0, eps_1=1.0)
+        client = protocol.create_client(rng)
+        for value in (0, 3, 9):
+            assert 0 <= client.report(value, rng) < 10
+
+    def test_memoization_counts_distinct_values(self, rng):
+        protocol = LGRR(k=10, eps_inf=2.0, eps_1=1.0)
+        client = protocol.create_client(rng)
+        for value in (1, 1, 2, 2, 3, 1):
+            client.report(value, rng)
+        assert client.distinct_memoized == 3
+        assert client.realized_budget() == pytest.approx(3 * 2.0)
+
+    def test_out_of_domain_value_rejected(self, rng):
+        protocol = LGRR(k=10, eps_inf=2.0, eps_1=1.0)
+        client = protocol.create_client(rng)
+        with pytest.raises(DomainError):
+            client.report(10, rng)
+
+
+class TestLUEClient:
+    @pytest.mark.parametrize("protocol_cls", [LSUE, LOSUE])
+    def test_report_is_bit_vector(self, protocol_cls, rng):
+        protocol = protocol_cls(k=12, eps_inf=2.0, eps_1=1.0)
+        client = protocol.create_client(rng)
+        report = client.report(4, rng)
+        assert report.shape == (12,)
+        assert set(np.unique(report)).issubset({0, 1})
+
+    def test_memoization_keys_follow_first_use(self, rng):
+        protocol = LSUE(k=12, eps_inf=2.0, eps_1=1.0)
+        client = protocol.create_client(rng)
+        for value in (5, 2, 5, 7):
+            client.report(value, rng)
+        assert client.memoization_keys == (5, 2, 7)
+
+    def test_budget_bounded_by_domain(self, rng):
+        protocol = LOSUE(k=6, eps_inf=1.0, eps_1=0.5)
+        client = protocol.create_client(rng)
+        for _ in range(3):
+            for value in range(6):
+                client.report(value, rng)
+        assert client.distinct_memoized == 6
+        assert client.realized_budget() <= protocol.worst_case_budget()
+
+
+class TestLOLOHAClient:
+    def test_report_structure(self, rng):
+        protocol = LOLOHA(k=40, eps_inf=2.0, eps_1=1.0, g=4)
+        client = protocol.create_client(rng)
+        report = client.report(13, rng)
+        assert isinstance(report, LOLOHAReport)
+        assert 0 <= report.value < 4
+        assert report.hash_function is client.hash_function
+
+    def test_hash_function_is_fixed_across_reports(self, rng):
+        protocol = LOLOHA(k=40, eps_inf=2.0, eps_1=1.0, g=4)
+        client = protocol.create_client(rng)
+        reports = [client.report(v, rng) for v in (1, 2, 3, 4, 5)]
+        assert all(r.hash_function == reports[0].hash_function for r in reports)
+
+    def test_memoization_keyed_by_hash_value(self, rng):
+        protocol = LOLOHA(k=1000, eps_inf=2.0, eps_1=1.0, g=2)
+        client = protocol.create_client(rng)
+        # Even after reporting many distinct values, at most g keys are memoized.
+        for value in range(200):
+            client.report(value, rng)
+        assert client.distinct_memoized <= 2
+        assert client.realized_budget() <= protocol.worst_case_budget()
+
+    def test_default_g_is_optimal_choice(self):
+        from repro.longitudinal import optimal_g
+
+        protocol = LOLOHA(k=100, eps_inf=4.0, eps_1=2.4)
+        assert protocol.g == optimal_g(4.0, 2.4)
+
+    def test_biloloha_and_ololoha_presets(self):
+        assert BiLOLOHA(k=100, eps_inf=2.0, eps_1=1.0).g == 2
+        assert OLOLOHA(k=100, eps_inf=5.0, eps_1=3.0).g > 2
+
+    def test_irr_epsilon_between_budgets(self):
+        protocol = LOLOHA(k=100, eps_inf=2.0, eps_1=1.0, g=4)
+        assert 0 < protocol.irr_epsilon
+        assert protocol.irr_epsilon < protocol.eps_inf
+
+    def test_mismatched_family_rejected(self):
+        from repro.hashing import MultiplyShiftHashFamily
+
+        with pytest.raises(EncodingError):
+            LOLOHA(k=100, eps_inf=2.0, eps_1=1.0, g=4, family=MultiplyShiftHashFamily(8))
+
+    def test_communication_bits(self):
+        assert LOLOHA(k=100, eps_inf=2.0, eps_1=1.0, g=2).communication_bits == 1.0
+        assert LOLOHA(k=100, eps_inf=2.0, eps_1=1.0, g=8).communication_bits == 3.0
+
+
+class TestDBitFlipClient:
+    def test_report_structure(self, rng):
+        protocol = DBitFlipPM(k=30, eps_inf=2.0, b=10, d=3)
+        client = protocol.create_client(rng)
+        report = client.report(17, rng)
+        assert isinstance(report, DBitFlipReport)
+        assert len(report.sampled_buckets) == 3
+        assert set(report.bits).issubset({0, 1})
+
+    def test_sampled_buckets_fixed_forever(self, rng):
+        protocol = DBitFlipPM(k=30, eps_inf=2.0, b=10, d=3)
+        client = protocol.create_client(rng)
+        reports = [client.report(v, rng) for v in (0, 10, 20, 29)]
+        assert all(r.sampled_buckets == reports[0].sampled_buckets for r in reports)
+
+    def test_same_bucket_gives_identical_report(self, rng):
+        protocol = DBitFlipPM(k=100, eps_inf=2.0, b=10, d=5)
+        client = protocol.create_client(rng)
+        # Values 0 and 5 fall in bucket 0; the memoized response must be reused.
+        first = client.report(0, rng)
+        second = client.report(5, rng)
+        assert first.bits == second.bits
+
+    def test_memoization_bounded_by_d_plus_one(self, rng):
+        protocol = DBitFlipPM(k=60, eps_inf=2.0, b=20, d=2)
+        client = protocol.create_client(rng)
+        for value in range(0, 60, 3):
+            client.report(value, rng)
+        assert client.distinct_memoized <= 3
+        assert client.realized_budget() <= protocol.worst_case_budget()
+
+    def test_equal_width_bucketization(self):
+        buckets = equal_width_buckets(np.arange(10), k=10, b=5)
+        assert list(buckets) == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4]
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ParameterError):
+            DBitFlipPM(k=10, eps_inf=2.0, b=20)
+        with pytest.raises(ParameterError):
+            DBitFlipPM(k=10, eps_inf=2.0, b=5, d=6)
+        with pytest.raises(ParameterError):
+            DBitFlipPM(k=10, eps_inf=-1.0)
+
+    def test_name_with_d(self):
+        assert DBitFlipPM(k=10, eps_inf=1.0, d=1).name_with_d == "1BitFlipPM"
+        assert DBitFlipPM(k=10, eps_inf=1.0, d=10).name_with_d == "bBitFlipPM"
+
+    def test_bucket_frequencies_aggregation(self):
+        protocol = DBitFlipPM(k=4, eps_inf=1.0, b=2)
+        aggregated = protocol.bucket_frequencies(np.asarray([0.1, 0.2, 0.3, 0.4]))
+        assert np.allclose(aggregated, [0.3, 0.7])
+
+    def test_bucket_frequencies_validates_length(self):
+        protocol = DBitFlipPM(k=4, eps_inf=1.0, b=2)
+        with pytest.raises(EncodingError):
+            protocol.bucket_frequencies(np.asarray([0.5, 0.5]))
+
+
+class TestProtocolMetadata:
+    def test_worst_case_budget_table1(self):
+        assert LGRR(20, 2.0, 1.0).worst_case_budget() == pytest.approx(40.0)
+        assert LSUE(20, 2.0, 1.0).worst_case_budget() == pytest.approx(40.0)
+        assert BiLOLOHA(20, 2.0, 1.0).worst_case_budget() == pytest.approx(4.0)
+        assert DBitFlipPM(20, 2.0, d=1).worst_case_budget() == pytest.approx(4.0)
+        assert DBitFlipPM(20, 2.0, d=20).worst_case_budget() == pytest.approx(40.0)
+
+    def test_communication_bits_table1(self):
+        assert LSUE(20, 2.0, 1.0).communication_bits == 20.0
+        assert LGRR(20, 2.0, 1.0).communication_bits == 5.0
+        assert DBitFlipPM(20, 2.0, d=3).communication_bits == 3.0
+
+    def test_estimation_domain_size(self):
+        assert LSUE(20, 2.0, 1.0).estimation_domain_size == 20
+        assert DBitFlipPM(20, 2.0, b=5, d=1).estimation_domain_size == 5
+
+    def test_protocols_require_budget_ordering(self):
+        with pytest.raises(ParameterError):
+            LGRR(10, 1.0, 1.0)
+        with pytest.raises(ParameterError):
+            LOLOHA(10, 1.0, 2.0)

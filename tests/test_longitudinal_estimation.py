@@ -1,0 +1,127 @@
+"""Statistical tests of the longitudinal estimators (Eq. 3) across protocols."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError, EncodingError
+from repro.longitudinal import BiLOLOHA, DBitFlipPM, LGRR, LOSUE, LSUE, OLOLOHA
+from repro.longitudinal.base import longitudinal_estimate
+from repro.longitudinal.parameters import l_osue_parameters
+
+
+def _estimate_once(protocol, values, rng):
+    """Run one collection round with fresh clients and estimate the histogram."""
+    clients = [protocol.create_client(rng) for _ in range(len(values))]
+    reports = [client.report(int(v), rng) for client, v in zip(clients, values)]
+    return protocol.estimate_frequencies(reports)
+
+
+class TestEstimatorAlgebra:
+    def test_longitudinal_estimate_formula(self):
+        params = l_osue_parameters(2.0, 1.0)
+        counts = np.asarray([40.0, 60.0])
+        n = 100
+        estimate = longitudinal_estimate(counts, n, params)
+        expected = (
+            counts - n * params.q1 * (params.p2 - params.q2) - n * params.q2
+        ) / (n * (params.p1 - params.q1) * (params.p2 - params.q2))
+        assert np.allclose(estimate, expected)
+
+    def test_estimate_requires_positive_n(self):
+        params = l_osue_parameters(2.0, 1.0)
+        with pytest.raises(Exception):
+            longitudinal_estimate(np.asarray([1.0]), 0, params)
+
+
+@pytest.mark.parametrize(
+    "protocol_factory",
+    [
+        lambda k: LGRR(k, 3.0, 1.5),
+        lambda k: LSUE(k, 3.0, 1.5),
+        lambda k: LOSUE(k, 3.0, 1.5),
+        lambda k: BiLOLOHA(k, 3.0, 1.5),
+        lambda k: OLOLOHA(k, 3.0, 1.5),
+    ],
+    ids=["L-GRR", "RAPPOR", "L-OSUE", "BiLOLOHA", "OLOLOHA"],
+)
+class TestSingleRoundAccuracy:
+    """With a generous budget and a skewed distribution, every protocol's
+    estimate of the dominant value must land near the truth."""
+
+    def test_dominant_value_recovered(self, protocol_factory):
+        k, n = 8, 6000
+        rng = np.random.default_rng(99)
+        true = np.asarray([0.55] + [0.45 / (k - 1)] * (k - 1))
+        values = rng.choice(k, size=n, p=true)
+        protocol = protocol_factory(k)
+        estimate = _estimate_once(protocol, values, rng)
+        assert estimate.shape == (k,)
+        assert abs(estimate[0] - 0.55) < 0.12
+
+    def test_estimates_sum_close_to_one(self, protocol_factory):
+        k, n = 8, 6000
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, k, size=n)
+        protocol = protocol_factory(k)
+        estimate = _estimate_once(protocol, values, rng)
+        assert abs(estimate.sum() - 1.0) < 0.35
+
+
+class TestDBitFlipEstimation:
+    def test_full_sampling_recovers_bucket_histogram(self):
+        k, n = 10, 8000
+        rng = np.random.default_rng(11)
+        true = np.asarray([0.4, 0.3] + [0.3 / 8] * 8)
+        values = rng.choice(k, size=n, p=true)
+        protocol = DBitFlipPM(k, eps_inf=4.0, d=k)
+        clients = [protocol.create_client(rng) for _ in range(n)]
+        reports = [client.report(int(v), rng) for client, v in zip(clients, values)]
+        estimate = protocol.estimate_frequencies(reports)
+        assert estimate.shape == (k,)
+        assert abs(estimate[0] - 0.4) < 0.1
+
+    def test_subsampled_estimation_uses_effective_n(self):
+        k, n = 10, 8000
+        rng = np.random.default_rng(13)
+        values = rng.integers(0, k, size=n)
+        protocol = DBitFlipPM(k, eps_inf=4.0, d=2)
+        clients = [protocol.create_client(rng) for _ in range(n)]
+        reports = [client.report(int(v), rng) for client, v in zip(clients, values)]
+        estimate = protocol.estimate_frequencies(reports)
+        # Uniform truth: every bucket near 1/k even though only d of b bits
+        # are observed per user.
+        assert np.all(np.abs(estimate - 0.1) < 0.1)
+
+    def test_empty_reports_raise(self):
+        protocol = DBitFlipPM(10, eps_inf=1.0)
+        with pytest.raises(AggregationError):
+            protocol.estimate_frequencies([])
+
+    def test_foreign_report_type_rejected(self):
+        protocol = DBitFlipPM(10, eps_inf=1.0)
+        with pytest.raises(EncodingError):
+            protocol.support_counts([object()])
+
+
+class TestLOLOHAServer:
+    def test_support_counts_rejects_foreign_reports(self):
+        protocol = BiLOLOHA(10, 2.0, 1.0)
+        with pytest.raises(EncodingError):
+            protocol.support_counts(["not-a-report"])
+
+    def test_variance_prediction_matches_empirical_error(self):
+        """The empirical MSE over repeated estimates is close to the
+        theoretical approximate variance (within loose statistical slack)."""
+        k, n = 6, 4000
+        protocol = OLOLOHA(k, 3.0, 1.5)
+        rng = np.random.default_rng(5)
+        true = np.full(k, 1.0 / k)
+        values = rng.choice(k, size=n, p=true)
+        errors = []
+        for _ in range(3):
+            estimate = _estimate_once(protocol, values, rng)
+            errors.append(np.mean((estimate - true) ** 2))
+        empirical = float(np.mean(errors))
+        theoretical = protocol.approximate_variance(n)
+        assert empirical < 6 * theoretical
+        assert empirical > theoretical / 6

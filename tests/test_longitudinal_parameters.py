@@ -1,0 +1,173 @@
+"""Tests for the chained-randomization parameter derivations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.longitudinal.parameters import (
+    ChainedParameters,
+    chained_bit_epsilon,
+    l_grr_parameters,
+    l_osue_parameters,
+    l_oue_parameters,
+    l_soue_parameters,
+    l_sue_parameters,
+    loloha_irr_epsilon,
+    loloha_parameters,
+)
+
+UE_DERIVATIONS = [l_sue_parameters, l_osue_parameters, l_oue_parameters, l_soue_parameters]
+
+
+class TestChainedParametersContainer:
+    def test_rejects_p_below_q(self):
+        with pytest.raises(ParameterError):
+            ChainedParameters(p1=0.3, q1=0.5, p2=0.8, q2=0.1, eps_inf=2.0, eps_1=1.0)
+
+    def test_rejects_non_probabilities(self):
+        with pytest.raises(ParameterError):
+            ChainedParameters(p1=1.2, q1=0.1, p2=0.8, q2=0.1, eps_inf=2.0, eps_1=1.0)
+
+    def test_estimator_q1_defaults_to_q1(self):
+        params = ChainedParameters(p1=0.8, q1=0.2, p2=0.7, q2=0.3, eps_inf=2.0, eps_1=1.0)
+        assert params.estimator_q1 == 0.2
+
+    def test_estimator_q1_override(self):
+        params = ChainedParameters(
+            p1=0.8, q1=0.2, p2=0.7, q2=0.3, eps_inf=2.0, eps_1=1.0, q1_estimation=0.5
+        )
+        assert params.estimator_q1 == 0.5
+
+    def test_as_tuple(self):
+        params = ChainedParameters(p1=0.8, q1=0.2, p2=0.7, q2=0.3, eps_inf=2.0, eps_1=1.0)
+        assert params.as_tuple() == (0.8, 0.2, 0.7, 0.3)
+
+
+class TestUEChains:
+    @pytest.mark.parametrize("derivation", UE_DERIVATIONS)
+    @pytest.mark.parametrize("eps_inf,eps_1", [(1.0, 0.4), (2.0, 1.0), (4.0, 2.4), (5.0, 3.0)])
+    def test_chain_realizes_requested_first_report_budget(self, derivation, eps_inf, eps_1):
+        params = derivation(eps_inf, eps_1)
+        realized = chained_bit_epsilon(params.p1, params.q1, params.p2, params.q2)
+        assert realized == pytest.approx(eps_1, rel=1e-6)
+
+    @pytest.mark.parametrize("derivation", UE_DERIVATIONS)
+    def test_probabilities_are_valid(self, derivation):
+        params = derivation(3.0, 1.5)
+        for value in params.as_tuple():
+            assert 0.0 < value < 1.0
+        assert params.p1 > params.q1
+        assert params.p2 > params.q2
+
+    @pytest.mark.parametrize("derivation", UE_DERIVATIONS)
+    def test_requires_eps1_below_eps_inf(self, derivation):
+        with pytest.raises(ParameterError):
+            derivation(1.0, 1.0)
+        with pytest.raises(ParameterError):
+            derivation(1.0, 2.0)
+
+    def test_sue_permanent_round_matches_rappor(self):
+        params = l_sue_parameters(2.0, 1.0)
+        expected_p1 = math.exp(1.0) / (math.exp(1.0) + 1.0)
+        assert params.p1 == pytest.approx(expected_p1)
+        assert params.q1 == pytest.approx(1.0 - expected_p1)
+
+    def test_osue_permanent_round_is_oue(self):
+        params = l_osue_parameters(2.0, 1.0)
+        assert params.p1 == pytest.approx(0.5)
+        assert params.q1 == pytest.approx(1.0 / (math.exp(2.0) + 1.0))
+
+    def test_osue_irr_matches_paper_closed_form(self):
+        eps_inf, eps_1 = 3.0, 1.2
+        a, b = math.exp(eps_inf), math.exp(eps_1)
+        expected_p2 = (a * b - 1.0) / (a - b + a * b - 1.0)
+        assert l_osue_parameters(eps_inf, eps_1).p2 == pytest.approx(expected_p2)
+
+    def test_unreachable_budget_raises(self):
+        # With p2 fixed at 1/2, the L-OUE chain cannot reach eps_1 close to
+        # eps_inf when eps_inf is small.
+        with pytest.raises(ParameterError):
+            l_oue_parameters(0.3, 0.29)
+
+
+class TestGRRChains:
+    @pytest.mark.parametrize("k", [2, 5, 50, 500])
+    def test_l_grr_matches_paper_closed_form(self, k):
+        eps_inf, eps_1 = 2.0, 1.0
+        a, b = math.exp(eps_inf), math.exp(eps_1)
+        params = l_grr_parameters(eps_inf, eps_1, k)
+        assert params.p1 == pytest.approx(a / (a + k - 1))
+        expected_p2 = (a * b - 1.0) / ((k - 1) * (a - b) + a * b - 1.0)
+        assert params.p2 == pytest.approx(expected_p2)
+
+    def test_l_grr_nominal_budget_identity(self):
+        """The paper's bound (p1 p2 + q1 q2) / (p1 q2 + q1 p2) equals e^{eps_1}."""
+        eps_inf, eps_1, k = 3.0, 1.5, 20
+        params = l_grr_parameters(eps_inf, eps_1, k)
+        ratio = (params.p1 * params.p2 + params.q1 * params.q2) / (
+            params.p1 * params.q2 + params.q1 * params.p2
+        )
+        assert math.log(ratio) == pytest.approx(eps_1, rel=1e-9)
+
+    def test_loloha_equals_l_grr_over_hashed_domain(self):
+        loloha = loloha_parameters(2.0, 1.0, 8)
+        l_grr = l_grr_parameters(2.0, 1.0, 8)
+        assert loloha.p1 == pytest.approx(l_grr.p1)
+        assert loloha.p2 == pytest.approx(l_grr.p2)
+        assert loloha.q2 == pytest.approx(l_grr.q2)
+
+    def test_loloha_estimator_uses_collision_probability(self):
+        params = loloha_parameters(2.0, 1.0, 8)
+        assert params.q1_estimation == pytest.approx(1.0 / 8.0)
+
+    def test_loloha_irr_epsilon_identity(self):
+        """e^{eps_IRR} e^{eps_inf} + 1 = e^{eps_1} (e^{eps_IRR} + e^{eps_inf})."""
+        eps_inf, eps_1 = 2.5, 1.0
+        eps_irr = loloha_irr_epsilon(eps_inf, eps_1)
+        left = math.exp(eps_irr) * math.exp(eps_inf) + 1.0
+        right = math.exp(eps_1) * (math.exp(eps_irr) + math.exp(eps_inf))
+        assert left == pytest.approx(right, rel=1e-9)
+
+    def test_requires_valid_budget_pair(self):
+        with pytest.raises(ParameterError):
+            l_grr_parameters(1.0, 1.5, 10)
+
+
+class TestPropertyBased:
+    @given(
+        eps_inf=st.floats(min_value=0.4, max_value=5.0),
+        alpha=st.floats(min_value=0.2, max_value=0.8),
+        g=st.integers(min_value=2, max_value=64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_loloha_parameters_always_valid(self, eps_inf, alpha, g):
+        params = loloha_parameters(eps_inf, alpha * eps_inf, g)
+        assert 0 < params.q1 < params.p1 < 1
+        assert 0 < params.q2 < params.p2 < 1
+        assert params.estimator_q1 == pytest.approx(1.0 / g)
+
+    @given(
+        eps_inf=st.floats(min_value=0.4, max_value=5.0),
+        alpha=st.floats(min_value=0.2, max_value=0.8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sue_and_osue_chains_realize_budget(self, eps_inf, alpha):
+        eps_1 = alpha * eps_inf
+        for derivation in (l_sue_parameters, l_osue_parameters):
+            params = derivation(eps_inf, eps_1)
+            realized = chained_bit_epsilon(params.p1, params.q1, params.p2, params.q2)
+            assert realized == pytest.approx(eps_1, rel=1e-6)
+
+    @given(
+        eps_inf=st.floats(min_value=0.4, max_value=5.0),
+        alpha=st.floats(min_value=0.2, max_value=0.8),
+        k=st.integers(min_value=2, max_value=1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_l_grr_parameters_always_valid(self, eps_inf, alpha, k):
+        params = l_grr_parameters(eps_inf, alpha * eps_inf, k)
+        assert 0 < params.q1 < params.p1 < 1
+        assert 0 < params.q2 < params.p2 < 1

@@ -1,0 +1,137 @@
+"""Property-based and statistical tests of the privacy guarantees themselves.
+
+These tests verify the *mechanism-level* LDP properties the paper proves:
+
+* GRR's output distribution never distinguishes two inputs by more than
+  ``e^eps`` (Definition 2.1);
+* LOLOHA's PRR step satisfies ``eps_inf``-LDP (Theorem 3.3) and the chained
+  first report satisfies ``eps_1``-LDP (Theorem 3.4);
+* the longitudinal budget on the users' values never exceeds ``g * eps_inf``
+  (Theorem 3.5), which is checked by exercising clients exhaustively.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.freq_oneshot.base import grr_parameters, oue_parameters, sue_parameters
+from repro.longitudinal import BiLOLOHA, LOLOHA, LSUE, OLOLOHA
+from repro.longitudinal.parameters import loloha_parameters
+
+
+def _grr_output_distribution(p: float, q: float, k: int, value: int) -> np.ndarray:
+    """Exact output pmf of GRR for a given input value."""
+    pmf = np.full(k, q)
+    pmf[value] = p
+    return pmf
+
+
+class TestMechanismLevelLDP:
+    @given(
+        epsilon=st.floats(min_value=0.2, max_value=5.0),
+        k=st.integers(min_value=2, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grr_likelihood_ratio_bounded(self, epsilon, k):
+        """For every pair of inputs and every output, the GRR likelihood
+        ratio is bounded by e^eps (Definition 2.1)."""
+        params = grr_parameters(epsilon, k)
+        pmf_a = _grr_output_distribution(params.p, params.q, k, 0)
+        pmf_b = _grr_output_distribution(params.p, params.q, k, min(1, k - 1))
+        ratio = np.max(pmf_a / pmf_b)
+        assert ratio <= math.exp(epsilon) * (1 + 1e-9)
+
+    @given(epsilon=st.floats(min_value=0.2, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_ue_bitwise_likelihood_ratio_bounded(self, epsilon):
+        """For SUE and OUE, the per-report likelihood ratio (product over the
+        two bits that differ between two inputs) is exactly e^eps."""
+        for params in (sue_parameters(epsilon), oue_parameters(epsilon)):
+            ratio = (params.p * (1 - params.q)) / ((1 - params.p) * params.q)
+            assert math.log(ratio) == pytest.approx(epsilon, rel=1e-9)
+
+    @given(
+        eps_inf=st.floats(min_value=0.3, max_value=4.0),
+        alpha=st.floats(min_value=0.2, max_value=0.8),
+        g=st.integers(min_value=2, max_value=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_loloha_prr_satisfies_eps_inf(self, eps_inf, alpha, g):
+        """Theorem 3.3: the hash + PRR step is eps_inf-LDP."""
+        params = loloha_parameters(eps_inf, alpha * eps_inf, g)
+        assert math.log(params.p1 / params.q1) == pytest.approx(eps_inf, rel=1e-9)
+
+    @given(
+        eps_inf=st.floats(min_value=0.3, max_value=4.0),
+        alpha=st.floats(min_value=0.2, max_value=0.8),
+        g=st.integers(min_value=2, max_value=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_loloha_first_report_satisfies_eps_1(self, eps_inf, alpha, g):
+        """Theorem 3.4: the nominal chained ratio equals e^{eps_1}, and the
+        true worst-case output ratio never exceeds it."""
+        eps_1 = alpha * eps_inf
+        params = loloha_parameters(eps_inf, eps_1, g)
+        nominal = (params.p1 * params.p2 + params.q1 * params.q2) / (
+            params.p1 * params.q2 + params.q1 * params.p2
+        )
+        assert math.log(nominal) == pytest.approx(eps_1, rel=1e-6)
+        # Exact end-to-end ratio over the g-symbol output alphabet.
+        supported = params.p1 * params.p2 + (1 - params.p1) * params.q2
+        unsupported = params.q1 * params.p2 + (
+            params.p1 + (g - 2) * params.q1
+        ) * params.q2
+        assert supported / unsupported <= nominal * (1 + 1e-9)
+
+
+class TestLongitudinalBudgetTheorem:
+    @pytest.mark.parametrize("g", [2, 3, 5])
+    def test_client_budget_never_exceeds_g_eps_inf(self, g, rng):
+        """Theorem 3.5: even reporting every domain value repeatedly, a
+        LOLOHA client consumes at most g * eps_inf."""
+        protocol = LOLOHA(k=40, eps_inf=1.5, eps_1=0.5, g=g)
+        client = protocol.create_client(rng)
+        for _ in range(3):
+            for value in range(40):
+                client.report(value, rng)
+        assert client.realized_budget() <= g * 1.5 + 1e-9
+
+    def test_rappor_budget_grows_with_distinct_values(self, rng):
+        """In contrast, a RAPPOR client pays eps_inf per distinct value."""
+        protocol = LSUE(k=40, eps_inf=1.5, eps_1=0.5)
+        client = protocol.create_client(rng)
+        for value in range(25):
+            client.report(value, rng)
+        assert client.realized_budget() == pytest.approx(25 * 1.5)
+
+    def test_worst_case_ratio_is_k_over_g(self):
+        k = 120
+        biloloha = BiLOLOHA(k, 2.0, 1.0)
+        rappor = LSUE(k, 2.0, 1.0)
+        ratio = rappor.worst_case_budget() / biloloha.worst_case_budget()
+        assert ratio == pytest.approx(k / 2)
+
+
+class TestAveragingResistance:
+    def test_memoized_reports_do_not_average_away(self, rng):
+        """Observing many LOLOHA reports of the same value does not converge
+        to the true hashed value beyond what eps_inf allows: the memoized PRR
+        output is fixed, so averaging recovers the *memoized* symbol, not the
+        true one, with error probability 1 - p1 > 0."""
+        protocol = OLOLOHA(k=30, eps_inf=1.0, eps_1=0.4)
+        params = protocol.chained_parameters
+        n_clients, n_reports = 400, 40
+        hits = 0
+        for _ in range(n_clients):
+            client = protocol.create_client(rng)
+            true_hash = client.hash_function(5)
+            reports = [client.report(5, rng).value for _ in range(n_reports)]
+            majority = np.bincount(reports, minlength=protocol.g).argmax()
+            hits += int(majority == true_hash)
+        recovery_rate = hits / n_clients
+        # The attacker can at best learn the memoized symbol, which equals the
+        # true hash only with probability p1 < 1.
+        assert recovery_rate < params.p1 + 0.1

@@ -1,0 +1,108 @@
+"""Tests for the report store and the results store."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError, ExperimentError
+from repro.store import ReportStore, ResultsStore
+
+
+class TestReportStore:
+    def test_add_and_query(self):
+        store = ReportStore(expected_users=3)
+        store.add(0, 0, "r0")
+        store.add(0, 1, "r1")
+        assert store.n_reports(0) == 2
+        assert not store.is_round_complete(0)
+        store.add(0, 2, "r2")
+        assert store.is_round_complete(0)
+        assert store.batch(0).reports == ["r0", "r1", "r2"]
+
+    def test_duplicate_submission_rejected(self):
+        store = ReportStore()
+        store.add(0, 7, "a")
+        with pytest.raises(AggregationError):
+            store.add(0, 7, "b")
+
+    def test_same_user_can_report_in_different_rounds(self):
+        store = ReportStore()
+        store.add(0, 7, "a")
+        store.add(1, 7, "b")
+        assert store.rounds() == [0, 1]
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(AggregationError):
+            ReportStore().add(-1, 0, "x")
+
+    def test_missing_round_raises(self):
+        with pytest.raises(AggregationError):
+            ReportStore().batch(3)
+
+    def test_add_round_bulk(self):
+        store = ReportStore(expected_users=4)
+        store.add_round(2, ["a", "b", "c", "d"])
+        assert store.is_round_complete(2)
+        assert len(store) == 1
+
+    def test_is_round_complete_requires_expectation(self):
+        store = ReportStore()
+        store.add(0, 0, "a")
+        with pytest.raises(AggregationError):
+            store.is_round_complete(0)
+
+    def test_iter_complete_rounds(self):
+        store = ReportStore(expected_users=2)
+        store.add_round(0, ["a", "b"])
+        store.add(1, 0, "c")
+        complete = list(store.iter_complete_rounds())
+        assert [batch.round_index for batch in complete] == [0]
+
+
+class TestResultsStore:
+    def test_json_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        payload = {"mse": 0.1, "curve": np.asarray([1.0, 2.0]), "n": np.int64(5)}
+        store.save_json("figure3", payload)
+        loaded = store.load_json("figure3")
+        assert loaded["mse"] == 0.1
+        assert loaded["curve"] == [1.0, 2.0]
+        assert loaded["n"] == 5
+
+    def test_overwrite_protection(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.save_json("exp", {"a": 1})
+        with pytest.raises(ExperimentError):
+            store.save_json("exp", {"a": 2})
+        store.save_json("exp", {"a": 2}, overwrite=True)
+        assert store.load_json("exp")["a"] == 2
+
+    def test_csv_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        rows = [{"protocol": "OLOLOHA", "mse": 0.01}, {"protocol": "RAPPOR", "mse": 0.02}]
+        store.save_rows("table", rows)
+        loaded = store.load_rows("table")
+        assert loaded[0]["protocol"] == "OLOLOHA"
+        assert float(loaded[1]["mse"]) == 0.02
+
+    def test_csv_requires_consistent_columns(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(ExperimentError):
+            store.save_rows("bad", [{"a": 1}, {"b": 2}])
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            ResultsStore(tmp_path).save_rows("empty", [])
+
+    def test_missing_files_raise(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(ExperimentError):
+            store.load_json("nothing")
+        with pytest.raises(ExperimentError):
+            store.load_rows("nothing")
+
+    def test_list_experiments(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.list_experiments() == []
+        store.save_json("b_exp", {})
+        store.save_json("a_exp", {})
+        assert store.list_experiments() == ["a_exp", "b_exp"]
