@@ -71,8 +71,16 @@ def run_empirical_sweep(
     dataset_name: str,
     dataset: Optional[LongitudinalDataset] = None,
     include_dbitflip: bool = True,
+    store=None,
+    experiment_id: Optional[str] = None,
 ) -> List[SweepPoint]:
-    """Run the full protocol sweep over one dataset of the configuration."""
+    """Run the full protocol sweep over one dataset of the configuration.
+
+    The sweep is sharded over ``config.n_workers`` processes (results are
+    bit-identical for every worker count).  When ``store`` (a
+    :class:`repro.store.ResultsStore`) is given, completed grid points are
+    flushed to ``<experiment_id>.csv`` incrementally while the sweep runs.
+    """
     if dataset is None:
         dataset = make_dataset(dataset_name, scale=config.dataset_scale, rng=config.seed)
     factories = paper_protocol_factories(include_dbitflip=include_dbitflip)
@@ -84,4 +92,7 @@ def run_empirical_sweep(
         n_runs=config.n_runs,
         rng=config.seed,
         keep_runs=False,
+        n_workers=config.n_workers,
+        store=store,
+        experiment_id=experiment_id or f"empirical_{dataset.name}",
     )

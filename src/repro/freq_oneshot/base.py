@@ -34,6 +34,7 @@ from .._validation import (
 )
 from ..exceptions import AggregationError, ParameterError
 from ..rng import RngLike
+from ..simulation.kernels import debias_kernel
 
 __all__ = [
     "PerturbationParameters",
@@ -92,11 +93,9 @@ def unbiased_estimate(counts: np.ndarray, n: int, p: float, q: float) -> np.ndar
         Perturbation parameters of the protocol that produced the reports.
     """
     n = require_int_at_least(n, 1, "n")
-    counts = np.asarray(counts, dtype=np.float64)
-    gap = p - q
-    if gap <= 0:
+    if p - q <= 0:
         raise ParameterError(f"p - q must be positive, got p={p}, q={q}")
-    return (counts - n * q) / (n * gap)
+    return debias_kernel(counts, n, p, q)
 
 
 def grr_parameters(epsilon: float, k: int) -> PerturbationParameters:

@@ -13,6 +13,7 @@ import numpy as np
 
 from .._validation import as_rng, validate_value_in_domain, validate_values_array
 from ..rng import RngLike
+from ..simulation.kernels import grr_kernel
 from .base import FrequencyOracle, PerturbationParameters, grr_parameters
 
 __all__ = ["GRR", "grr_perturb_array"]
@@ -24,15 +25,11 @@ def grr_perturb_array(
     """Vectorized GRR perturbation of an integer array over domain ``[0..k)``.
 
     Each entry is kept with probability ``p``; otherwise it is replaced by a
-    value drawn uniformly from the other ``k - 1`` symbols.
+    value drawn uniformly from the other ``k - 1`` symbols.  Thin wrapper
+    around the shared :func:`repro.simulation.kernels.grr_kernel`, which the
+    longitudinal population engines use as well.
     """
-    values = np.asarray(values, dtype=np.int64)
-    keep = rng.random(values.shape) < p
-    # Draw from [0, k-1) and shift values >= true value by one so the noise
-    # value is uniform over the k-1 symbols different from the input.
-    noise = rng.integers(0, k - 1, size=values.shape)
-    noise = noise + (noise >= values)
-    return np.where(keep, values, noise).astype(np.int64)
+    return grr_kernel(values, k, p, rng)
 
 
 class GRR(FrequencyOracle):

@@ -15,6 +15,7 @@ import numpy as np
 from .._validation import as_rng, require_probability, validate_value_in_domain, validate_values_array
 from ..exceptions import EncodingError, ParameterError
 from ..rng import RngLike
+from ..simulation.kernels import one_hot_kernel, ue_flip_kernel
 from .base import (
     FrequencyOracle,
     PerturbationParameters,
@@ -26,20 +27,22 @@ __all__ = ["UnaryEncoding", "SUE", "OUE", "ue_perturb_matrix", "one_hot"]
 
 
 def one_hot(values: np.ndarray, k: int) -> np.ndarray:
-    """One-hot encode an integer array into a ``(len(values), k)`` 0/1 matrix."""
-    values = np.asarray(values, dtype=np.int64)
-    encoded = np.zeros((values.size, k), dtype=np.uint8)
-    encoded[np.arange(values.size), values.ravel()] = 1
-    return encoded
+    """One-hot encode an integer array into a ``(len(values), k)`` 0/1 matrix.
+
+    Thin wrapper around :func:`repro.simulation.kernels.one_hot_kernel`.
+    """
+    return one_hot_kernel(values, k)
 
 
 def ue_perturb_matrix(
     encoded: np.ndarray, p: float, q: float, rng: np.random.Generator
 ) -> np.ndarray:
-    """Flip each bit of a one-hot matrix independently with UE probabilities."""
-    uniform = rng.random(encoded.shape)
-    keep_probability = np.where(encoded == 1, p, q)
-    return (uniform < keep_probability).astype(np.uint8)
+    """Flip each bit of a one-hot matrix independently with UE probabilities.
+
+    Thin wrapper around :func:`repro.simulation.kernels.ue_flip_kernel`,
+    which the longitudinal population engines use as well.
+    """
+    return ue_flip_kernel(encoded, p, q, rng)
 
 
 class UnaryEncoding(FrequencyOracle):

@@ -83,6 +83,24 @@ class UniversalHashFamily(ABC):
     def sample(self, rng: RngLike = None) -> HashFunction:
         """Draw a uniformly random member of the family."""
 
+    def sample_hashed_domains(
+        self, n_functions: int, k: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Hash the full domain ``[0..k)`` under ``n_functions`` fresh members.
+
+        Returns an ``(n_functions, k)`` int64 matrix whose row ``i`` is the
+        image of the whole domain under the ``i``-th sampled function — the
+        per-user table the LOLOHA population engines need.  This generic
+        implementation samples one member at a time; families with cheap
+        parameterizations (e.g. multiply-shift) override it with a fully
+        vectorized batch draw.
+        """
+        n_functions = require_int_at_least(n_functions, 1, "n_functions")
+        generator = as_rng(rng)
+        return np.stack(
+            [self.sample(generator).hash_all(k) for _ in range(n_functions)]
+        )
+
     @property
     def name(self) -> str:
         """Short family name used in configuration files and reports."""
@@ -124,6 +142,21 @@ class MultiplyShiftHashFamily(UniversalHashFamily):
         a = int(generator.integers(1, 2**63, dtype=np.uint64)) * 2 + 1
         b = int(generator.integers(0, 2**63, dtype=np.uint64))
         return _MultiplyShiftFunction(a=a & (2**64 - 1), b=b, g=self.g)
+
+    def sample_hashed_domains(
+        self, n_functions: int, k: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Vectorized batch draw: one ``(a, b)`` pair per row, no Python loop."""
+        n_functions = require_int_at_least(n_functions, 1, "n_functions")
+        generator = as_rng(rng)
+        with np.errstate(over="ignore"):
+            a = generator.integers(1, 2**63, size=n_functions, dtype=np.uint64)
+            a = a * np.uint64(2) + np.uint64(1)
+            b = generator.integers(0, 2**63, size=n_functions, dtype=np.uint64)
+            x = np.arange(int(k), dtype=np.uint64)
+            mixed = a[:, None] * x[None, :] + b[:, None]
+        high = (mixed >> np.uint64(32)).astype(np.int64)
+        return high % np.int64(self.g)
 
 
 @dataclass(frozen=True)

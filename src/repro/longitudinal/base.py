@@ -25,6 +25,7 @@ import numpy as np
 from .._validation import require_domain_size, require_epsilon_pair, require_int_at_least
 from ..exceptions import AggregationError
 from ..rng import RngLike
+from ..simulation.kernels import chained_debias_kernel
 from .parameters import ChainedParameters
 from .variance import approximate_variance, exact_variance
 
@@ -36,14 +37,11 @@ def longitudinal_estimate(
 ) -> np.ndarray:
     """Unbiased longitudinal frequency estimate, Eq. (3)."""
     n = require_int_at_least(n, 1, "n")
-    counts = np.asarray(counts, dtype=np.float64)
     p1, q1 = params.p1, params.estimator_q1
     p2, q2 = params.p2, params.q2
-    numerator = counts - n * q1 * (p2 - q2) - n * q2
-    denominator = n * (p1 - q1) * (p2 - q2)
-    if denominator <= 0:
+    if n * (p1 - q1) * (p2 - q2) <= 0:
         raise AggregationError("estimator denominator is non-positive; check parameters")
-    return numerator / denominator
+    return chained_debias_kernel(counts, n, p1, q1, p2, q2)
 
 
 @dataclass(frozen=True)

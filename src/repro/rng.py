@@ -17,15 +17,24 @@ from ._validation import as_rng
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["RngLike", "derive_generators", "spawn_child", "stream_for", "bit_generator_state"]
+__all__ = [
+    "RngLike",
+    "derive_seed_sequences",
+    "derive_generators",
+    "spawn_child",
+    "stream_for",
+    "bit_generator_state",
+]
 
 
-def derive_generators(root: RngLike, count: int) -> List[np.random.Generator]:
-    """Derive ``count`` statistically independent generators from ``root``.
+def derive_seed_sequences(root: RngLike, count: int) -> List[np.random.SeedSequence]:
+    """Derive ``count`` independent child :class:`~numpy.random.SeedSequence`.
 
-    The derivation uses :class:`numpy.random.SeedSequence` spawning, which is
-    the supported way of creating parallel streams.  Passing the same root
-    seed always yields the same list of generators.
+    This is the picklable form of :func:`derive_generators`: the ``i``-th
+    child seeds exactly the generator ``derive_generators(root, count)[i]``,
+    so work can be sharded across processes (each worker builds its generator
+    locally with ``np.random.default_rng(child)``) while remaining
+    bit-identical to the serial execution.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -39,7 +48,17 @@ def derive_generators(root: RngLike, count: int) -> List[np.random.Generator]:
         seq = np.random.SeedSequence()
     else:
         seq = np.random.SeedSequence(int(root))
-    return [np.random.default_rng(child) for child in seq.spawn(count)]
+    return seq.spawn(count)
+
+
+def derive_generators(root: RngLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``root``.
+
+    The derivation uses :class:`numpy.random.SeedSequence` spawning, which is
+    the supported way of creating parallel streams.  Passing the same root
+    seed always yields the same list of generators.
+    """
+    return [np.random.default_rng(child) for child in derive_seed_sequences(root, count)]
 
 
 def spawn_child(rng: RngLike) -> np.random.Generator:

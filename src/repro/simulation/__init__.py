@@ -1,59 +1,125 @@
-"""Longitudinal collection simulation: population engines, metrics and sweeps.
+"""Longitudinal collection simulation: kernels, state, sinks, engines, sweeps.
 
-The paper's empirical results (Figures 3 and 4, Table 2) are produced by
-simulating the full client/server loop over a longitudinal dataset:
+The subsystem is layered (see ``docs/architecture.md``):
 
-1. every user is given a protocol client (with its per-user randomness such
-   as the LOLOHA hash function or the dBitFlipPM sampled buckets);
-2. at every round ``t`` each user sanitizes its current value and the server
-   estimates the round's histogram;
-3. utility is scored with the round-averaged MSE of Eq. (7) and privacy with
-   the population-averaged realized budget of Eq. (8).
+1. :mod:`~repro.simulation.kernels` — pure, stateless, vectorized numpy
+   perturbation and debiasing functions, shared with the one-shot oracles of
+   :mod:`repro.freq_oneshot`;
+2. :mod:`~repro.simulation.state` — dense per-population memoization tables
+   with lazy batch initialization;
+3. :mod:`~repro.simulation.sinks` — streaming support-count accumulators,
+   including a :class:`~repro.simulation.sinks.ShardedSink` that merges
+   partial counts from independent user shards;
+4. :mod:`~repro.simulation.engines` — one vectorized population per protocol
+   family, each a thin composition of kernel + state;
+5. :mod:`~repro.simulation.runner` / :mod:`~repro.simulation.sweep` — the
+   end-to-end simulation of one run, and the (optionally process-parallel)
+   ``(protocol, eps_inf, alpha)`` grid sweep on top of it.
 
-Two execution paths are provided:
+A *reference* path (:func:`~repro.simulation.runner.simulate_with_clients`)
+drives the per-user client objects of :mod:`repro.longitudinal` directly;
+equivalence tests check that the vectorized engines agree with it
+statistically.
 
-* the *reference* path drives the per-user client objects of
-  :mod:`repro.longitudinal` directly (clear, used by the tests);
-* the *vectorized* path (:mod:`repro.simulation.engines`) re-implements each
-  protocol's client population with numpy batch operations and is used by the
-  experiment harness, where populations of tens of thousands of users are
-  simulated for hundreds of rounds.
-
-Both paths implement exactly the same protocols; a cross-validation test
-checks that they agree statistically.
+Submodules are imported lazily (PEP 562) so that low-level layers — in
+particular :mod:`repro.simulation.kernels`, which the one-shot oracles
+import — can be loaded without pulling in the protocol stack.
 """
 
-from .engines import (
-    DBitFlipEngine,
-    GRRChainEngine,
-    LOLOHAEngine,
-    PopulationEngine,
-    UnaryChainEngine,
-    engine_for,
-)
-from .metrics import (
-    averaged_longitudinal_privacy_loss,
-    averaged_mse,
-    mse_per_round,
-    worst_case_privacy_loss,
-)
-from .runner import SimulationResult, simulate_protocol, simulate_with_clients
-from .sweep import SweepPoint, run_sweep
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "PopulationEngine",
-    "GRRChainEngine",
-    "UnaryChainEngine",
-    "DBitFlipEngine",
-    "LOLOHAEngine",
-    "engine_for",
-    "mse_per_round",
-    "averaged_mse",
-    "averaged_longitudinal_privacy_loss",
-    "worst_case_privacy_loss",
-    "SimulationResult",
-    "simulate_protocol",
-    "simulate_with_clients",
-    "SweepPoint",
-    "run_sweep",
-]
+_EXPORTS = {
+    # kernels
+    "grr_kernel": ".kernels",
+    "one_hot_kernel": ".kernels",
+    "ue_flip_kernel": ".kernels",
+    "ue_fresh_rows_kernel": ".kernels",
+    "ue_binomial_counts_kernel": ".kernels",
+    "dbitflip_fresh_bits_kernel": ".kernels",
+    "sample_buckets_kernel": ".kernels",
+    "debias_kernel": ".kernels",
+    "chained_debias_kernel": ".kernels",
+    "support_from_hashes_kernel": ".kernels",
+    # state
+    "DenseSymbolMemo": ".state",
+    "PackedBitMemo": ".state",
+    # sinks
+    "SupportCountSink": ".sinks",
+    "ShardSummary": ".sinks",
+    "ShardedSink": ".sinks",
+    "estimate_support_counts": ".sinks",
+    # engines
+    "PopulationEngine": ".engines",
+    "GRRChainEngine": ".engines",
+    "UnaryChainEngine": ".engines",
+    "DBitFlipEngine": ".engines",
+    "LOLOHAEngine": ".engines",
+    "engine_for": ".engines",
+    # metrics
+    "mse_per_round": ".metrics",
+    "averaged_mse": ".metrics",
+    "averaged_longitudinal_privacy_loss": ".metrics",
+    "worst_case_privacy_loss": ".metrics",
+    # runner
+    "SimulationResult": ".runner",
+    "simulate_protocol": ".runner",
+    "simulate_protocol_sharded": ".runner",
+    "simulate_with_clients": ".runner",
+    # sweep
+    "SweepPoint": ".sweep",
+    "SweepExecutor": ".sweep",
+    "run_sweep": ".sweep",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(import_module(module_name, __name__), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .engines import (
+        DBitFlipEngine,
+        GRRChainEngine,
+        LOLOHAEngine,
+        PopulationEngine,
+        UnaryChainEngine,
+        engine_for,
+    )
+    from .kernels import (
+        chained_debias_kernel,
+        dbitflip_fresh_bits_kernel,
+        debias_kernel,
+        grr_kernel,
+        one_hot_kernel,
+        sample_buckets_kernel,
+        support_from_hashes_kernel,
+        ue_binomial_counts_kernel,
+        ue_flip_kernel,
+        ue_fresh_rows_kernel,
+    )
+    from .metrics import (
+        averaged_longitudinal_privacy_loss,
+        averaged_mse,
+        mse_per_round,
+        worst_case_privacy_loss,
+    )
+    from .runner import (
+        SimulationResult,
+        simulate_protocol,
+        simulate_protocol_sharded,
+        simulate_with_clients,
+    )
+    from .sinks import ShardedSink, ShardSummary, SupportCountSink, estimate_support_counts
+    from .state import DenseSymbolMemo, PackedBitMemo
+    from .sweep import SweepExecutor, SweepPoint, run_sweep

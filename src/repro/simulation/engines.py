@@ -1,25 +1,30 @@
-"""Vectorized population engines for large-scale longitudinal simulation.
+"""Vectorized population engines: thin kernel + state compositions.
 
 Driving one Python client object per user is the clearest way to run a
 protocol, but for the paper-sized populations (up to 45k users over 260
 rounds) the per-call overhead dominates.  Each engine in this module
-re-implements one protocol family's *entire client population* with numpy
-batch operations while preserving the exact same randomized behaviour:
+re-implements one protocol family's *entire client population* while
+preserving the same randomized behaviour, by composing exactly two layers:
 
-* the permanent randomization of each (user, memoization key) pair is
-  executed exactly once and reused afterwards (memoization);
-* the instantaneous randomization is re-drawn at every round;
-* per-user privacy consumption (number of distinct memoization keys) is
-  tracked for the ``eps_avg`` metric.
+* a *perturbation kernel* from :mod:`repro.simulation.kernels` — the pure,
+  stateless numpy function that realizes the protocol's randomization;
+* a *memoization state* from :mod:`repro.simulation.state` — a dense table
+  holding the permanent randomization of each (user, key) pair, created in
+  batches the first time a pair occurs.
 
-Every engine exposes the same two-method protocol:
+Neither the round loop nor any constructor contains a per-user Python loop;
+the only per-round outputs are the support counts, which the aggregation
+sinks of :mod:`repro.simulation.sinks` fold incrementally.
+
+Every engine exposes the same protocol:
 
 ``run_round(values_t, rng) -> support_counts``
     Process one collection round for all users and return the support counts
     the server aggregates for that round.
 
 ``distinct_memoized_per_user() -> np.ndarray``
-    Per-user count of permanently randomized keys so far.
+    Per-user count of permanently randomized keys so far (the input of the
+    ``eps_avg`` metric).
 """
 
 from __future__ import annotations
@@ -31,12 +36,22 @@ import numpy as np
 
 from .._validation import as_rng, require_int_at_least
 from ..exceptions import ExperimentError, ParameterError
-from ..longitudinal.base import LongitudinalProtocol, longitudinal_estimate
+from ..longitudinal.base import LongitudinalProtocol
 from ..longitudinal.dbitflip import DBitFlipPM
 from ..longitudinal.l_grr import LGRR
 from ..longitudinal.l_ue import LongitudinalUnaryEncoding
 from ..longitudinal.loloha import LOLOHA
 from ..rng import RngLike
+from .kernels import (
+    dbitflip_fresh_bits_kernel,
+    grr_kernel,
+    sample_buckets_kernel,
+    support_from_hashes_kernel,
+    ue_binomial_counts_kernel,
+    ue_fresh_rows_kernel,
+)
+from .sinks import estimate_support_counts
+from .state import DenseSymbolMemo, PackedBitMemo
 
 __all__ = [
     "PopulationEngine",
@@ -46,14 +61,6 @@ __all__ = [
     "LOLOHAEngine",
     "engine_for",
 ]
-
-
-def _grr_perturb(values: np.ndarray, domain: int, keep_probability: float, rng) -> np.ndarray:
-    """Vectorized GRR over ``[0..domain)`` (same semantics as the client code)."""
-    keep = rng.random(values.shape) < keep_probability
-    noise = rng.integers(0, domain - 1, size=values.shape)
-    noise = noise + (noise >= values)
-    return np.where(keep, values, noise).astype(values.dtype)
 
 
 class PopulationEngine(ABC):
@@ -75,9 +82,9 @@ class PopulationEngine(ABC):
     def estimate_round(
         self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None
     ) -> np.ndarray:
-        """Run one round and return the unbiased frequency estimate (Eq. 3)."""
+        """Run one round and return the unbiased frequency estimate."""
         counts = self.run_round(values_t, rng)
-        return longitudinal_estimate(counts, self.n_users, self.protocol.chained_parameters)
+        return estimate_support_counts(self.protocol, counts, self.n_users)
 
     def _validate_round(self, values_t: np.ndarray) -> np.ndarray:
         values_t = np.asarray(values_t, dtype=np.int64)
@@ -96,42 +103,40 @@ class PopulationEngine(ABC):
 
 
 class GRRChainEngine(PopulationEngine):
-    """Vectorized population for :class:`repro.longitudinal.LGRR`."""
+    """Vectorized population for :class:`repro.longitudinal.LGRR`.
+
+    The memoization key of L-GRR is the value itself, so the state is one
+    memoized symbol per (user, value) pair.
+    """
 
     def __init__(self, protocol: LGRR, n_users: int, rng: RngLike = None) -> None:
         if not isinstance(protocol, LGRR):
             raise ParameterError("GRRChainEngine requires an LGRR protocol")
         super().__init__(protocol, n_users, rng)
-        # memo[u, v] is the permanently randomized symbol for value v of user
-        # u, or -1 when the pair has not been memoized yet.
-        self._memo = np.full((n_users, protocol.k), -1, dtype=np.int32)
+        self._state = DenseSymbolMemo(n_users, protocol.k)
 
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         values_t = self._validate_round(values_t)
         generator = self._round_rng(rng)
         params = self.protocol.chained_parameters
-        users = np.arange(self.n_users)
+        k = self.protocol.k
 
-        memoized = self._memo[users, values_t]
-        missing = memoized < 0
-        if missing.any():
-            fresh = _grr_perturb(values_t[missing], self.protocol.k, params.p1, generator)
-            self._memo[users[missing], values_t[missing]] = fresh
-            memoized = self._memo[users, values_t]
-
-        reports = _grr_perturb(memoized.astype(np.int64), self.protocol.k, params.p2, generator)
-        return np.bincount(reports, minlength=self.protocol.k).astype(np.float64)
+        memoized = self._state.resolve(
+            values_t, lambda users, keys: grr_kernel(keys, k, params.p1, generator)
+        )
+        reports = grr_kernel(memoized, k, params.p2, generator)
+        return np.bincount(reports, minlength=k).astype(np.float64)
 
     def distinct_memoized_per_user(self) -> np.ndarray:
-        return (self._memo >= 0).sum(axis=1)
+        return self._state.distinct_per_user()
 
 
 class UnaryChainEngine(PopulationEngine):
     """Vectorized population for the longitudinal UE protocols.
 
-    The permanently randomized ``k``-bit vectors are stored per (user, value)
-    pair in a dictionary of packed rows, generated lazily the first time the
-    pair occurs.
+    The permanently randomized ``k``-bit vectors are held in a dense
+    bit-packed memo tensor indexed by (user, value), materialized lazily in
+    batches — no per-user packing or unpacking on the round path.
     """
 
     def __init__(
@@ -140,8 +145,7 @@ class UnaryChainEngine(PopulationEngine):
         if not isinstance(protocol, LongitudinalUnaryEncoding):
             raise ParameterError("UnaryChainEngine requires a longitudinal UE protocol")
         super().__init__(protocol, n_users, rng)
-        self._memo: dict = {}
-        self._distinct = np.zeros(n_users, dtype=np.int64)
+        self._state = PackedBitMemo(n_users, protocol.k, protocol.k)
 
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         values_t = self._validate_round(values_t)
@@ -149,39 +153,30 @@ class UnaryChainEngine(PopulationEngine):
         params = self.protocol.chained_parameters
         k = self.protocol.k
 
-        # Assemble the memoized matrix for this round, creating missing rows.
-        missing_users = [u for u in range(self.n_users) if (u, values_t[u]) not in self._memo]
-        if missing_users:
-            missing_users_arr = np.asarray(missing_users)
-            missing_values = values_t[missing_users_arr]
-            encoded = np.zeros((missing_users_arr.size, k), dtype=np.uint8)
-            encoded[np.arange(missing_users_arr.size), missing_values] = 1
-            keep_probability = np.where(encoded == 1, params.p1, params.q1)
-            fresh = (generator.random(encoded.shape) < keep_probability).astype(np.uint8)
-            for row, user, value in zip(fresh, missing_users, missing_values):
-                self._memo[(user, int(value))] = np.packbits(row)
-                self._distinct[user] += 1
-
-        memo_matrix = np.empty((self.n_users, k), dtype=np.uint8)
-        for user in range(self.n_users):
-            memo_matrix[user] = np.unpackbits(
-                self._memo[(user, int(values_t[user]))], count=k
-            )
-
-        keep_probability = np.where(memo_matrix == 1, params.p2, params.q2)
-        reports = generator.random(memo_matrix.shape) < keep_probability
-        return reports.sum(axis=0).astype(np.float64)
+        memo_matrix = self._state.resolve(
+            values_t,
+            lambda users, keys: ue_fresh_rows_kernel(
+                keys, k, params.p1, params.q1, generator
+            ),
+        )
+        # The instantaneous bit flips are independent across users, so the
+        # column support counts can be sampled in aggregate (two binomials
+        # per column) instead of flipping the full (n_users, k) matrix.
+        memo_ones = memo_matrix.sum(axis=0, dtype=np.int64)
+        return ue_binomial_counts_kernel(
+            memo_ones, self.n_users, params.p2, params.q2, generator
+        )
 
     def distinct_memoized_per_user(self) -> np.ndarray:
-        return self._distinct.copy()
+        return self._state.distinct_per_user()
 
 
 class DBitFlipEngine(PopulationEngine):
     """Vectorized population for :class:`repro.longitudinal.DBitFlipPM`.
 
     Beyond the support counts this engine records, per user, the sequence of
-    memoized responses actually sent — which is what the data-change
-    detection attack of Table 2 observes.
+    memoization keys actually used — which is what the data-change detection
+    attack of Table 2 observes.
     """
 
     def __init__(self, protocol: DBitFlipPM, n_users: int, rng: RngLike = None) -> None:
@@ -189,14 +184,12 @@ class DBitFlipEngine(PopulationEngine):
             raise ParameterError("DBitFlipEngine requires a DBitFlipPM protocol")
         super().__init__(protocol, n_users, rng)
         d, b = protocol.d, protocol.b
-        # Sampled buckets, fixed per user (without replacement).
-        self.sampled_buckets = np.empty((n_users, d), dtype=np.int64)
-        for user in range(n_users):
-            self.sampled_buckets[user] = self._rng.choice(b, size=d, replace=False)
+        #: Sampled buckets, fixed per user (without replacement) — one batched
+        #: draw for the whole population.
+        self.sampled_buckets = sample_buckets_kernel(n_users, b, d, self._rng)
         # Memoized bits per (user, indicator key); key d means "no sampled
-        # bucket matches".  A value of 255 marks a not-yet-memoized key.
-        self._memo_bits = np.full((n_users, d + 1, d), 255, dtype=np.uint8)
-        self._distinct = np.zeros(n_users, dtype=np.int64)
+        # bucket matches".
+        self._state = PackedBitMemo(n_users, d + 1, d)
         #: Per-round memoization keys used by each user (filled by run_round);
         #: consumed by the change-detection attack.
         self.key_history: list = []
@@ -219,62 +212,40 @@ class DBitFlipEngine(PopulationEngine):
         keys = self._indicator_keys(buckets)
         self.key_history.append(keys.copy())
 
-        users = np.arange(self.n_users)
-        current = self._memo_bits[users, keys]
-        missing = (current == 255).any(axis=1)
-        if missing.any():
-            missing_users = users[missing]
-            missing_keys = keys[missing]
-            # Bit l is the indicator of "my bucket is my l-th sampled bucket";
-            # it is kept with probability p exactly when l equals the key.
-            positions = np.arange(d)[None, :]
-            is_true_bit = positions == missing_keys[:, None]
-            probabilities = np.where(is_true_bit, p, q)
-            fresh = (generator.random((missing_users.size, d)) < probabilities).astype(np.uint8)
-            self._memo_bits[missing_users, missing_keys] = fresh
-            self._distinct[missing_users] += 1
-            current = self._memo_bits[users, keys]
-
-        counts = np.zeros(self.protocol.b, dtype=np.float64)
-        np.add.at(counts, self.sampled_buckets.ravel(), current.ravel())
-        return counts
-
-    def estimate_round(
-        self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None
-    ) -> np.ndarray:
-        """dBitFlipPM uses the one-round estimator with effective n = n d / b."""
-        counts = self.run_round(values_t, rng)
-        p, q = self.protocol.bit_probabilities
-        effective_n = max(self.n_users * self.protocol.d / self.protocol.b, 1e-12)
-        return (counts - effective_n * q) / (effective_n * (p - q))
+        current = self._state.resolve(
+            keys, lambda users, kk: dbitflip_fresh_bits_kernel(kk, d, p, q, generator)
+        )
+        return np.bincount(
+            self.sampled_buckets.ravel(),
+            weights=current.ravel(),
+            minlength=self.protocol.b,
+        )
 
     def distinct_memoized_per_user(self) -> np.ndarray:
-        return self._distinct.copy()
+        return self._state.distinct_per_user()
 
     def memoized_bits(self, user: int, key: int) -> Optional[np.ndarray]:
         """The memoized response of ``user`` for indicator ``key`` (or ``None``)."""
-        bits = self._memo_bits[user, key]
-        if (bits == 255).any():
-            return None
-        return bits.copy()
+        return self._state.get_row(user, key)
 
 
 class LOLOHAEngine(PopulationEngine):
-    """Vectorized population for :class:`repro.longitudinal.LOLOHA`."""
+    """Vectorized population for :class:`repro.longitudinal.LOLOHA`.
+
+    The per-user hash tables Algorithm 2 needs are drawn in one batched call
+    through :meth:`repro.hashing.UniversalHashFamily.sample_hashed_domains`.
+    """
 
     def __init__(self, protocol: LOLOHA, n_users: int, rng: RngLike = None) -> None:
         if not isinstance(protocol, LOLOHA):
             raise ParameterError("LOLOHAEngine requires a LOLOHA protocol")
         super().__init__(protocol, n_users, rng)
-        # Pre-hash the whole domain for every user's hash function; this is
-        # the per-user table Algorithm 2 needs for the support counts.
         domain_dtype = np.int16 if protocol.g < 2**15 else np.int32
-        self.hashed_domain = np.empty((n_users, protocol.k), dtype=domain_dtype)
-        for user in range(n_users):
-            hash_function = protocol.family.sample(self._rng)
-            self.hashed_domain[user] = hash_function.hash_all(protocol.k).astype(domain_dtype)
-        # memo[u, x] is the permanently randomized symbol for hash value x.
-        self._memo = np.full((n_users, protocol.g), -1, dtype=np.int32)
+        #: Pre-hashed domain per user: ``hashed_domain[u, v] = H_u(v)``.
+        self.hashed_domain = protocol.family.sample_hashed_domains(
+            n_users, protocol.k, self._rng
+        ).astype(domain_dtype)
+        self._state = DenseSymbolMemo(n_users, protocol.g)
 
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         values_t = self._validate_round(values_t)
@@ -284,19 +255,14 @@ class LOLOHAEngine(PopulationEngine):
         users = np.arange(self.n_users)
 
         hashed = self.hashed_domain[users, values_t].astype(np.int64)
-        memoized = self._memo[users, hashed]
-        missing = memoized < 0
-        if missing.any():
-            fresh = _grr_perturb(hashed[missing], g, params.p1, generator)
-            self._memo[users[missing], hashed[missing]] = fresh
-            memoized = self._memo[users, hashed]
-
-        reports = _grr_perturb(memoized.astype(np.int64), g, params.p2, generator)
-        support = self.hashed_domain == reports[:, None].astype(self.hashed_domain.dtype)
-        return support.sum(axis=0, dtype=np.float64)
+        memoized = self._state.resolve(
+            hashed, lambda u, keys: grr_kernel(keys, g, params.p1, generator)
+        )
+        reports = grr_kernel(memoized, g, params.p2, generator)
+        return support_from_hashes_kernel(self.hashed_domain, reports)
 
     def distinct_memoized_per_user(self) -> np.ndarray:
-        return (self._memo >= 0).sum(axis=1)
+        return self._state.distinct_per_user()
 
 
 def engine_for(

@@ -1,0 +1,169 @@
+"""Pure, stateless perturbation kernels shared across the library.
+
+This module is the bottom layer of the kernel / state / sink architecture of
+the simulation subsystem (see ``docs/architecture.md``).  Every function here
+is a fully vectorized numpy transformation with no protocol objects, no
+memoization state and no aggregation logic:
+
+* the one-shot oracles in :mod:`repro.freq_oneshot` call these kernels from
+  their ``privatize_batch`` implementations;
+* the longitudinal population engines in
+  :mod:`repro.simulation.engines` compose them with the dense memoization
+  tables of :mod:`repro.simulation.state`;
+* the server-side estimators (Eq. 1 and Eq. 3 of the paper) are exposed as
+  debiasing kernels so client and server share one implementation.
+
+To keep the module importable from every layer (including
+:mod:`repro.freq_oneshot`, which sits below :mod:`repro.longitudinal`), it
+must only depend on numpy — never on other ``repro`` modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "grr_kernel",
+    "one_hot_kernel",
+    "ue_flip_kernel",
+    "ue_fresh_rows_kernel",
+    "ue_binomial_counts_kernel",
+    "dbitflip_fresh_bits_kernel",
+    "sample_buckets_kernel",
+    "debias_kernel",
+    "chained_debias_kernel",
+    "support_from_hashes_kernel",
+]
+
+
+def grr_kernel(
+    values: np.ndarray, domain: int, keep_probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorized Generalized Randomized Response over ``[0..domain)``.
+
+    Each entry is kept with probability ``keep_probability``; otherwise it is
+    replaced by a symbol drawn uniformly from the other ``domain - 1`` values.
+    Consumes exactly one uniform array and one integer array from ``rng``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    keep = rng.random(values.shape) < keep_probability
+    # Draw from [0, domain-1) and shift draws >= the true value by one so the
+    # noise symbol is uniform over the domain \ {value}.
+    noise = rng.integers(0, domain - 1, size=values.shape)
+    noise = noise + (noise >= values)
+    return np.where(keep, values, noise).astype(np.int64)
+
+
+def one_hot_kernel(values: np.ndarray, k: int) -> np.ndarray:
+    """One-hot encode an integer array into a ``(len(values), k)`` 0/1 matrix."""
+    values = np.asarray(values, dtype=np.int64)
+    encoded = np.zeros((values.size, k), dtype=np.uint8)
+    encoded[np.arange(values.size), values.ravel()] = 1
+    return encoded
+
+
+def ue_flip_kernel(
+    bits: np.ndarray, p: float, q: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Flip every bit of a 0/1 matrix independently with UE probabilities.
+
+    A 1-bit stays 1 with probability ``p``; a 0-bit becomes 1 with
+    probability ``q``.  The per-bit threshold is computed arithmetically
+    (``q + bit * (p - q)``) rather than with ``np.where`` — measurably faster
+    on the population-scale matrices the engines feed through here.
+    """
+    threshold = q + bits * (p - q)
+    return (rng.random(bits.shape) < threshold).astype(np.uint8)
+
+
+def ue_fresh_rows_kernel(
+    values: np.ndarray, k: int, p: float, q: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Fused one-hot + UE flip: randomized ``k``-bit rows for a value batch.
+
+    Equivalent to ``ue_flip_kernel(one_hot_kernel(values, k), p, q, rng)``
+    (identical randomness consumption) without materializing the one-hot
+    matrix.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    is_true_bit = np.arange(k)[None, :] == values[:, None]
+    threshold = q + is_true_bit * (p - q)
+    return (rng.random((values.size, k)) < threshold).astype(np.uint8)
+
+
+def ue_binomial_counts_kernel(
+    memo_ones: np.ndarray, n_users: int, p: float, q: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Support counts of one UE round, sampled in aggregate.
+
+    The instantaneous randomization flips every (user, bit) independently, so
+    the support count of column ``v`` is a sum of independent Bernoullis:
+    ``Binomial(m1[v], p) + Binomial(n_users - m1[v], q)`` where ``m1[v]`` is
+    the number of users whose *memoized* bit ``v`` is 1.  Sampling the two
+    binomials per column draws from exactly the same distribution as flipping
+    the full ``(n_users, k)`` bit matrix — at ``O(k)`` randomness cost
+    instead of ``O(n_users * k)``.
+    """
+    memo_ones = np.asarray(memo_ones, dtype=np.int64)
+    kept = rng.binomial(memo_ones, p)
+    flipped = rng.binomial(n_users - memo_ones, q)
+    return (kept + flipped).astype(np.float64)
+
+
+def dbitflip_fresh_bits_kernel(
+    keys: np.ndarray, d: int, p: float, q: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Randomized dBitFlipPM indicator bits for a batch of memoization keys.
+
+    Bit ``l`` of a row indicates "my current bucket is my ``l``-th sampled
+    bucket"; it is kept with probability ``p`` exactly when ``l`` equals the
+    row's key.  This is the same indicator-row sampling as
+    :func:`ue_fresh_rows_kernel` over ``d`` positions — with the one extra
+    property that key ``d`` (no sampled bucket matches) falls outside
+    ``[0, d)`` and therefore yields an all-``q`` row.
+    """
+    return ue_fresh_rows_kernel(keys, d, p, q, rng)
+
+
+def sample_buckets_kernel(
+    n_users: int, b: int, d: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``d`` of ``b`` buckets without replacement for every user.
+
+    A single batched draw: ranking one uniform per (user, bucket) yields a
+    uniformly random permutation per row, of which the first ``d`` entries
+    are an unordered without-replacement sample — no per-user
+    ``rng.choice`` loop.
+    """
+    if d > b:
+        raise ValueError(f"cannot sample {d} buckets from {b} without replacement")
+    return np.argsort(rng.random((n_users, b)), axis=1)[:, :d].astype(np.int64)
+
+
+def debias_kernel(counts: np.ndarray, n: float, p: float, q: float) -> np.ndarray:
+    """Eq. (1): unbiased one-shot frequency estimate from support counts."""
+    counts = np.asarray(counts, dtype=np.float64)
+    return (counts - n * q) / (n * (p - q))
+
+
+def chained_debias_kernel(
+    counts: np.ndarray, n: float, p1: float, q1: float, p2: float, q2: float
+) -> np.ndarray:
+    """Eq. (3): unbiased longitudinal frequency estimate from support counts."""
+    counts = np.asarray(counts, dtype=np.float64)
+    numerator = counts - n * q1 * (p2 - q2) - n * q2
+    denominator = n * (p1 - q1) * (p2 - q2)
+    return numerator / denominator
+
+
+def support_from_hashes_kernel(
+    hashed_domain: np.ndarray, reports: np.ndarray
+) -> np.ndarray:
+    """Local-hashing support counts: how many users' hash of each candidate
+    value equals their reported symbol.
+
+    ``hashed_domain`` has shape ``(n_users, k)`` (each user's hash of the
+    whole domain) and ``reports`` shape ``(n_users,)``.
+    """
+    support = hashed_domain == reports[:, None].astype(hashed_domain.dtype)
+    return support.sum(axis=0, dtype=np.float64)

@@ -2,11 +2,16 @@
 
 ``simulate_protocol`` is the fast path used by the experiment harness: it
 drives a vectorized :mod:`~repro.simulation.engines` population round by
-round, collects the per-round estimates and scores them with the paper's
-metrics.  ``simulate_with_clients`` is the reference path that drives the
-per-user client objects directly; it is slower but exercises exactly the
-public client API and is used by the integration tests (and to cross-check
-the engines).
+round, folds the per-round support counts into a
+:class:`~repro.simulation.sinks.SupportCountSink` and scores the debiased
+estimates with the paper's metrics.  ``simulate_protocol_sharded`` splits the
+population into independent user shards whose partial counts are merged with
+a :class:`~repro.simulation.sinks.ShardedSink` — the building block for
+populations larger than one engine (or one process) should hold.
+``simulate_with_clients`` is the reference path that drives the per-user
+client objects directly; it is slower but exercises exactly the public
+client API and is used by the integration tests (and to cross-check the
+engines).
 """
 
 from __future__ import annotations
@@ -16,16 +21,22 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from .._validation import as_rng
+from .._validation import as_rng, require_int_at_least
 from ..datasets.base import LongitudinalDataset
 from ..exceptions import ExperimentError
 from ..longitudinal.base import LongitudinalProtocol
 from ..longitudinal.dbitflip import DBitFlipPM
-from ..rng import RngLike
+from ..rng import RngLike, derive_generators
 from .engines import engine_for
 from .metrics import averaged_longitudinal_privacy_loss, averaged_mse, mse_per_round
+from .sinks import ShardedSink, SupportCountSink
 
-__all__ = ["SimulationResult", "simulate_protocol", "simulate_with_clients"]
+__all__ = [
+    "SimulationResult",
+    "simulate_protocol",
+    "simulate_protocol_sharded",
+    "simulate_with_clients",
+]
 
 
 @dataclass
@@ -88,27 +99,22 @@ def _true_frequency_matrix(
     return truth
 
 
-def simulate_protocol(
-    protocol: LongitudinalProtocol,
-    dataset: LongitudinalDataset,
-    rng: RngLike = None,
-) -> SimulationResult:
-    """Simulate ``protocol`` over ``dataset`` using the vectorized engine."""
+def _check_domains(protocol: LongitudinalProtocol, dataset: LongitudinalDataset) -> None:
     if dataset.k != protocol.k:
         raise ExperimentError(
             f"protocol domain size ({protocol.k}) does not match dataset domain size "
             f"({dataset.k})"
         )
-    generator = as_rng(rng)
-    engine = engine_for(protocol, dataset.n_users, generator)
-    estimates = np.empty(
-        (dataset.n_rounds, protocol.estimation_domain_size), dtype=np.float64
-    )
-    for t, values_t in enumerate(dataset.iter_rounds()):
-        estimates[t] = engine.estimate_round(values_t, generator)
 
+
+def _package_result(
+    protocol: LongitudinalProtocol,
+    dataset: LongitudinalDataset,
+    estimates: np.ndarray,
+    distinct: np.ndarray,
+    extra: Dict[str, object],
+) -> SimulationResult:
     truth = _true_frequency_matrix(protocol, dataset)
-    distinct = engine.distinct_memoized_per_user()
     return SimulationResult(
         protocol_name=getattr(protocol, "name_with_d", protocol.name),
         dataset_name=dataset.name,
@@ -120,7 +126,76 @@ def simulate_protocol(
         eps_avg=averaged_longitudinal_privacy_loss(distinct, protocol.eps_inf),
         worst_case_budget=protocol.worst_case_budget(),
         distinct_memoized_per_user=distinct,
+        extra=extra,
+    )
+
+
+def simulate_protocol(
+    protocol: LongitudinalProtocol,
+    dataset: LongitudinalDataset,
+    rng: RngLike = None,
+) -> SimulationResult:
+    """Simulate ``protocol`` over ``dataset`` using the vectorized engine."""
+    _check_domains(protocol, dataset)
+    generator = as_rng(rng)
+    engine = engine_for(protocol, dataset.n_users, generator)
+    sink = SupportCountSink(
+        dataset.n_rounds, protocol.estimation_domain_size, dataset.n_users
+    )
+    for t, values_t in enumerate(dataset.iter_rounds()):
+        sink.add_round(t, engine.run_round(values_t, generator))
+
+    return _package_result(
+        protocol,
+        dataset,
+        estimates=sink.estimates(protocol),
+        distinct=engine.distinct_memoized_per_user(),
         extra={"engine": type(engine).__name__},
+    )
+
+
+def simulate_protocol_sharded(
+    protocol: LongitudinalProtocol,
+    dataset: LongitudinalDataset,
+    n_shards: int,
+    rng: RngLike = None,
+) -> SimulationResult:
+    """Simulate ``protocol`` by splitting the population into user shards.
+
+    Each shard runs its own vectorized engine over a contiguous slice of the
+    user population (with an independent derived randomness stream) and emits
+    only its per-round support counts; the shards' partial counts are merged
+    with the associative :class:`~repro.simulation.sinks.ShardedSink` before
+    a single final debiasing.  The result is statistically equivalent to the
+    unsharded path — the estimator only ever sees the population-level
+    counts.
+    """
+    _check_domains(protocol, dataset)
+    n_shards = require_int_at_least(n_shards, 1, "n_shards")
+    if n_shards > dataset.n_users:
+        raise ExperimentError(
+            f"cannot split {dataset.n_users} users into {n_shards} shards"
+        )
+    shard_generators = derive_generators(rng, n_shards)
+    boundaries = np.linspace(0, dataset.n_users, n_shards + 1).astype(np.int64)
+
+    merged = ShardedSink()
+    for shard, generator in enumerate(shard_generators):
+        start, stop = int(boundaries[shard]), int(boundaries[shard + 1])
+        engine = engine_for(protocol, stop - start, generator)
+        sink = SupportCountSink(
+            dataset.n_rounds, protocol.estimation_domain_size, stop - start
+        )
+        for t, values_t in enumerate(dataset.iter_rounds()):
+            sink.add_round(t, engine.run_round(values_t[start:stop], generator))
+        merged.absorb(sink.to_summary(engine.distinct_memoized_per_user()))
+
+    return _package_result(
+        protocol,
+        dataset,
+        estimates=merged.estimates(protocol),
+        distinct=merged.distinct_memoized_per_user,
+        extra={"engine": "sharded", "n_shards": n_shards},
     )
 
 
@@ -134,11 +209,7 @@ def simulate_with_clients(
     Functionally equivalent to :func:`simulate_protocol` but exercises the
     per-user client API; intended for tests and small populations.
     """
-    if dataset.k != protocol.k:
-        raise ExperimentError(
-            f"protocol domain size ({protocol.k}) does not match dataset domain size "
-            f"({dataset.k})"
-        )
+    _check_domains(protocol, dataset)
     generator = as_rng(rng)
     clients = [protocol.create_client(generator) for _ in range(dataset.n_users)]
     estimates = np.empty(
@@ -150,18 +221,7 @@ def simulate_with_clients(
         ]
         estimates[t] = protocol.estimate_frequencies(reports, n=dataset.n_users)
 
-    truth = _true_frequency_matrix(protocol, dataset)
     distinct = np.asarray([client.distinct_memoized for client in clients], dtype=np.int64)
-    return SimulationResult(
-        protocol_name=getattr(protocol, "name_with_d", protocol.name),
-        dataset_name=dataset.name,
-        eps_inf=protocol.eps_inf,
-        eps_1=protocol.eps_1,
-        estimates=estimates,
-        true_frequencies=truth,
-        mse_avg=averaged_mse(estimates, truth),
-        eps_avg=averaged_longitudinal_privacy_loss(distinct, protocol.eps_inf),
-        worst_case_budget=protocol.worst_case_budget(),
-        distinct_memoized_per_user=distinct,
-        extra={"engine": "clients"},
+    return _package_result(
+        protocol, dataset, estimates=estimates, distinct=distinct, extra={"engine": "clients"}
     )

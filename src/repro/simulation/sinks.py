@@ -1,0 +1,212 @@
+"""Streaming aggregation sinks for the vectorized simulation.
+
+A *sink* receives one vector of support counts per collection round and folds
+it into server-side state; the estimate matrix is produced once at the end by
+debiasing the accumulated counts (Eq. 1 / Eq. 3 are linear per round, so
+debiasing at the end is bit-identical to debiasing round by round).  This
+keeps the round loop of :func:`repro.simulation.runner.simulate_protocol`
+free of any per-round allocation beyond the count row itself.
+
+For populations too large for a single engine (or a single process),
+:class:`ShardedSink` merges the partial counts of independent *user shards*:
+each shard simulates its own sub-population and emits a
+:class:`ShardSummary`; summaries are combined with the associative
+:meth:`ShardedSink.merge` so shards can be folded in any grouping — including
+tree reductions across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import require_int_at_least
+from ..exceptions import AggregationError
+from ..longitudinal.base import LongitudinalProtocol, longitudinal_estimate
+from ..longitudinal.dbitflip import DBitFlipPM
+from .kernels import debias_kernel
+
+__all__ = [
+    "estimate_support_counts",
+    "SupportCountSink",
+    "ShardSummary",
+    "ShardedSink",
+]
+
+
+def estimate_support_counts(
+    protocol: LongitudinalProtocol, counts: np.ndarray, n_users: int
+) -> np.ndarray:
+    """Debias support counts into unbiased frequency estimates.
+
+    Works on a single round (1-D counts) or a whole ``(n_rounds, m)`` matrix.
+    Uses the chained estimator of Eq. (3) for the double-randomization
+    protocols and the effective-sample-size estimator for dBitFlipPM (each
+    bucket is observed by roughly ``n d / b`` users).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if isinstance(protocol, DBitFlipPM):
+        p, q = protocol.bit_probabilities
+        effective_n = max(n_users * protocol.d / protocol.b, 1e-12)
+        return debias_kernel(counts, effective_n, p, q)
+    return longitudinal_estimate(counts, n_users, protocol.chained_parameters)
+
+
+class SupportCountSink:
+    """Accumulates one support-count row per round into a dense matrix.
+
+    Rounds may arrive in any order but each index must be offered exactly
+    once; :attr:`support_counts` raises until the matrix is complete.
+    """
+
+    def __init__(self, n_rounds: int, domain_size: int, n_users: int) -> None:
+        self.n_rounds = require_int_at_least(n_rounds, 1, "n_rounds")
+        self.domain_size = require_int_at_least(domain_size, 1, "domain_size")
+        self.n_users = require_int_at_least(n_users, 1, "n_users")
+        self._counts = np.zeros((n_rounds, domain_size), dtype=np.float64)
+        self._seen = np.zeros(n_rounds, dtype=bool)
+
+    def add_round(self, t: int, counts: np.ndarray) -> None:
+        """Fold the support counts of round ``t`` into the sink."""
+        if not 0 <= t < self.n_rounds:
+            raise AggregationError(
+                f"round index must lie in [0, {self.n_rounds}), got {t}"
+            )
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.shape != (self.domain_size,):
+            raise AggregationError(
+                f"expected counts of shape ({self.domain_size},), got {counts.shape}"
+            )
+        if self._seen[t]:
+            raise AggregationError(f"round {t} was already added to this sink")
+        self._counts[t] = counts
+        self._seen[t] = True
+
+    @property
+    def support_counts(self) -> np.ndarray:
+        """The complete ``(n_rounds, domain_size)`` count matrix."""
+        if not self._seen.all():
+            missing = int(np.flatnonzero(~self._seen)[0])
+            raise AggregationError(f"round {missing} has not been added yet")
+        return self._counts
+
+    def estimates(self, protocol: LongitudinalProtocol) -> np.ndarray:
+        """Debiased ``(n_rounds, m)`` estimate matrix (Eq. 1 / Eq. 3)."""
+        return estimate_support_counts(protocol, self.support_counts, self.n_users)
+
+    def to_summary(self, distinct_memoized_per_user: np.ndarray) -> "ShardSummary":
+        """Package this sink's counts as one shard of a larger population."""
+        return ShardSummary(
+            support_counts=self.support_counts,
+            distinct_memoized_per_user=np.asarray(
+                distinct_memoized_per_user, dtype=np.int64
+            ),
+            n_users=self.n_users,
+        )
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """Partial simulation output of one user shard.
+
+    Attributes
+    ----------
+    support_counts:
+        ``(n_rounds, m)`` support counts contributed by the shard's users.
+    distinct_memoized_per_user:
+        Per-user distinct memoization keys, for the shard's users only.
+    n_users:
+        Number of users in the shard.
+    """
+
+    support_counts: np.ndarray
+    distinct_memoized_per_user: np.ndarray
+    n_users: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "support_counts", np.asarray(self.support_counts, dtype=np.float64)
+        )
+        object.__setattr__(
+            self,
+            "distinct_memoized_per_user",
+            np.asarray(self.distinct_memoized_per_user, dtype=np.int64),
+        )
+        if self.distinct_memoized_per_user.shape != (self.n_users,):
+            raise AggregationError(
+                "distinct_memoized_per_user must hold one entry per shard user"
+            )
+
+
+class ShardedSink:
+    """Merges :class:`ShardSummary` objects from independent user shards.
+
+    Support counts are integer-valued floats, so summation is exact and
+    :meth:`merge` is associative bit-for-bit: any grouping of shards yields
+    the same merged counts.  Per-user budget vectors are concatenated in
+    absorption order.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Optional[np.ndarray] = None
+        self._distinct: List[np.ndarray] = []
+        self._n_users = 0
+
+    @property
+    def n_users(self) -> int:
+        """Total users absorbed so far."""
+        return self._n_users
+
+    def absorb(self, summary: ShardSummary) -> "ShardedSink":
+        """Fold one shard into the sink (returns ``self`` for chaining)."""
+        counts = np.asarray(summary.support_counts, dtype=np.float64)
+        if self._counts is None:
+            self._counts = counts.copy()
+        else:
+            if counts.shape != self._counts.shape:
+                raise AggregationError(
+                    f"shard count shape {counts.shape} does not match "
+                    f"{self._counts.shape}"
+                )
+            self._counts += counts
+        self._distinct.append(
+            np.asarray(summary.distinct_memoized_per_user, dtype=np.int64)
+        )
+        self._n_users += summary.n_users
+        return self
+
+    def merge(self, other: "ShardedSink") -> "ShardedSink":
+        """Associatively combine two sinks into a new one."""
+        merged = ShardedSink()
+        for sink in (self, other):
+            if sink._counts is not None:
+                merged.absorb(
+                    ShardSummary(
+                        support_counts=sink._counts,
+                        distinct_memoized_per_user=sink.distinct_memoized_per_user,
+                        n_users=sink._n_users,
+                    )
+                )
+        return merged
+
+    @property
+    def support_counts(self) -> np.ndarray:
+        """The merged ``(n_rounds, m)`` support counts."""
+        if self._counts is None:
+            raise AggregationError("no shards have been absorbed yet")
+        return self._counts
+
+    @property
+    def distinct_memoized_per_user(self) -> np.ndarray:
+        """Concatenated per-user distinct-key counts, in absorption order."""
+        if not self._distinct:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(self._distinct)
+
+    def estimates(self, protocol: LongitudinalProtocol) -> np.ndarray:
+        """Debiased estimate matrix over the merged population."""
+        if self._n_users <= 0:
+            raise AggregationError("cannot estimate from an empty population")
+        return estimate_support_counts(protocol, self.support_counts, self._n_users)

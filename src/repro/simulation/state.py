@@ -1,0 +1,166 @@
+"""Dense per-population memoization state for the vectorized engines.
+
+The longitudinal protocols memoize one *permanent randomization* per
+(user, memoization key) pair.  The reference clients keep that state in
+per-user dictionaries; at population scale the engines instead use the two
+dense table types of this module:
+
+``DenseSymbolMemo``
+    One memoized *symbol* per (user, key) — GRR-style chains (L-GRR, LOLOHA),
+    where the permanent randomization of a key is a single integer.
+
+``PackedBitMemo``
+    One memoized *bit vector* per (user, key) — UE-style chains (RAPPOR,
+    L-OSUE) and dBitFlipPM, where the permanent randomization is a row of
+    ``n_bits`` randomized bits.  Rows are stored bit-packed
+    (``ceil(n_bits / 8)`` bytes per row), an 8x saving over the naive
+    ``uint8`` tensor, and unpacked in one vectorized call per round.
+
+Both tables are *lazily batch-initialized*: the backing array is allocated on
+first use, and missing entries are created for whole batches of users at once
+through the ``resolve`` callback — the engines' round loop contains no
+per-user Python code.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Optional
+
+import numpy as np
+
+from .._validation import require_int_at_least
+
+__all__ = ["DenseSymbolMemo", "PackedBitMemo"]
+
+#: Dense-allocation size above which :class:`PackedBitMemo` warns (bytes).
+_DENSE_ALLOCATION_WARN_BYTES = 2 * 1024**3
+
+#: ``fresh(user_indices, keys) -> symbols`` — batch-create missing entries.
+FreshSymbols = Callable[[np.ndarray, np.ndarray], np.ndarray]
+#: ``fresh(user_indices, keys) -> (len(user_indices), n_bits) uint8 rows``.
+FreshRows = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class DenseSymbolMemo:
+    """Dense ``(n_users, n_keys)`` table of memoized integer symbols.
+
+    Entries are ``-1`` until the (user, key) pair is first resolved.  The
+    table is allocated lazily on the first :meth:`resolve` call.
+    """
+
+    def __init__(self, n_users: int, n_keys: int, dtype=np.int32) -> None:
+        self.n_users = require_int_at_least(n_users, 1, "n_users")
+        self.n_keys = require_int_at_least(n_keys, 1, "n_keys")
+        self._dtype = np.dtype(dtype)
+        self._table: Optional[np.ndarray] = None
+
+    def _ensure_allocated(self) -> np.ndarray:
+        if self._table is None:
+            self._table = np.full((self.n_users, self.n_keys), -1, dtype=self._dtype)
+        return self._table
+
+    def resolve(self, keys: np.ndarray, fresh: FreshSymbols) -> np.ndarray:
+        """Memoized symbol of every user for its current key.
+
+        ``keys`` holds one memoization key per user.  Missing (user, key)
+        pairs are created in one batch by calling
+        ``fresh(user_indices, keys[user_indices])``, which must return one
+        symbol per missing user; the result is written to the table and
+        reused forever after.
+        """
+        table = self._ensure_allocated()
+        users = np.arange(self.n_users)
+        memoized = table[users, keys]
+        missing = memoized < 0
+        if missing.any():
+            missing_users = users[missing]
+            missing_keys = keys[missing]
+            table[missing_users, missing_keys] = fresh(missing_users, missing_keys)
+            memoized = table[users, keys]
+        return memoized.astype(np.int64)
+
+    def distinct_per_user(self) -> np.ndarray:
+        """Number of memoized keys per user (the eps_avg accounting input)."""
+        if self._table is None:
+            return np.zeros(self.n_users, dtype=np.int64)
+        return (self._table >= 0).sum(axis=1, dtype=np.int64)
+
+
+class PackedBitMemo:
+    """Dense bit-packed ``(n_users, n_keys, n_bits)`` table of memoized rows.
+
+    Rows are stored packed along the last axis; a boolean presence mask marks
+    which (user, key) pairs have been permanently randomized.  Storage is
+    allocated lazily on the first :meth:`resolve` call.
+    """
+
+    def __init__(self, n_users: int, n_keys: int, n_bits: int) -> None:
+        self.n_users = require_int_at_least(n_users, 1, "n_users")
+        self.n_keys = require_int_at_least(n_keys, 1, "n_keys")
+        self.n_bits = require_int_at_least(n_bits, 1, "n_bits")
+        self._n_bytes = -(-n_bits // 8)
+        self._packed: Optional[np.ndarray] = None
+        self._present: Optional[np.ndarray] = None
+
+    @property
+    def nbytes_allocated(self) -> int:
+        """Bytes currently held by the backing arrays (0 before first use)."""
+        if self._packed is None:
+            return 0
+        return self._packed.nbytes + self._present.nbytes
+
+    def _ensure_allocated(self) -> None:
+        if self._packed is None:
+            projected = self.n_users * self.n_keys * (self._n_bytes + 1)
+            if projected > _DENSE_ALLOCATION_WARN_BYTES:
+                # The table is dense over (user, key), unlike the reference
+                # clients' per-visited-pair dicts; at very large domains that
+                # is a real footprint.  Sharding bounds the peak: each shard
+                # of ``simulate_protocol_sharded`` allocates only its own
+                # sub-population's table and frees it before the next shard.
+                warnings.warn(
+                    f"PackedBitMemo is allocating "
+                    f"{projected / 1024**3:.1f} GiB for {self.n_users} users x "
+                    f"{self.n_keys} keys x {self.n_bits} bits; consider "
+                    f"simulate_protocol_sharded to bound peak memory",
+                    ResourceWarning,
+                    stacklevel=3,
+                )
+            self._packed = np.zeros(
+                (self.n_users, self.n_keys, self._n_bytes), dtype=np.uint8
+            )
+            self._present = np.zeros((self.n_users, self.n_keys), dtype=bool)
+
+    def resolve(self, keys: np.ndarray, fresh: FreshRows) -> np.ndarray:
+        """Memoized ``(n_users, n_bits)`` rows for every user's current key.
+
+        Missing pairs are created in one batch via
+        ``fresh(user_indices, keys[user_indices])`` (shape
+        ``(n_missing, n_bits)``, dtype coercible to uint8), packed and stored.
+        """
+        self._ensure_allocated()
+        users = np.arange(self.n_users)
+        missing = ~self._present[users, keys]
+        if missing.any():
+            missing_users = users[missing]
+            missing_keys = keys[missing]
+            rows = np.ascontiguousarray(
+                fresh(missing_users, missing_keys), dtype=np.uint8
+            )
+            self._packed[missing_users, missing_keys] = np.packbits(rows, axis=1)
+            self._present[missing_users, missing_keys] = True
+        packed_rows = self._packed[users, keys]
+        return np.unpackbits(packed_rows, axis=1, count=self.n_bits)
+
+    def distinct_per_user(self) -> np.ndarray:
+        """Number of memoized keys per user."""
+        if self._present is None:
+            return np.zeros(self.n_users, dtype=np.int64)
+        return self._present.sum(axis=1, dtype=np.int64)
+
+    def get_row(self, user: int, key: int) -> Optional[np.ndarray]:
+        """The memoized bits of one (user, key) pair, or ``None`` if absent."""
+        if self._present is None or not self._present[user, key]:
+            return None
+        return np.unpackbits(self._packed[user, key], count=self.n_bits)

@@ -2,15 +2,27 @@
 
 The paper's Figures 3 and 4 sweep ``eps_inf`` over ``[0.5, 1, ..., 5]`` and
 ``alpha = eps_1 / eps_inf`` over ``{0.4, 0.5, 0.6}`` for every protocol and
-dataset, averaging 20 runs per point.  :func:`run_sweep` reproduces that loop
-for arbitrary grids and run counts (the experiment harness picks scaled-down
-defaults so the full grid remains tractable on a laptop / CI machine).
+dataset, averaging 20 runs per point.  :class:`SweepExecutor` reproduces that
+loop for arbitrary grids and run counts and can shard the grid across worker
+processes:
+
+* every (grid point, repetition) pair is an independent *task* seeded by its
+  own :class:`numpy.random.SeedSequence` child derived from the root seed, so
+  a parallel sweep (``n_workers > 1``) is **bit-identical** to the serial
+  one — only wall-clock time changes;
+* completed grid points can be flushed incrementally to a
+  :class:`repro.store.ResultsStore` CSV, so an interrupted sweep keeps every
+  finished point on disk.
+
+:func:`run_sweep` remains the functional entry point used by the experiment
+harnesses.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,10 +30,11 @@ from .._validation import require_int_at_least
 from ..datasets.base import LongitudinalDataset
 from ..exceptions import ExperimentError
 from ..longitudinal.base import LongitudinalProtocol
-from ..rng import derive_generators
+from ..rng import derive_seed_sequences
+from ..store.results_store import ResultsStore
 from .runner import SimulationResult, simulate_protocol
 
-__all__ = ["SweepPoint", "run_sweep"]
+__all__ = ["SweepPoint", "SweepExecutor", "run_sweep"]
 
 #: A protocol factory receives ``(k, eps_inf, eps_1)`` and returns a protocol.
 ProtocolFactory = Callable[[int, float, float], LongitudinalProtocol]
@@ -31,8 +44,11 @@ ProtocolFactory = Callable[[int, float, float], LongitudinalProtocol]
 class SweepPoint:
     """Aggregated result of one ``(protocol, eps_inf, alpha)`` grid point.
 
-    ``mse_avg`` and ``eps_avg`` are averaged over the sweep's repeated runs;
-    the per-run values are kept for dispersion analysis.
+    ``mse_avg`` and ``eps_avg`` are averaged over the sweep's repeated runs.
+    The scalar per-run values (``run_mses``, ``run_eps``) are always kept so
+    dispersion statistics remain available when the full
+    :class:`~repro.simulation.runner.SimulationResult` objects are dropped
+    with ``keep_runs=False``.
     """
 
     protocol_name: str
@@ -43,11 +59,255 @@ class SweepPoint:
     eps_avg: float
     worst_case_budget: float
     runs: List[SimulationResult] = field(default_factory=list)
+    run_mses: List[float] = field(default_factory=list)
+    run_eps: List[float] = field(default_factory=list)
 
     @property
     def mse_std(self) -> float:
-        """Standard deviation of ``MSE_avg`` across runs."""
-        return float(np.std([run.mse_avg for run in self.runs]))
+        """Standard deviation of ``MSE_avg`` across runs (NaN without runs)."""
+        run_mses = self.run_mses or [run.mse_avg for run in self.runs]
+        if not run_mses:
+            return float("nan")
+        return float(np.std(run_mses))
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat representation for CSV persistence."""
+        return {
+            "protocol": self.protocol_name,
+            "dataset": self.dataset_name,
+            "eps_inf": self.eps_inf,
+            "alpha": self.alpha,
+            "mse_avg": self.mse_avg,
+            "mse_std": self.mse_std,
+            "eps_avg": self.eps_avg,
+            "worst_case_budget": self.worst_case_budget,
+            "n_runs": len(self.run_mses),
+        }
+
+
+@dataclass(frozen=True)
+class _RunStats:
+    """Slim picklable per-run summary shipped back from worker processes."""
+
+    mse_avg: float
+    eps_avg: float
+    worst_case_budget: float
+
+
+# ``fork``-safe per-worker cache: the dataset is shipped once through the pool
+# initializer instead of being pickled into every task.
+_WORKER_DATASET: Optional[LongitudinalDataset] = None
+
+
+def _init_worker(dataset: LongitudinalDataset) -> None:
+    global _WORKER_DATASET
+    _WORKER_DATASET = dataset
+
+
+def _execute_task(
+    task_index: int,
+    protocol: LongitudinalProtocol,
+    seed: np.random.SeedSequence,
+    keep_full: bool,
+    dataset: Optional[LongitudinalDataset] = None,
+):
+    if dataset is None:
+        dataset = _WORKER_DATASET
+    result = simulate_protocol(protocol, dataset, np.random.default_rng(seed))
+    if keep_full:
+        return task_index, result
+    return task_index, _RunStats(
+        mse_avg=result.mse_avg,
+        eps_avg=result.eps_avg,
+        worst_case_budget=result.worst_case_budget,
+    )
+
+
+class SweepExecutor:
+    """Executes a ``(protocol, eps_inf, alpha)`` grid, serially or sharded
+    across worker processes.
+
+    Parameters
+    ----------
+    protocol_factories:
+        Mapping from display name to a factory ``(k, eps_inf, eps_1) ->
+        protocol``.  Factories run in the parent process (they may be
+        lambdas); only the constructed protocol objects cross process
+        boundaries.
+    dataset:
+        The longitudinal workload to simulate (shipped to each worker once).
+    eps_inf_values, alpha_values:
+        The privacy grid; ``eps_1 = alpha * eps_inf``.  Validated up front,
+        before any randomness streams are derived.
+    n_runs:
+        Independent repetitions per grid point (the paper uses 20).
+    rng:
+        Root seed; every (grid point, repetition) task receives an
+        independent derived stream, so results are reproducible,
+        order-independent and identical for every ``n_workers``.
+    keep_runs:
+        Whether to retain per-run :class:`SimulationResult` objects.  Per-run
+        scalar statistics are always retained.
+    n_workers:
+        Number of worker processes; ``1`` (default) runs in-process.
+    store, experiment_id, flush_every:
+        When ``store`` is given, completed grid points are appended to
+        ``<experiment_id>.csv`` in grid order, ``flush_every`` points at a
+        time, while the sweep is still running.
+    """
+
+    def __init__(
+        self,
+        protocol_factories: Dict[str, ProtocolFactory],
+        dataset: LongitudinalDataset,
+        eps_inf_values: Iterable[float],
+        alpha_values: Iterable[float],
+        n_runs: int = 1,
+        rng: Optional[int] = 0,
+        keep_runs: bool = True,
+        n_workers: int = 1,
+        store: Optional[ResultsStore] = None,
+        experiment_id: str = "sweep",
+        flush_every: int = 1,
+    ) -> None:
+        self.n_runs = require_int_at_least(n_runs, 1, "n_runs")
+        self.n_workers = require_int_at_least(n_workers, 1, "n_workers")
+        self.flush_every = require_int_at_least(flush_every, 1, "flush_every")
+        eps_inf_values = list(eps_inf_values)
+        alpha_values = list(alpha_values)
+        if not protocol_factories:
+            raise ExperimentError("at least one protocol factory is required")
+        if not eps_inf_values or not alpha_values:
+            raise ExperimentError("the privacy grid must be non-empty")
+        # Fail fast on an invalid grid, before any generator table is derived
+        # or any simulation starts.
+        for alpha in alpha_values:
+            if not 0.0 < alpha < 1.0:
+                raise ExperimentError(f"alpha must lie in (0, 1), got {alpha}")
+        self.protocol_factories = dict(protocol_factories)
+        self.dataset = dataset
+        self.rng = rng
+        self.keep_runs = keep_runs
+        self.store = store
+        self.experiment_id = experiment_id
+        #: Grid points in canonical order: protocol -> alpha -> eps_inf.
+        self.grid: List[Tuple[str, float, float]] = [
+            (protocol_name, alpha, eps_inf)
+            for protocol_name in self.protocol_factories
+            for alpha in alpha_values
+            for eps_inf in eps_inf_values
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[SweepPoint]:
+        """Execute every task and return the grid points in canonical order."""
+        if self.store is not None and self.store.has_rows(self.experiment_id):
+            # Appending after a previous (or interrupted) run would silently
+            # duplicate grid points in the CSV.
+            raise ExperimentError(
+                f"results for experiment {self.experiment_id!r} already exist in "
+                f"the store; pick a new experiment_id or delete the old CSV first"
+            )
+        n_points = len(self.grid)
+        n_tasks = n_points * self.n_runs
+        seeds = derive_seed_sequences(self.rng, n_tasks)
+        protocols = [
+            self.protocol_factories[name](self.dataset.k, eps_inf, alpha * eps_inf)
+            for name, alpha, eps_inf in self.grid
+            for _ in range(self.n_runs)
+        ]
+
+        results: List[object] = [None] * n_tasks
+        points: List[Optional[SweepPoint]] = [None] * n_points
+        completed_runs = [0] * n_points
+        flush_state = {"cursor": 0, "pending": []}
+
+        def on_task_done(task_index: int, payload: object) -> None:
+            results[task_index] = payload
+            point_index = task_index // self.n_runs
+            completed_runs[point_index] += 1
+            if completed_runs[point_index] == self.n_runs:
+                points[point_index] = self._build_point(point_index, results)
+                self._flush_ready(points, flush_state)
+
+        try:
+            if self.n_workers == 1:
+                for task_index, (protocol, seed) in enumerate(zip(protocols, seeds)):
+                    _, payload = _execute_task(
+                        task_index, protocol, seed, self.keep_runs, self.dataset
+                    )
+                    on_task_done(task_index, payload)
+            else:
+                self._run_parallel(protocols, seeds, on_task_done)
+        finally:
+            # Flush the completed grid-order prefix even when a task failed
+            # or the sweep was interrupted — finished points stay on disk.
+            self._flush_ready(points, flush_state, final=True)
+        return list(points)
+
+    def _run_parallel(self, protocols, seeds, on_task_done) -> None:
+        max_workers = min(self.n_workers, len(protocols))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(self.dataset,),
+        ) as pool:
+            pending = {
+                pool.submit(_execute_task, index, protocol, seed, self.keep_runs)
+                for index, (protocol, seed) in enumerate(zip(protocols, seeds))
+            }
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task_index, payload = future.result()
+                        on_task_done(task_index, payload)
+            except BaseException:
+                # Surface a failed task immediately instead of waiting for
+                # the whole remaining grid to finish.
+                for future in pending:
+                    future.cancel()
+                raise
+
+    # ------------------------------------------------------------------ #
+    # Aggregation / flushing
+    # ------------------------------------------------------------------ #
+    def _build_point(self, point_index: int, results: Sequence[object]) -> SweepPoint:
+        protocol_name, alpha, eps_inf = self.grid[point_index]
+        start = point_index * self.n_runs
+        run_payloads = results[start : start + self.n_runs]
+        run_mses = [payload.mse_avg for payload in run_payloads]
+        run_eps = [payload.eps_avg for payload in run_payloads]
+        return SweepPoint(
+            protocol_name=protocol_name,
+            dataset_name=self.dataset.name,
+            eps_inf=eps_inf,
+            alpha=alpha,
+            mse_avg=float(np.mean(run_mses)),
+            eps_avg=float(np.mean(run_eps)),
+            worst_case_budget=run_payloads[0].worst_case_budget,
+            runs=list(run_payloads) if self.keep_runs else [],
+            run_mses=run_mses,
+            run_eps=run_eps,
+        )
+
+    def _flush_ready(
+        self,
+        points: Sequence[Optional[SweepPoint]],
+        flush_state: dict,
+        final: bool = False,
+    ) -> None:
+        """Append finished points to the store, in grid order, batched."""
+        if self.store is None:
+            return
+        while flush_state["cursor"] < len(points) and points[flush_state["cursor"]] is not None:
+            flush_state["pending"].append(points[flush_state["cursor"]].as_row())
+            flush_state["cursor"] += 1
+        if flush_state["pending"] and (final or len(flush_state["pending"]) >= self.flush_every):
+            self.store.append_rows(self.experiment_id, flush_state["pending"])
+            flush_state["pending"] = []
 
 
 def run_sweep(
@@ -58,61 +318,29 @@ def run_sweep(
     n_runs: int = 1,
     rng: Optional[int] = 0,
     keep_runs: bool = True,
+    n_workers: int = 1,
+    store: Optional[ResultsStore] = None,
+    experiment_id: str = "sweep",
+    flush_every: int = 1,
 ) -> List[SweepPoint]:
     """Run the full ``(protocol, eps_inf, alpha)`` grid over one dataset.
 
-    Parameters
-    ----------
-    protocol_factories:
-        Mapping from display name to a factory ``(k, eps_inf, eps_1) ->
-        protocol``.  Using factories (rather than protocol instances) lets a
-        single sweep instantiate each protocol fresh for every grid point.
-    dataset:
-        The longitudinal workload to simulate.
-    eps_inf_values, alpha_values:
-        The privacy grid; ``eps_1 = alpha * eps_inf``.
-    n_runs:
-        Number of independent repetitions per grid point (the paper uses 20).
-    rng:
-        Root seed; every grid point and repetition receives an independent
-        derived stream, so results are reproducible and order-independent.
-    keep_runs:
-        Whether to retain per-run :class:`SimulationResult` objects (set to
-        ``False`` to save memory in large sweeps).
+    This is the functional wrapper around :class:`SweepExecutor`; see its
+    documentation for the parameters.  With ``n_workers > 1`` the grid tasks
+    are sharded across a process pool and the aggregated results are
+    bit-identical to the serial execution for the same root seed.
     """
-    n_runs = require_int_at_least(n_runs, 1, "n_runs")
-    eps_inf_values = list(eps_inf_values)
-    alpha_values = list(alpha_values)
-    if not protocol_factories:
-        raise ExperimentError("at least one protocol factory is required")
-    if not eps_inf_values or not alpha_values:
-        raise ExperimentError("the privacy grid must be non-empty")
-
-    total_points = len(protocol_factories) * len(eps_inf_values) * len(alpha_values)
-    generators = derive_generators(rng, total_points * n_runs)
-    points: List[SweepPoint] = []
-    stream_index = 0
-    for protocol_name, factory in protocol_factories.items():
-        for alpha in alpha_values:
-            if not 0.0 < alpha < 1.0:
-                raise ExperimentError(f"alpha must lie in (0, 1), got {alpha}")
-            for eps_inf in eps_inf_values:
-                eps_1 = alpha * eps_inf
-                runs: List[SimulationResult] = []
-                for _ in range(n_runs):
-                    protocol = factory(dataset.k, eps_inf, eps_1)
-                    result = simulate_protocol(protocol, dataset, generators[stream_index])
-                    stream_index += 1
-                    runs.append(result)
-                point = SweepPoint(
-                    protocol_name=protocol_name,
-                    dataset_name=dataset.name,
-                    eps_inf=eps_inf,
-                    alpha=alpha,
-                    mse_avg=float(np.mean([run.mse_avg for run in runs])),
-                    eps_avg=float(np.mean([run.eps_avg for run in runs])),
-                    worst_case_budget=runs[0].worst_case_budget,
-                    runs=runs if keep_runs else [],
-                )
-                points.append(point)
-    return points
+    executor = SweepExecutor(
+        protocol_factories=protocol_factories,
+        dataset=dataset,
+        eps_inf_values=eps_inf_values,
+        alpha_values=alpha_values,
+        n_runs=n_runs,
+        rng=rng,
+        keep_runs=keep_runs,
+        n_workers=n_workers,
+        store=store,
+        experiment_id=experiment_id,
+        flush_every=flush_every,
+    )
+    return executor.run()

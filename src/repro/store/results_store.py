@@ -76,6 +76,45 @@ class ResultsStore:
             writer.writerows(rows)
         return path
 
+    def append_rows(
+        self, experiment_id: str, rows: Sequence[Dict[str, object]]
+    ) -> Path:
+        """Append flat dictionaries to ``<experiment_id>.csv``, creating it on
+        first use.
+
+        Unlike :meth:`save_rows` this is an *incremental* writer: long-running
+        sweeps flush completed grid points as they finish, so a crashed or
+        interrupted run leaves every already-computed row on disk.  Appended
+        rows must match the columns of the existing file.
+        """
+        if not rows:
+            return self._path(experiment_id, "csv")
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(experiment_id, "csv")
+        fieldnames = list(rows[0].keys())
+        for row in rows:
+            if list(row.keys()) != fieldnames:
+                raise ExperimentError("all rows must share the same columns")
+        write_header = not path.exists() or path.stat().st_size == 0
+        if not write_header:
+            with path.open("r", encoding="utf-8", newline="") as handle:
+                existing = next(csv.reader(handle), None)
+            if existing and existing != fieldnames:
+                raise ExperimentError(
+                    f"cannot append to {path}: existing columns {existing} do not "
+                    f"match {fieldnames}"
+                )
+        with path.open("a", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            if write_header:
+                writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+    def has_rows(self, experiment_id: str) -> bool:
+        """Whether a CSV for ``experiment_id`` already exists on disk."""
+        return self._path(experiment_id, "csv").exists()
+
     # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #

@@ -95,14 +95,17 @@ class TestEngineVsClients:
             lambda k: LGRR(k, 3.0, 1.5),
             lambda k: LSUE(k, 3.0, 1.5),
             lambda k: OLOLOHA(k, 3.0, 1.5),
+            lambda k: DBitFlipPM(k, 3.0, d=4),
         ],
-        ids=["L-GRR", "RAPPOR", "OLOLOHA"],
+        ids=["L-GRR", "RAPPOR", "OLOLOHA", "dBitFlipPM"],
     )
     def test_engine_matches_client_path(self, protocol_factory, tiny_dataset):
+        """All four protocol families: vectorized path ≈ reference client path."""
         engine_result = simulate_protocol(protocol_factory(tiny_dataset.k), tiny_dataset, rng=0)
         client_result = simulate_with_clients(
             protocol_factory(tiny_dataset.k), tiny_dataset, rng=0
         )
+        assert engine_result.estimates.shape == client_result.estimates.shape
         # Same memoization structure (depends only on the value sequences).
         if isinstance(protocol_factory(tiny_dataset.k), (LGRR, LSUE)):
             assert np.array_equal(
@@ -112,6 +115,8 @@ class TestEngineVsClients:
         # Similar error level (both unbiased with the same variance).
         assert engine_result.mse_avg < 8 * client_result.mse_avg + 0.05
         assert client_result.mse_avg < 8 * engine_result.mse_avg + 0.05
+        # Similar realized longitudinal budget.
+        assert engine_result.eps_avg == pytest.approx(client_result.eps_avg, rel=0.25)
 
 
 class TestSimulationRunner:

@@ -6,6 +6,7 @@ API drift without paying their full simulation cost in the unit-test suite.
 """
 
 import importlib.util
+import os
 import pathlib
 import subprocess
 import sys
@@ -13,6 +14,7 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 
@@ -35,11 +37,18 @@ class TestExamples:
         assert callable(getattr(module, "main", None)), f"{path.name} must define main()"
 
     def test_quickstart_runs_end_to_end(self):
+        # The subprocess does not inherit pytest's ``pythonpath`` setting, so
+        # expose src/ explicitly (works with or without a caller PYTHONPATH).
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
         completed = subprocess.run(
             [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
             capture_output=True,
             text=True,
             timeout=300,
+            env=env,
         )
         assert completed.returncode == 0, completed.stderr
         assert "MSE averaged" in completed.stdout

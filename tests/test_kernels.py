@@ -1,0 +1,132 @@
+"""Tests for the pure perturbation kernels of ``repro.simulation.kernels``."""
+
+import numpy as np
+import pytest
+
+from repro.longitudinal.base import longitudinal_estimate
+from repro.longitudinal.parameters import ChainedParameters
+from repro.simulation.kernels import (
+    chained_debias_kernel,
+    dbitflip_fresh_bits_kernel,
+    debias_kernel,
+    grr_kernel,
+    one_hot_kernel,
+    sample_buckets_kernel,
+    support_from_hashes_kernel,
+    ue_binomial_counts_kernel,
+    ue_flip_kernel,
+    ue_fresh_rows_kernel,
+)
+
+
+class TestGRRKernel:
+    def test_output_stays_in_domain(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 16, size=5_000)
+        out = grr_kernel(values, 16, 0.5, np.random.default_rng(1))
+        assert out.min() >= 0 and out.max() < 16
+
+    def test_deterministic_given_seed(self):
+        values = np.arange(100) % 7
+        a = grr_kernel(values, 7, 0.6, np.random.default_rng(3))
+        b = grr_kernel(values, 7, 0.6, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_keep_rate_matches_probability(self):
+        values = np.zeros(50_000, dtype=np.int64)
+        out = grr_kernel(values, 10, 0.7, np.random.default_rng(5))
+        kept = (out == values).mean()
+        assert kept == pytest.approx(0.7, abs=0.02)
+
+    def test_noise_uniform_over_other_symbols(self):
+        values = np.full(90_000, 4, dtype=np.int64)
+        out = grr_kernel(values, 5, 0.0, np.random.default_rng(7))
+        counts = np.bincount(out, minlength=5)
+        assert counts[4] == 0
+        assert counts[:4].min() > 0.2 * 90_000 / 4
+
+
+class TestUEKernels:
+    def test_fresh_rows_equals_one_hot_plus_flip(self):
+        """The fused kernel consumes randomness identically to the two-step path."""
+        values = np.random.default_rng(0).integers(0, 12, size=300)
+        fused = ue_fresh_rows_kernel(values, 12, 0.75, 0.25, np.random.default_rng(9))
+        two_step = ue_flip_kernel(
+            one_hot_kernel(values, 12), 0.75, 0.25, np.random.default_rng(9)
+        )
+        assert np.array_equal(fused, two_step)
+
+    def test_flip_probabilities(self):
+        bits = np.zeros((20_000, 4), dtype=np.uint8)
+        bits[:, 0] = 1
+        out = ue_flip_kernel(bits, 0.8, 0.1, np.random.default_rng(11))
+        assert out[:, 0].mean() == pytest.approx(0.8, abs=0.02)
+        assert out[:, 1:].mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_binomial_counts_match_bitwise_distribution(self):
+        """The aggregated sampler has the same mean/variance as bit flipping."""
+        n_users, p, q = 4_000, 0.75, 0.2
+        memo_ones = np.asarray([0, 1_000, 2_500, 4_000])
+        rng = np.random.default_rng(13)
+        draws = np.stack(
+            [ue_binomial_counts_kernel(memo_ones, n_users, p, q, rng) for _ in range(3_000)]
+        )
+        expected_mean = memo_ones * p + (n_users - memo_ones) * q
+        expected_var = memo_ones * p * (1 - p) + (n_users - memo_ones) * q * (1 - q)
+        assert np.allclose(draws.mean(axis=0), expected_mean, rtol=0.02)
+        assert np.allclose(draws.var(axis=0), expected_var, rtol=0.15)
+
+
+class TestDBitFlipKernels:
+    def test_sample_buckets_without_replacement(self):
+        sampled = sample_buckets_kernel(500, 20, 6, np.random.default_rng(17))
+        assert sampled.shape == (500, 6)
+        assert sampled.min() >= 0 and sampled.max() < 20
+        for row in sampled:
+            assert len(set(row.tolist())) == 6
+
+    def test_sample_buckets_marginal_uniform(self):
+        sampled = sample_buckets_kernel(20_000, 8, 2, np.random.default_rng(19))
+        counts = np.bincount(sampled.ravel(), minlength=8)
+        assert counts.min() > 0.8 * 20_000 * 2 / 8
+
+    def test_fresh_bits_key_position(self):
+        keys = np.full(30_000, 2, dtype=np.int64)
+        bits = dbitflip_fresh_bits_kernel(keys, 5, 0.9, 0.1, np.random.default_rng(23))
+        assert bits[:, 2].mean() == pytest.approx(0.9, abs=0.02)
+        assert bits[:, [0, 1, 3, 4]].mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_fresh_bits_no_match_key(self):
+        """Key ``d`` (no sampled bucket matches) uses ``q`` for every bit."""
+        keys = np.full(30_000, 3, dtype=np.int64)
+        bits = dbitflip_fresh_bits_kernel(keys, 3, 0.9, 0.1, np.random.default_rng(29))
+        assert bits.mean() == pytest.approx(0.1, abs=0.02)
+
+
+class TestDebiasKernels:
+    def test_debias_inverts_expected_counts(self):
+        f = np.asarray([0.1, 0.3, 0.6])
+        n, p, q = 1_000, 0.7, 0.2
+        counts = n * (q + f * (p - q))
+        assert np.allclose(debias_kernel(counts, n, p, q), f)
+
+    def test_chained_debias_matches_longitudinal_estimate(self):
+        params = ChainedParameters(
+            p1=0.8, q1=0.2, p2=0.7, q2=0.3, eps_inf=2.0, eps_1=1.0
+        )
+        counts = np.asarray([100.0, 250.0, 400.0])
+        via_kernel = chained_debias_kernel(
+            counts, 500, params.p1, params.estimator_q1, params.p2, params.q2
+        )
+        assert np.allclose(via_kernel, longitudinal_estimate(counts, 500, params))
+
+
+class TestSupportKernel:
+    def test_support_counts_match_naive_loop(self):
+        rng = np.random.default_rng(31)
+        hashed = rng.integers(0, 4, size=(200, 10)).astype(np.int16)
+        reports = rng.integers(0, 4, size=200)
+        naive = np.zeros(10)
+        for u in range(200):
+            naive += hashed[u] == reports[u]
+        assert np.array_equal(support_from_hashes_kernel(hashed, reports), naive)

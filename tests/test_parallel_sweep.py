@@ -1,0 +1,241 @@
+"""Tests for the SweepExecutor: parallel bit-identity, fail-fast validation,
+dispersion statistics and incremental result flushing."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.longitudinal import LGRR, LSUE, OLOLOHA
+from repro.simulation.sweep import SweepExecutor, run_sweep
+from repro.store import ResultsStore
+
+
+def _factories():
+    return {
+        "OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1),
+        "RAPPOR": lambda k, e, e1: LSUE(k, e, e1),
+    }
+
+
+class TestParallelBitIdentity:
+    def test_parallel_reproduces_serial_bit_for_bit(self, tiny_dataset):
+        kwargs = dict(
+            protocol_factories=_factories(),
+            dataset=tiny_dataset,
+            eps_inf_values=[1.0, 2.0],
+            alpha_values=[0.5],
+            n_runs=2,
+            rng=123,
+        )
+        serial = run_sweep(**kwargs, n_workers=1)
+        parallel = run_sweep(**kwargs, n_workers=2, keep_runs=False)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert (s.protocol_name, s.alpha, s.eps_inf) == (
+                p.protocol_name,
+                p.alpha,
+                p.eps_inf,
+            )
+            # Bit-for-bit, not approx: both paths must consume identical
+            # derived randomness streams.
+            assert s.mse_avg == p.mse_avg
+            assert s.eps_avg == p.eps_avg
+            assert s.run_mses == p.run_mses
+
+    def test_worker_count_does_not_change_results(self, tiny_dataset):
+        kwargs = dict(
+            protocol_factories={"L-GRR": lambda k, e, e1: LGRR(k, e, e1)},
+            dataset=tiny_dataset,
+            eps_inf_values=[2.0],
+            alpha_values=[0.4, 0.6],
+            n_runs=3,
+            rng=7,
+            keep_runs=False,
+        )
+        two = run_sweep(**kwargs, n_workers=2)
+        three = run_sweep(**kwargs, n_workers=3)
+        for a, b in zip(two, three):
+            assert a.mse_avg == b.mse_avg and a.eps_avg == b.eps_avg
+
+
+class TestFailFastValidation:
+    def test_invalid_alpha_rejected_before_any_simulation(self, tiny_dataset):
+        # A huge run count would make the old post-derivation validation
+        # allocate an enormous generator table before failing; the executor
+        # must reject the grid up front.
+        with pytest.raises(ExperimentError, match="alpha"):
+            SweepExecutor(
+                _factories(),
+                tiny_dataset,
+                eps_inf_values=[1.0],
+                alpha_values=[1.5],
+                n_runs=1_000_000_000,
+            )
+
+    def test_empty_grid_rejected(self, tiny_dataset):
+        with pytest.raises(ExperimentError):
+            SweepExecutor(_factories(), tiny_dataset, eps_inf_values=[], alpha_values=[0.5])
+
+    def test_grid_order_is_protocol_alpha_eps(self, tiny_dataset):
+        executor = SweepExecutor(
+            _factories(),
+            tiny_dataset,
+            eps_inf_values=[1.0, 2.0],
+            alpha_values=[0.4, 0.6],
+        )
+        assert executor.grid[:4] == [
+            ("OLOLOHA", 0.4, 1.0),
+            ("OLOLOHA", 0.4, 2.0),
+            ("OLOLOHA", 0.6, 1.0),
+            ("OLOLOHA", 0.6, 2.0),
+        ]
+
+
+class TestDispersionStatistics:
+    def test_mse_std_available_without_kept_runs(self, tiny_dataset):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # np.std([]) would warn
+            points = run_sweep(
+                {"RAPPOR": lambda k, e, e1: LSUE(k, e, e1)},
+                tiny_dataset,
+                eps_inf_values=[1.0],
+                alpha_values=[0.5],
+                n_runs=3,
+                keep_runs=False,
+            )
+            std = points[0].mse_std
+        assert points[0].runs == []
+        assert len(points[0].run_mses) == 3
+        assert np.isfinite(std)
+        assert std == pytest.approx(float(np.std(points[0].run_mses)))
+
+    def test_mse_std_nan_without_any_runs(self):
+        from repro.simulation.sweep import SweepPoint
+
+        point = SweepPoint(
+            protocol_name="x",
+            dataset_name="y",
+            eps_inf=1.0,
+            alpha=0.5,
+            mse_avg=0.0,
+            eps_avg=0.0,
+            worst_case_budget=0.0,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert np.isnan(point.mse_std)
+
+
+class TestIncrementalFlushing:
+    def test_sweep_flushes_points_to_store(self, tiny_dataset, tmp_path):
+        store = ResultsStore(tmp_path)
+        points = run_sweep(
+            _factories(),
+            tiny_dataset,
+            eps_inf_values=[1.0, 2.0],
+            alpha_values=[0.5],
+            n_runs=2,
+            rng=0,
+            keep_runs=False,
+            store=store,
+            experiment_id="sweep_test",
+        )
+        rows = store.load_rows("sweep_test")
+        assert len(rows) == len(points) == 4
+        for row, point in zip(rows, points):
+            assert row["protocol"] == point.protocol_name
+            assert float(row["mse_avg"]) == pytest.approx(point.mse_avg)
+            assert int(row["n_runs"]) == 2
+
+    def test_parallel_sweep_flushes_in_grid_order(self, tiny_dataset, tmp_path):
+        store = ResultsStore(tmp_path)
+        points = run_sweep(
+            _factories(),
+            tiny_dataset,
+            eps_inf_values=[1.0, 2.0],
+            alpha_values=[0.5],
+            n_runs=1,
+            rng=0,
+            keep_runs=False,
+            n_workers=2,
+            store=store,
+            experiment_id="sweep_par",
+            flush_every=2,
+        )
+        rows = store.load_rows("sweep_par")
+        assert [row["protocol"] for row in rows] == [p.protocol_name for p in points]
+        assert [float(row["eps_inf"]) for row in rows] == [p.eps_inf for p in points]
+
+    def test_rerun_with_same_experiment_id_rejected(self, tiny_dataset, tmp_path):
+        """A second sweep must not silently append duplicate grid points."""
+        store = ResultsStore(tmp_path)
+        kwargs = dict(
+            protocol_factories={"RAPPOR": lambda k, e, e1: LSUE(k, e, e1)},
+            dataset=tiny_dataset,
+            eps_inf_values=[1.0],
+            alpha_values=[0.5],
+            keep_runs=False,
+            store=store,
+            experiment_id="dup",
+        )
+        run_sweep(**kwargs)
+        with pytest.raises(ExperimentError, match="already exist"):
+            run_sweep(**kwargs)
+        assert len(store.load_rows("dup")) == 1
+
+    def test_completed_prefix_flushed_when_a_task_fails(self, tiny_dataset, tmp_path):
+        """Finished grid points reach the store even if a later point errors."""
+        store = ResultsStore(tmp_path)
+
+        def flaky_factory(k, eps_inf, eps_1):
+            if eps_inf == 3.0:
+                raise RuntimeError("boom")
+            return LSUE(k, eps_inf, eps_1)
+
+        with pytest.raises(RuntimeError):
+            run_sweep(
+                {"RAPPOR": flaky_factory},
+                tiny_dataset,
+                eps_inf_values=[1.0, 2.0, 3.0],
+                alpha_values=[0.5],
+                keep_runs=False,
+                store=store,
+                experiment_id="flaky",
+                flush_every=10,  # larger than the grid: only the final flush runs
+            )
+        # Factories run up front, so here nothing completed — the file may not
+        # exist.  Worker-side failures are the interesting case:
+        assert not store.has_rows("flaky") or len(store.load_rows("flaky")) < 3
+
+        def late_fail_factory(k, eps_inf, eps_1):
+            # constructs fine; fails inside simulate_protocol (domain mismatch)
+            return LSUE(k + (1 if eps_inf == 3.0 else 0), eps_inf, eps_1)
+
+        with pytest.raises(ExperimentError):
+            run_sweep(
+                {"RAPPOR": late_fail_factory},
+                tiny_dataset,
+                eps_inf_values=[1.0, 2.0, 3.0],
+                alpha_values=[0.5],
+                keep_runs=False,
+                store=store,
+                experiment_id="latefail",
+                flush_every=10,
+            )
+        rows = store.load_rows("latefail")
+        assert [float(row["eps_inf"]) for row in rows] == [1.0, 2.0]
+
+    def test_append_rows_accumulates(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append_rows("inc", [{"a": 1, "b": 2}])
+        store.append_rows("inc", [{"a": 3, "b": 4}])
+        rows = store.load_rows("inc")
+        assert [row["a"] for row in rows] == ["1", "3"]
+
+    def test_append_rows_rejects_column_mismatch(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append_rows("inc2", [{"a": 1}])
+        with pytest.raises(ExperimentError):
+            store.append_rows("inc2", [{"c": 1}])

@@ -1,0 +1,200 @@
+"""Tests for the dense memoization state and the aggregation sinks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.longitudinal import DBitFlipPM, LGRR, LSUE, OLOLOHA
+from repro.simulation import simulate_protocol, simulate_protocol_sharded
+from repro.simulation.sinks import (
+    ShardSummary,
+    ShardedSink,
+    SupportCountSink,
+    estimate_support_counts,
+)
+from repro.simulation.state import DenseSymbolMemo, PackedBitMemo
+
+
+class TestDenseSymbolMemo:
+    def test_lazy_allocation_and_zero_distinct(self):
+        memo = DenseSymbolMemo(5, 8)
+        assert list(memo.distinct_per_user()) == [0, 0, 0, 0, 0]
+
+    def test_fresh_called_only_for_missing(self):
+        memo = DenseSymbolMemo(4, 6)
+        calls = []
+
+        def fresh(users, keys):
+            calls.append((users.copy(), keys.copy()))
+            return keys * 10
+
+        keys = np.asarray([0, 1, 2, 3])
+        first = memo.resolve(keys, fresh)
+        assert np.array_equal(first, [0, 10, 20, 30])
+        assert len(calls) == 1
+
+        # Same keys again: everything memoized, fresh must not run.
+        second = memo.resolve(keys, lambda u, k: pytest.fail("fresh re-invoked"))
+        assert np.array_equal(second, first)
+
+    def test_partial_miss_batches_only_missing_users(self):
+        memo = DenseSymbolMemo(3, 4)
+        memo.resolve(np.asarray([0, 0, 0]), lambda u, k: np.zeros(u.size, dtype=int))
+        seen = {}
+
+        def fresh(users, keys):
+            seen["users"] = users.copy()
+            return keys
+
+        memo.resolve(np.asarray([0, 1, 1]), fresh)
+        assert np.array_equal(seen["users"], [1, 2])
+        assert list(memo.distinct_per_user()) == [1, 2, 2]
+
+
+class TestPackedBitMemo:
+    def test_lazy_allocation(self):
+        memo = PackedBitMemo(10, 4, 12)
+        assert memo.nbytes_allocated == 0
+        assert memo.get_row(0, 0) is None
+        assert list(memo.distinct_per_user()) == [0] * 10
+
+    def test_rows_survive_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(0)
+        memo = PackedBitMemo(20, 3, 11)
+        rows = {}
+
+        def fresh(users, keys):
+            fresh_rows = (rng.random((users.size, 11)) < 0.5).astype(np.uint8)
+            for u, k, row in zip(users, keys, fresh_rows):
+                rows[(int(u), int(k))] = row
+            return fresh_rows
+
+        keys = rng.integers(0, 3, size=20)
+        resolved = memo.resolve(keys, fresh)
+        for user in range(20):
+            assert np.array_equal(resolved[user], rows[(user, int(keys[user]))])
+            assert np.array_equal(memo.get_row(user, int(keys[user])), rows[(user, int(keys[user]))])
+
+        # Second resolve with the same keys returns the stored rows unchanged.
+        again = memo.resolve(keys, lambda u, k: pytest.fail("fresh re-invoked"))
+        assert np.array_equal(again, resolved)
+
+    def test_distinct_counts_per_user(self):
+        memo = PackedBitMemo(2, 4, 5)
+        make = lambda users, keys: np.ones((users.size, 5), dtype=np.uint8)
+        memo.resolve(np.asarray([0, 1]), make)
+        memo.resolve(np.asarray([0, 2]), make)
+        memo.resolve(np.asarray([3, 2]), make)
+        # user 0 memoized keys {0, 3}; user 1 memoized keys {1, 2}
+        assert list(memo.distinct_per_user()) == [2, 2]
+
+
+class TestSupportCountSink:
+    def test_duplicate_round_rejected(self):
+        sink = SupportCountSink(3, 4, 10)
+        sink.add_round(0, np.ones(4))
+        with pytest.raises(AggregationError):
+            sink.add_round(0, np.ones(4))
+
+    def test_out_of_range_round_rejected(self):
+        sink = SupportCountSink(3, 4, 10)
+        with pytest.raises(AggregationError):
+            sink.add_round(-1, np.ones(4))
+        with pytest.raises(AggregationError):
+            sink.add_round(3, np.ones(4))
+
+    def test_incomplete_matrix_rejected(self):
+        sink = SupportCountSink(2, 4, 10)
+        sink.add_round(1, np.ones(4))
+        with pytest.raises(AggregationError):
+            _ = sink.support_counts
+
+    def test_estimates_match_direct_debias(self):
+        protocol = LGRR(4, 2.0, 1.0)
+        sink = SupportCountSink(2, 4, 100)
+        counts = np.asarray([[30.0, 25.0, 25.0, 20.0], [40.0, 20.0, 20.0, 20.0]])
+        sink.add_round(0, counts[0])
+        sink.add_round(1, counts[1])
+        assert np.array_equal(
+            sink.estimates(protocol), estimate_support_counts(protocol, counts, 100)
+        )
+
+
+class TestShardedSink:
+    @staticmethod
+    def _summary(rng, n_rounds=3, m=5, n_users=7):
+        return ShardSummary(
+            support_counts=rng.integers(0, 50, size=(n_rounds, m)).astype(float),
+            distinct_memoized_per_user=rng.integers(0, 4, size=n_users),
+            n_users=n_users,
+        )
+
+    def test_merge_is_associative_bit_for_bit(self):
+        rng = np.random.default_rng(42)
+        a, b, c = (self._summary(rng) for _ in range(3))
+        left = ShardedSink().absorb(a).merge(ShardedSink().absorb(b)).merge(
+            ShardedSink().absorb(c)
+        )
+        right = ShardedSink().absorb(a).merge(
+            ShardedSink().absorb(b).merge(ShardedSink().absorb(c))
+        )
+        flat = ShardedSink().absorb(a).absorb(b).absorb(c)
+        for sink in (left, right):
+            assert np.array_equal(sink.support_counts, flat.support_counts)
+            assert np.array_equal(
+                sink.distinct_memoized_per_user, flat.distinct_memoized_per_user
+            )
+            assert sink.n_users == flat.n_users == 21
+
+    def test_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(1)
+        sink = ShardedSink().absorb(self._summary(rng))
+        with pytest.raises(AggregationError):
+            sink.absorb(self._summary(rng, n_rounds=4))
+
+    def test_empty_sink_rejects_estimation(self):
+        with pytest.raises(AggregationError):
+            ShardedSink().estimates(LGRR(4, 2.0, 1.0))
+
+    def test_summary_validates_user_count(self):
+        with pytest.raises(AggregationError):
+            ShardSummary(
+                support_counts=np.zeros((2, 3)),
+                distinct_memoized_per_user=np.zeros(4, dtype=np.int64),
+                n_users=5,
+            )
+
+
+class TestShardedSimulation:
+    @pytest.mark.parametrize(
+        "protocol_factory",
+        [
+            lambda k: LGRR(k, 3.0, 1.5),
+            lambda k: LSUE(k, 3.0, 1.5),
+            lambda k: OLOLOHA(k, 3.0, 1.5),
+            lambda k: DBitFlipPM(k, 3.0, d=4),
+        ],
+        ids=["L-GRR", "RAPPOR", "OLOLOHA", "dBitFlipPM"],
+    )
+    def test_sharded_matches_unsharded_statistically(self, protocol_factory, small_dataset):
+        whole = simulate_protocol(protocol_factory(small_dataset.k), small_dataset, rng=0)
+        sharded = simulate_protocol_sharded(
+            protocol_factory(small_dataset.k), small_dataset, n_shards=4, rng=0
+        )
+        assert sharded.estimates.shape == whole.estimates.shape
+        assert sharded.distinct_memoized_per_user.shape == (small_dataset.n_users,)
+        assert sharded.mse_avg < 8 * whole.mse_avg + 0.05
+        assert whole.mse_avg < 8 * sharded.mse_avg + 0.05
+        assert sharded.eps_avg == pytest.approx(whole.eps_avg, rel=0.25)
+        assert sharded.extra["n_shards"] == 4
+
+    def test_too_many_shards_rejected(self, tiny_dataset):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            simulate_protocol_sharded(
+                LGRR(tiny_dataset.k, 2.0, 1.0),
+                tiny_dataset,
+                n_shards=tiny_dataset.n_users + 1,
+                rng=0,
+            )
