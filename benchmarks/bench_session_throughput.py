@@ -1,0 +1,101 @@
+"""Throughput of the streaming CollectorSession vs the batch simulation path.
+
+The :class:`~repro.service.CollectorSession` façade trades the batch
+runner's dataset-at-once engine loop for incremental, out-of-order report
+ingestion.  These benchmarks quantify that trade:
+
+* ``test_session_report_batches`` — reports/second through
+  ``submit_reports`` (server-side support counting of real client report
+  objects, the service hot path);
+* ``test_session_count_batches`` — rounds/second through ``submit_counts``
+  (the pre-aggregated fast path fed by a vectorized engine round);
+* ``test_batch_simulate_protocol`` — the reference: the same population and
+  horizon through :func:`repro.simulation.runner.simulate_protocol`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.registry import build_protocol
+from repro.service import CollectorSession
+from repro.simulation import engine_for, simulate_protocol
+from repro.specs import ProtocolSpec
+
+from repro.datasets import make_uniform_changing
+
+N_USERS = 2_000
+N_ROUNDS = 5
+K = 64
+
+SPEC = ProtocolSpec(name="L-OSUE", k=K, eps_inf=2.0, eps_1=1.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = make_uniform_changing(
+        k=K, n_users=N_USERS, n_rounds=N_ROUNDS, change_probability=0.3, rng=0
+    )
+    protocol = build_protocol(SPEC)
+    generator = np.random.default_rng(1)
+    clients = [protocol.create_client(generator) for _ in range(N_USERS)]
+    rounds = [
+        [c.report(int(v), generator) for c, v in zip(clients, values_t)]
+        for values_t in dataset.iter_rounds()
+    ]
+    return dataset, rounds
+
+
+@pytest.mark.benchmark(group="session-throughput")
+def test_session_report_batches(benchmark, workload):
+    _, rounds = workload
+
+    def ingest():
+        session = CollectorSession(SPEC, n_rounds=N_ROUNDS)
+        for t, reports in enumerate(rounds):
+            session.submit_reports(t, reports)
+        return session
+
+    session = benchmark(ingest)
+    assert session.is_complete
+    benchmark.extra_info["n_users"] = N_USERS
+    if benchmark.stats:  # absent under --benchmark-disable
+        benchmark.extra_info["reports_per_second"] = (
+            N_USERS * N_ROUNDS / benchmark.stats["mean"]
+        )
+
+
+@pytest.mark.benchmark(group="session-throughput")
+def test_session_count_batches(benchmark, workload):
+    dataset, _ = workload
+    protocol = build_protocol(SPEC)
+    engine = engine_for(protocol, N_USERS, rng=2)
+    generator = np.random.default_rng(3)
+    count_rows = [
+        engine.run_round(values_t, generator) for values_t in dataset.iter_rounds()
+    ]
+
+    def ingest():
+        session = CollectorSession(SPEC, n_rounds=N_ROUNDS)
+        for t, counts in enumerate(count_rows):
+            session.submit_counts(t, counts, n_reports=N_USERS)
+        return session
+
+    session = benchmark(ingest)
+    assert session.is_complete
+    if benchmark.stats:
+        benchmark.extra_info["reports_per_second"] = (
+            N_USERS * N_ROUNDS / benchmark.stats["mean"]
+        )
+
+
+@pytest.mark.benchmark(group="session-throughput")
+def test_batch_simulate_protocol(benchmark, workload):
+    dataset, _ = workload
+    protocol = build_protocol(SPEC)
+
+    result = benchmark(lambda: simulate_protocol(protocol, dataset, rng=4))
+    assert result.estimates.shape == (N_ROUNDS, K)
+    if benchmark.stats:
+        benchmark.extra_info["reports_per_second"] = (
+            N_USERS * N_ROUNDS / benchmark.stats["mean"]
+        )

@@ -17,6 +17,12 @@ The package is organized in layers:
   DB_DE) as reproducible synthetic generators.
 * :mod:`repro.simulation` — population simulation, longitudinal collection
   loop, metrics (MSE_avg, eps_avg) and parameter sweeps.
+* :mod:`repro.specs` / :mod:`repro.registry` — the declarative construction
+  API: frozen, serializable :class:`~repro.specs.ProtocolSpec` descriptions
+  and the string-keyed registry that builds protocols from them.
+* :mod:`repro.service` — the streaming :class:`~repro.service.CollectorSession`
+  server façade (incremental out-of-order report batches, running per-round
+  estimates, checkpoint/restore).
 * :mod:`repro.experiments` — one harness per paper figure / table.
 * :mod:`repro.store` — report and result storage helpers.
 
@@ -60,6 +66,13 @@ from .longitudinal import (
     optimal_g,
     optimal_g_numeric,
 )
+from .specs import ProtocolSpec, SweepSpec, load_sweep_spec
+from .registry import (
+    build_protocol,
+    register_protocol,
+    registered_protocols,
+)
+from .service import CollectorSession
 
 __version__ = "1.0.0"
 
@@ -97,4 +110,12 @@ __all__ = [
     "PrivacyOdometer",
     "optimal_g",
     "optimal_g_numeric",
+    # Declarative construction API + service façade
+    "ProtocolSpec",
+    "SweepSpec",
+    "load_sweep_spec",
+    "build_protocol",
+    "register_protocol",
+    "registered_protocols",
+    "CollectorSession",
 ]

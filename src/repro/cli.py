@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction harnesses.
 
-Usage (after installation, or via ``python -m repro.cli``)::
+Usage (after installation as ``repro-ldp``, or via ``python -m repro.cli``)::
 
     python -m repro.cli figure1
     python -m repro.cli figure2 --alpha 0.5
@@ -9,9 +9,39 @@ Usage (after installation, or via ``python -m repro.cli``)::
     python -m repro.cli table1 --k 360 --eps-inf 2.0
     python -m repro.cli table2 --dataset syn --scale 0.05
     python -m repro.cli datasets
+    python -m repro.cli sweep --spec grid.json --output-dir results/
 
-Each subcommand prints the regenerated rows/series of one paper artifact as a
-text table (and optionally saves them with ``--output-dir``).
+Each figure/table subcommand prints the regenerated rows/series of one paper
+artifact as a text table (and optionally saves them with ``--output-dir``).
+
+The ``sweep`` subcommand is the spec-driven workhorse: it consumes a
+declarative grid file (see :class:`repro.specs.SweepSpec`), streams every
+completed grid point through :meth:`repro.store.ResultsStore.append_rows`
+while the sweep is still running, and — because the per-task randomness is
+derived from the root seed alone — can **resume** an interrupted sweep
+without recomputing the points already on disk::
+
+    cat grid.json
+    {
+      "name": "demo",
+      "protocols": [
+        {"name": "L-OSUE"},
+        {"name": "dBitFlipPM", "label": "1BitFlipPM", "params": {"d": 1}}
+      ],
+      "datasets": ["syn"],
+      "eps_inf_values": [0.5, 2.0],
+      "alpha_values": [0.5],
+      "n_runs": 1,
+      "dataset_scale": 0.05,
+      "seed": 20230328
+    }
+
+    repro-ldp sweep --spec grid.json --output-dir results/
+    # ... interrupted ...
+    repro-ldp sweep --spec grid.json --output-dir results/ --resume
+
+The figure/table subcommands can emit their grids in the same format with
+``--emit-spec grid.json`` instead of running them.
 """
 
 from __future__ import annotations
@@ -21,6 +51,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .datasets import dataset_summaries, make_dataset
+from .exceptions import ReproError
 from .experiments import (
     ExperimentConfig,
     format_figure1,
@@ -30,6 +61,7 @@ from .experiments import (
     format_table,
     format_table1,
     format_table2,
+    paper_sweep_spec,
     run_figure1,
     run_figure2,
     run_figure3,
@@ -37,9 +69,11 @@ from .experiments import (
     run_table1,
     run_table2,
 )
+from .simulation.sweep import completed_points_from_rows, run_sweep
+from .specs import SweepSpec, load_sweep_spec
 from .store import ResultsStore
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "run_spec_sweep"]
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -52,6 +86,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         dataset_scale=args.scale,
         datasets=datasets,
         seed=args.seed,
+        n_workers=getattr(args, "workers", 1),
     )
 
 
@@ -79,7 +114,7 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser with one subcommand per paper artifact."""
     parser = argparse.ArgumentParser(
-        prog="repro-loloha",
+        prog="repro-ldp",
         description="Regenerate the figures and tables of the LOLOHA paper (EDBT 2023).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -100,11 +135,39 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=["syn", "adult", "db_mt", "db_de"],
                 help="datasets to simulate",
             )
+            sub.add_argument(
+                "--emit-spec", default=None, metavar="PATH",
+                help="write this command's grid as a sweep spec JSON file "
+                     "(consumable by 'sweep --spec') instead of running it",
+            )
         if name == "table1":
             sub.add_argument("--k", type=int, default=360, help="domain size")
             sub.add_argument("--n", type=int, default=10_000, help="number of users")
             sub.add_argument("--eps-inf", type=float, default=2.0, help="longitudinal budget")
             sub.add_argument("--d", type=int, default=1, help="dBitFlipPM sampled bits")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a declarative (protocol, dataset, eps_inf, alpha) grid "
+             "from a spec file, streaming results to CSV with resume support",
+    )
+    sweep_parser.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="sweep spec JSON file (see repro.specs.SweepSpec)",
+    )
+    sweep_parser.add_argument(
+        "--output-dir", required=True,
+        help="directory for the per-dataset result CSVs",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="skip grid points already present in the output CSVs "
+             "(bit-identical to an uninterrupted run)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="override the spec's worker-process count",
+    )
 
     datasets_parser = subparsers.add_parser(
         "datasets", help="summarize the evaluation workloads"
@@ -121,6 +184,92 @@ def _maybe_save(args: argparse.Namespace, experiment_id: str, rows: List[dict]) 
         print(f"\nsaved {len(rows)} rows to {path}")
 
 
+def _maybe_emit_spec(args: argparse.Namespace, spec_name: str) -> bool:
+    """Write the subcommand's grid as a sweep spec when ``--emit-spec`` is set."""
+    target = getattr(args, "emit_spec", None)
+    if not target:
+        return False
+    config = _config_from_args(args)
+    spec = paper_sweep_spec(config, name=spec_name)
+    path = spec.save(target)
+    print(
+        f"wrote sweep spec for {spec.n_grid_points} grid points x "
+        f"{len(spec.datasets)} datasets to {path}"
+    )
+    return True
+
+
+def run_spec_sweep(
+    spec: SweepSpec,
+    output_dir: str,
+    resume: bool = False,
+    n_workers: Optional[int] = None,
+) -> int:
+    """Execute a :class:`~repro.specs.SweepSpec`, one CSV per dataset.
+
+    Completed grid points stream to ``<name>_<dataset>.csv`` while the sweep
+    runs; with ``resume=True``, points already present in a partial CSV are
+    skipped and only the missing remainder is computed (with unchanged
+    derived seeds, so the final CSV is bit-identical to an uninterrupted
+    run).
+    """
+    store = ResultsStore(output_dir)
+    workers = n_workers if n_workers is not None else spec.n_workers
+    protocols = spec.grid_protocols()
+    grid_keys = {
+        (name, float(alpha), float(eps_inf))
+        for name in protocols
+        for alpha in spec.alpha_values
+        for eps_inf in spec.eps_inf_values
+    }
+    for dataset_name in spec.datasets:
+        experiment_id = spec.experiment_id(dataset_name)
+        completed = set()
+        if resume and store.has_rows(experiment_id):
+            on_disk = completed_points_from_rows(store.load_rows(experiment_id))
+            # Only rows that belong to THIS grid count as done; a CSV left by
+            # a different spec (other eps/alpha/protocols under the same
+            # name) must not silently satisfy the sweep.
+            completed = on_disk & grid_keys
+            if on_disk - grid_keys:
+                print(
+                    f"{dataset_name}: warning: {len(on_disk - grid_keys)} rows in "
+                    f"{experiment_id}.csv are not part of this grid (stale spec?); "
+                    f"they are kept but do not count as completed"
+                )
+        n_total = spec.n_grid_points
+        n_done = len(completed)
+        if n_done >= n_total:
+            print(
+                f"{dataset_name}: all {n_total} grid points already complete, "
+                f"nothing to do"
+            )
+            continue
+        print(
+            f"{dataset_name}: {n_total} grid points "
+            f"({n_done} already complete, {n_total - n_done} to run, "
+            f"{workers} worker{'s' if workers != 1 else ''})"
+        )
+        dataset = make_dataset(dataset_name, scale=spec.dataset_scale, rng=spec.seed)
+        run_sweep(
+            protocols=protocols,
+            dataset=dataset,
+            eps_inf_values=spec.eps_inf_values,
+            alpha_values=spec.alpha_values,
+            n_runs=spec.n_runs,
+            rng=spec.seed,
+            keep_runs=False,
+            n_workers=workers,
+            store=store,
+            experiment_id=experiment_id,
+            completed=completed,
+            resume=resume,
+        )
+        rows = store.load_rows(experiment_id)
+        print(f"{dataset_name}: {len(rows)} rows in {store.root / (experiment_id + '.csv')}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -130,12 +279,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_table(rows))
         return 0
 
+    if args.command == "sweep":
+        try:
+            spec = load_sweep_spec(args.spec)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return run_spec_sweep(
+            spec, args.output_dir, resume=args.resume, n_workers=args.workers
+        )
+
     if args.command == "table1":
         result = run_table1(
             k=args.k, n=args.n, eps_inf=args.eps_inf, alpha=args.alpha[0], d=args.d
         )
         print(format_table1(result))
         _maybe_save(args, "table1", result.rows())
+        return 0
+
+    if args.command in ("figure3", "figure4", "table2") and _maybe_emit_spec(
+        args, args.command
+    ):
         return 0
 
     config = _config_from_args(args)

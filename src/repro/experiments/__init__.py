@@ -18,6 +18,11 @@ Table 2             :func:`repro.experiments.table2.run_table2`    dBitFlipPM ch
 """
 
 from .config import ExperimentConfig, PAPER_CONFIG, QUICK_CONFIG
+from .empirical import (
+    paper_protocol_specs,
+    paper_sweep_spec,
+    run_empirical_sweep,
+)
 from .figure1 import run_figure1, format_figure1
 from .figure2 import run_figure2, format_figure2
 from .figure3 import run_figure3, format_figure3
@@ -30,6 +35,9 @@ __all__ = [
     "ExperimentConfig",
     "PAPER_CONFIG",
     "QUICK_CONFIG",
+    "paper_protocol_specs",
+    "paper_sweep_spec",
+    "run_empirical_sweep",
     "run_figure1",
     "format_figure1",
     "run_figure2",

@@ -4,22 +4,30 @@ Both figures come from the same simulations: every protocol is run over every
 dataset for the full ``(eps_inf, alpha)`` grid; Figure 3 reads off the
 ``MSE_avg`` of each run and Figure 4 the realized ``eps_avg``.  This module
 builds the protocol line-up of Section 5.1 (including the two dBitFlipPM
-configurations and the paper's bucket-count rule) and runs the sweep once per
+configurations and the paper's bucket-count rule) as declarative
+:class:`~repro.specs.ProtocolSpec` templates and runs the sweep once per
 dataset so the two figures can share the results.
+
+``paper_protocol_factories`` is kept as a deprecated shim over the spec
+line-up for callers that still expect ``(k, eps_inf, eps_1)`` closures.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
 from ..datasets import make_dataset
 from ..datasets.base import LongitudinalDataset
-from ..longitudinal import BiLOLOHA, DBitFlipPM, LGRR, LOSUE, LSUE, OLOLOHA
+from ..registry import build_protocol, dbitflip_bucket_count
 from ..simulation.sweep import ProtocolFactory, SweepPoint, run_sweep
+from ..specs import ProtocolSpec, SweepSpec
 from .config import ExperimentConfig
 
 __all__ = [
+    "paper_protocol_specs",
     "paper_protocol_factories",
+    "paper_sweep_spec",
     "dbitflip_bucket_count",
     "run_empirical_sweep",
     "EMPIRICAL_PROTOCOLS",
@@ -37,33 +45,77 @@ EMPIRICAL_PROTOCOLS = (
 )
 
 
-def dbitflip_bucket_count(k: int) -> int:
-    """The paper's bucket-count rule: ``b = k`` for ``k <= 360``, else ``b = k // 4``."""
-    return k if k <= 360 else max(2, k // 4)
+def paper_protocol_specs(include_dbitflip: bool = True) -> Dict[str, ProtocolSpec]:
+    """Spec templates for the protocol line-up evaluated in Section 5.2.
+
+    Each template leaves the grid fields (``k``, ``eps_inf``, ``alpha``)
+    open; the sweep fills them in per grid point.  dBitFlipPM derives its
+    bucket count from the paper's rule (the registry default) and appears in
+    the privacy- (``d = 1``) and utility-oriented (``d = b``) configurations.
+    """
+    specs: Dict[str, ProtocolSpec] = {
+        "RAPPOR": ProtocolSpec(name="L-SUE", label="RAPPOR"),
+        "L-OSUE": ProtocolSpec(name="L-OSUE"),
+        "L-GRR": ProtocolSpec(name="L-GRR"),
+        "BiLOLOHA": ProtocolSpec(name="BiLOLOHA"),
+        "OLOLOHA": ProtocolSpec(name="OLOLOHA"),
+    }
+    if include_dbitflip:
+        specs["1BitFlipPM"] = ProtocolSpec(
+            name="dBitFlipPM", label="1BitFlipPM", params={"d": 1}
+        )
+        specs["bBitFlipPM"] = ProtocolSpec(
+            name="dBitFlipPM", label="bBitFlipPM", params={"d": "b"}
+        )
+    return specs
 
 
 def paper_protocol_factories(include_dbitflip: bool = True) -> Dict[str, ProtocolFactory]:
-    """Factories for the protocol line-up evaluated in Section 5.2.
+    """Deprecated: factory closures over :func:`paper_protocol_specs`.
 
     Each factory receives ``(k, eps_inf, eps_1)`` and returns a configured
-    protocol; dBitFlipPM ignores ``eps_1`` (single round) and derives its
-    bucket count from the paper's rule.
+    protocol.  Factories cannot be pickled or serialized; new code should
+    use the spec templates directly.
     """
-    factories: Dict[str, ProtocolFactory] = {
-        "RAPPOR": lambda k, eps_inf, eps_1: LSUE(k, eps_inf, eps_1),
-        "L-OSUE": lambda k, eps_inf, eps_1: LOSUE(k, eps_inf, eps_1),
-        "L-GRR": lambda k, eps_inf, eps_1: LGRR(k, eps_inf, eps_1),
-        "BiLOLOHA": lambda k, eps_inf, eps_1: BiLOLOHA(k, eps_inf, eps_1),
-        "OLOLOHA": lambda k, eps_inf, eps_1: OLOLOHA(k, eps_inf, eps_1),
+    warnings.warn(
+        "paper_protocol_factories is deprecated; use paper_protocol_specs "
+        "(ProtocolSpec templates are picklable and serializable)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+    def factory_for(spec: ProtocolSpec) -> ProtocolFactory:
+        return lambda k, eps_inf, eps_1: build_protocol(
+            spec.at(k=k, eps_inf=eps_inf, eps_1=eps_1)
+        )
+
+    return {
+        name: factory_for(spec)
+        for name, spec in paper_protocol_specs(include_dbitflip).items()
     }
-    if include_dbitflip:
-        factories["1BitFlipPM"] = lambda k, eps_inf, eps_1: DBitFlipPM(
-            k, eps_inf, b=dbitflip_bucket_count(k), d=1
-        )
-        factories["bBitFlipPM"] = lambda k, eps_inf, eps_1: DBitFlipPM(
-            k, eps_inf, b=dbitflip_bucket_count(k), d=dbitflip_bucket_count(k)
-        )
-    return factories
+
+
+def paper_sweep_spec(
+    config: ExperimentConfig,
+    include_dbitflip: bool = True,
+    name: str = "empirical",
+) -> SweepSpec:
+    """The full Figure 3/4 grid of ``config`` as a serializable sweep spec.
+
+    This is what the figure CLI subcommands emit with ``--emit-spec`` and
+    what ``repro-ldp sweep --spec`` consumes.
+    """
+    return SweepSpec(
+        protocols=tuple(paper_protocol_specs(include_dbitflip).values()),
+        eps_inf_values=tuple(config.eps_inf_values),
+        alpha_values=tuple(config.alpha_values),
+        datasets=tuple(config.datasets),
+        n_runs=config.n_runs,
+        dataset_scale=config.dataset_scale,
+        seed=config.seed,
+        n_workers=config.n_workers,
+        name=name,
+    )
 
 
 def run_empirical_sweep(
@@ -83,9 +135,9 @@ def run_empirical_sweep(
     """
     if dataset is None:
         dataset = make_dataset(dataset_name, scale=config.dataset_scale, rng=config.seed)
-    factories = paper_protocol_factories(include_dbitflip=include_dbitflip)
+    specs = paper_protocol_specs(include_dbitflip=include_dbitflip)
     return run_sweep(
-        protocol_factories=factories,
+        protocols=specs,
         dataset=dataset,
         eps_inf_values=config.eps_inf_values,
         alpha_values=config.alpha_values,

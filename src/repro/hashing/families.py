@@ -235,34 +235,54 @@ class TabulationHashFamily(UniversalHashFamily):
         return _TabulationFunction(tables=tables, g=self.g)
 
 
+#: Each 64-byte BLAKE2b digest yields eight independent 8-byte words.
+_BLAKE_WORDS_PER_BLOCK = 8
+
+
 @dataclass(frozen=True)
 class _BlakeFunction(HashFunction):
-    """Seeded BLAKE2b hashing, reduced modulo ``g``.
+    """Seeded BLAKE2b hashing in counter mode, reduced modulo ``g``.
 
     Mirrors the seeded xxhash construction used by the reference LOLOHA and
     pure-LDP implementations: the seed plays the role of the hash-function
     identifier transmitted to the server.
+
+    Digests are produced in *counter mode*: one 64-byte BLAKE2b call over
+    the block index ``value // 8`` yields eight independent 8-byte words,
+    and value ``v`` reads word ``v % 8``.  This amortizes one ``hashlib``
+    call over eight domain values and lets :meth:`hash_array` do all
+    word-extraction and modulo arithmetic vectorized in numpy — the hot
+    path when hashing whole domains for a LOLOHA population.
     """
 
     seed: int
     g: int
     _cache: dict = field(default_factory=dict, compare=False, repr=False, hash=False)
 
-    def _hash_one(self, value: int) -> int:
-        cached = self._cache.get(value)
+    def _block_words(self, block: int) -> np.ndarray:
+        """The eight 64-bit words of one counter-mode digest block (cached)."""
+        cached = self._cache.get(block)
         if cached is not None:
             return cached
-        payload = int(value).to_bytes(8, "little", signed=False)
+        payload = int(block).to_bytes(8, "little", signed=False)
         salt = int(self.seed).to_bytes(8, "little", signed=False)
-        digest = hashlib.blake2b(payload, digest_size=8, salt=salt + b"\x00" * 8).digest()
-        result = int.from_bytes(digest, "little") % self.g
-        self._cache[value] = result
-        return result
+        digest = hashlib.blake2b(payload, digest_size=64, salt=salt + b"\x00" * 8).digest()
+        words = np.frombuffer(digest, dtype="<u8")
+        self._cache[block] = words
+        return words
 
     def hash_array(self, values: np.ndarray) -> np.ndarray:
-        flat = np.asarray(values, dtype=np.int64).ravel()
-        out = np.fromiter((self._hash_one(int(v)) for v in flat), dtype=np.int64, count=flat.size)
-        return out.reshape(np.asarray(values).shape)
+        values = np.asarray(values, dtype=np.int64)
+        flat = values.ravel()
+        if flat.size == 0:
+            return np.zeros(values.shape, dtype=np.int64)
+        blocks = flat // _BLAKE_WORDS_PER_BLOCK
+        word_index = flat % _BLAKE_WORDS_PER_BLOCK
+        unique_blocks = np.unique(blocks)
+        table = np.stack([self._block_words(int(b)) for b in unique_blocks])
+        rows = np.searchsorted(unique_blocks, blocks)
+        out = (table[rows, word_index] % np.uint64(self.g)).astype(np.int64)
+        return out.reshape(values.shape)
 
     @property
     def identity(self) -> Tuple:
@@ -270,12 +290,34 @@ class _BlakeFunction(HashFunction):
 
 
 class BlakeHashFamily(UniversalHashFamily):
-    """Seeded cryptographic hash family (BLAKE2b)."""
+    """Seeded cryptographic hash family (BLAKE2b, counter mode)."""
 
     def sample(self, rng: RngLike = None) -> HashFunction:
         generator = as_rng(rng)
         seed = int(generator.integers(0, 2**63 - 1))
         return _BlakeFunction(seed=seed, g=self.g)
+
+    def sample_hashed_domains(
+        self, n_functions: int, k: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Batched draw: one seed per row, counter-mode digests per block.
+
+        Replaces the generic per-function/per-value fallback: all seeds are
+        drawn in one call and each row hashes the whole domain through the
+        vectorized counter-mode path (``ceil(k / 8)`` digests per function
+        instead of ``k``), so crypto hashing stays usable as a LOLOHA
+        population default.
+        """
+        n_functions = require_int_at_least(n_functions, 1, "n_functions")
+        generator = as_rng(rng)
+        seeds = generator.integers(0, 2**63 - 1, size=n_functions)
+        domain = np.arange(int(k), dtype=np.int64)
+        return np.stack(
+            [
+                _BlakeFunction(seed=int(seed), g=self.g).hash_array(domain)
+                for seed in seeds
+            ]
+        )
 
 
 _FAMILY_REGISTRY = {

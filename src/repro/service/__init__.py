@@ -1,0 +1,13 @@
+"""Server-side collection service layer.
+
+:class:`~repro.service.session.CollectorSession` is the streaming,
+service-style entry point of the library: where the batch harnesses of
+:mod:`repro.simulation` drive a whole dataset through an engine, a session
+accepts report batches incrementally — out of round order, from many
+producers — exposes running debiased estimates per round, and can
+checkpoint / restore its server-side state.
+"""
+
+from .session import CollectorSession
+
+__all__ = ["CollectorSession"]

@@ -1,0 +1,276 @@
+"""Streaming collection sessions: the server façade of the library.
+
+A :class:`CollectorSession` is the service-style counterpart of the batch
+:func:`repro.simulation.runner.simulate_protocol` path.  Where the batch
+runner owns the whole dataset and drives the rounds in order, a session is
+fed — it accepts report batches **incrementally and out of round order**
+(heavy traffic never arrives sorted), keeps only the per-round support
+counts and report tallies (``O(n_rounds * m)`` state, independent of the
+population size), and at any moment exposes the running debiased estimate of
+every round observed so far.
+
+The session builds on the sink layer: support counts are folded exactly like
+:class:`~repro.simulation.sinks.SupportCountSink` does (debiasing is linear
+per round, so late debiasing is bit-identical), whole-run shard partials are
+merged through the associative :class:`~repro.simulation.sinks.ShardedSink`
+contract via :meth:`CollectorSession.absorb_summary`, and estimates come
+from :func:`repro.simulation.sinks.estimate_support_counts`.  Unlike the
+sinks, the per-round sample size is the number of reports *actually
+received* for that round, so estimates are unbiased even while a round is
+only partially collected.
+
+Sessions created from a :class:`~repro.specs.ProtocolSpec` can
+:meth:`~CollectorSession.checkpoint` their state to a JSON file and be
+:meth:`~CollectorSession.restore`\\ d later (or elsewhere): the checkpoint
+carries the spec, so the restoring process rebuilds the protocol through
+:func:`repro.registry.build_protocol` without any pickled code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import require_int_at_least
+from ..exceptions import AggregationError, ParameterError
+from ..longitudinal.base import LongitudinalProtocol, RoundEstimate
+from ..registry import build_protocol
+from ..simulation.sinks import ShardSummary, estimate_support_counts
+from ..specs import ProtocolSpec
+
+__all__ = ["CollectorSession"]
+
+_CHECKPOINT_FORMAT = 1
+
+
+class CollectorSession:
+    """Incremental server-side aggregation of one longitudinal collection.
+
+    Parameters
+    ----------
+    protocol:
+        A :class:`~repro.specs.ProtocolSpec` (required for checkpointing) or
+        a live protocol object.
+    n_rounds:
+        Length of the collection horizon.
+
+    Examples
+    --------
+    >>> from repro.specs import ProtocolSpec
+    >>> from repro.service import CollectorSession
+    >>> session = CollectorSession(
+    ...     ProtocolSpec(name="L-OSUE", k=16, eps_inf=2.0, eps_1=1.0), n_rounds=3
+    ... )
+    >>> client = session.protocol.create_client(rng=0)
+    >>> estimate = session.submit_reports(1, [client.report(3, rng=1)])
+    >>> estimate.round_index, estimate.n_reports
+    (1, 1)
+    """
+
+    def __init__(
+        self,
+        protocol: Union[ProtocolSpec, LongitudinalProtocol],
+        n_rounds: int,
+    ) -> None:
+        if isinstance(protocol, ProtocolSpec):
+            self.spec: Optional[ProtocolSpec] = protocol
+            self.protocol = build_protocol(protocol)
+        else:
+            self.spec = None
+            self.protocol = protocol
+        self.n_rounds = require_int_at_least(n_rounds, 1, "n_rounds")
+        m = self.protocol.estimation_domain_size
+        self._counts = np.zeros((self.n_rounds, m), dtype=np.float64)
+        self._n_reports = np.zeros(self.n_rounds, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def _check_round(self, round_index: int) -> int:
+        round_index = int(round_index)
+        if not 0 <= round_index < self.n_rounds:
+            raise AggregationError(
+                f"round index must lie in [0, {self.n_rounds}), got {round_index}"
+            )
+        return round_index
+
+    def submit_reports(self, round_index: int, reports: Sequence) -> RoundEstimate:
+        """Fold a batch of client reports for ``round_index``.
+
+        Batches may arrive in any order and a round may receive any number
+        of batches.  Returns the running estimate of the round.
+        """
+        round_index = self._check_round(round_index)
+        reports = list(reports)
+        if not reports:
+            raise AggregationError("cannot submit an empty report batch")
+        self._counts[round_index] += self.protocol.support_counts(reports)
+        self._n_reports[round_index] += len(reports)
+        return self.estimate(round_index)
+
+    def submit_counts(
+        self, round_index: int, counts: np.ndarray, n_reports: int
+    ) -> RoundEstimate:
+        """Fold pre-aggregated support counts (e.g. from an edge aggregator).
+
+        This is the fast ingestion path for producers that already hold
+        population-level counts — a vectorized engine round or a remote
+        pre-aggregation tier.
+        """
+        round_index = self._check_round(round_index)
+        n_reports = require_int_at_least(n_reports, 1, "n_reports")
+        counts = np.asarray(counts, dtype=np.float64)
+        m = self.protocol.estimation_domain_size
+        if counts.shape != (m,):
+            raise AggregationError(
+                f"expected counts of shape ({m},), got {counts.shape}"
+            )
+        self._counts[round_index] += counts
+        self._n_reports[round_index] += n_reports
+        return self.estimate(round_index)
+
+    def absorb_summary(self, summary: ShardSummary) -> None:
+        """Merge a whole-run shard partial (``ShardedSink`` contract).
+
+        The summary's ``(n_rounds, m)`` counts are added round by round and
+        its users are credited to every round — the same associative, exact
+        integer-float summation as :meth:`repro.simulation.sinks.ShardedSink.absorb`,
+        so shards may be absorbed in any grouping.
+        """
+        counts = np.asarray(summary.support_counts, dtype=np.float64)
+        if counts.shape != self._counts.shape:
+            raise AggregationError(
+                f"shard count shape {counts.shape} does not match "
+                f"{self._counts.shape}"
+            )
+        self._counts += counts
+        self._n_reports += summary.n_users
+
+    # ------------------------------------------------------------------ #
+    # Running estimates
+    # ------------------------------------------------------------------ #
+    @property
+    def reports_per_round(self) -> np.ndarray:
+        """Reports received so far, per round (copy)."""
+        return self._n_reports.copy()
+
+    @property
+    def total_reports(self) -> int:
+        """Total reports received across all rounds."""
+        return int(self._n_reports.sum())
+
+    @property
+    def rounds_observed(self) -> np.ndarray:
+        """Indices of rounds with at least one report."""
+        return np.flatnonzero(self._n_reports > 0)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every round has received at least one report."""
+        return bool((self._n_reports > 0).all())
+
+    def support_counts(self, round_index: int) -> np.ndarray:
+        """Raw accumulated support counts of one round (copy)."""
+        return self._counts[self._check_round(round_index)].copy()
+
+    def estimate(self, round_index: int) -> RoundEstimate:
+        """Running debiased estimate of one round.
+
+        Uses the number of reports received *so far* as the sample size, so
+        the estimate is unbiased for the sub-population that has reported.
+        """
+        round_index = self._check_round(round_index)
+        n = int(self._n_reports[round_index])
+        if n <= 0:
+            raise AggregationError(
+                f"round {round_index} has not received any reports yet"
+            )
+        frequencies = estimate_support_counts(
+            self.protocol, self._counts[round_index], n
+        )
+        return RoundEstimate(
+            round_index=round_index, frequencies=frequencies, n_reports=n
+        )
+
+    def estimates(self) -> np.ndarray:
+        """Running ``(n_rounds, m)`` estimate matrix.
+
+        Rounds without any report are ``NaN`` rows — the caller can see at a
+        glance which part of the horizon is still missing.
+        """
+        matrix = np.full_like(self._counts, np.nan)
+        for t in self.rounds_observed:
+            matrix[t] = estimate_support_counts(
+                self.protocol, self._counts[t], int(self._n_reports[t])
+            )
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path: Union[str, Path]) -> Path:
+        """Persist the session state as a JSON document.
+
+        Requires a spec-built session: the checkpoint stores the declarative
+        spec (never pickled code), the accumulated counts and the per-round
+        report tallies, so any process with this library can
+        :meth:`restore` and continue the collection.
+        """
+        if self.spec is None:
+            raise ParameterError(
+                "only sessions built from a ProtocolSpec can be checkpointed; "
+                "construct the session with a spec from repro.specs"
+            )
+        payload: Dict[str, object] = {
+            "format": _CHECKPOINT_FORMAT,
+            "spec": self.spec.to_dict(),
+            "n_rounds": self.n_rounds,
+            "counts": self._counts.tolist(),
+            "n_reports": self._n_reports.tolist(),
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    @classmethod
+    def restore(cls, path: Union[str, Path]) -> "CollectorSession":
+        """Rebuild a session from a :meth:`checkpoint` file."""
+        path = Path(path)
+        if not path.exists():
+            raise ParameterError(f"no session checkpoint found at {path}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ParameterError(
+                f"invalid session checkpoint {path}: {error}"
+            ) from None
+        if payload.get("format") != _CHECKPOINT_FORMAT:
+            raise ParameterError(
+                f"unsupported checkpoint format {payload.get('format')!r} "
+                f"(expected {_CHECKPOINT_FORMAT})"
+            )
+        session = cls(
+            ProtocolSpec.from_dict(payload["spec"]), n_rounds=int(payload["n_rounds"])
+        )
+        counts = np.asarray(payload["counts"], dtype=np.float64)
+        n_reports = np.asarray(payload["n_reports"], dtype=np.int64)
+        if counts.shape != session._counts.shape or n_reports.shape != (
+            session.n_rounds,
+        ):
+            raise ParameterError(
+                f"checkpoint state shape {counts.shape} does not match the "
+                f"spec's estimation domain {session._counts.shape}"
+            )
+        session._counts = counts
+        session._n_reports = n_reports
+        return session
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CollectorSession(protocol={self.protocol.name!r}, "
+            f"n_rounds={self.n_rounds}, total_reports={self.total_reports})"
+        )

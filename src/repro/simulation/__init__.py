@@ -63,13 +63,17 @@ _EXPORTS = {
     "worst_case_privacy_loss": ".metrics",
     # runner
     "SimulationResult": ".runner",
+    "ShardTask": ".runner",
+    "run_shard_task": ".runner",
     "simulate_protocol": ".runner",
     "simulate_protocol_sharded": ".runner",
     "simulate_with_clients": ".runner",
     # sweep
     "SweepPoint": ".sweep",
+    "SweepTask": ".sweep",
     "SweepExecutor": ".sweep",
     "run_sweep": ".sweep",
+    "completed_points_from_rows": ".sweep",
 }
 
 __all__ = list(_EXPORTS)
@@ -115,11 +119,19 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         worst_case_privacy_loss,
     )
     from .runner import (
+        ShardTask,
         SimulationResult,
+        run_shard_task,
         simulate_protocol,
         simulate_protocol_sharded,
         simulate_with_clients,
     )
     from .sinks import ShardedSink, ShardSummary, SupportCountSink, estimate_support_counts
     from .state import DenseSymbolMemo, PackedBitMemo
-    from .sweep import SweepExecutor, SweepPoint, run_sweep
+    from .sweep import (
+        SweepExecutor,
+        SweepPoint,
+        SweepTask,
+        completed_points_from_rows,
+        run_sweep,
+    )

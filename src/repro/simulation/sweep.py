@@ -6,23 +6,49 @@ dataset, averaging 20 runs per point.  :class:`SweepExecutor` reproduces that
 loop for arbitrary grids and run counts and can shard the grid across worker
 processes:
 
-* every (grid point, repetition) pair is an independent *task* seeded by its
-  own :class:`numpy.random.SeedSequence` child derived from the root seed, so
-  a parallel sweep (``n_workers > 1``) is **bit-identical** to the serial
-  one — only wall-clock time changes;
+* protocols are described by declarative :class:`~repro.specs.ProtocolSpec`
+  templates; every (grid point, repetition) pair becomes a picklable
+  :class:`SweepTask` ``(spec, dataset_name, eps_inf, alpha, run)`` that a
+  worker resolves with :func:`repro.registry.build_protocol` — no closures
+  cross process boundaries;
+* every task is seeded by its own :class:`numpy.random.SeedSequence` child
+  derived from the root seed, so a parallel sweep (``n_workers > 1``) is
+  **bit-identical** to the serial one — only wall-clock time changes;
 * completed grid points can be flushed incrementally to a
   :class:`repro.store.ResultsStore` CSV, so an interrupted sweep keeps every
-  finished point on disk.
+  finished point on disk;
+* an interrupted sweep can be *resumed*: pass the already-present grid keys
+  as ``completed`` (see :func:`completed_points_from_rows`) and only the
+  missing points are computed — with unchanged derived seeds, so a resumed
+  sweep is bit-identical to an uninterrupted one.
 
 :func:`run_sweep` remains the functional entry point used by the experiment
 harnesses.
+
+The legacy ``ProtocolFactory`` closures (``(k, eps_inf, eps_1) ->
+protocol``) are still accepted as a **deprecated shim**; factories cannot be
+serialized, so they run in the parent process and the constructed protocol
+objects are pickled into every task instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Collection,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -30,14 +56,60 @@ from .._validation import require_int_at_least
 from ..datasets.base import LongitudinalDataset
 from ..exceptions import ExperimentError
 from ..longitudinal.base import LongitudinalProtocol
+from ..registry import build_protocol
 from ..rng import derive_seed_sequences
+from ..specs import ProtocolSpec
 from ..store.results_store import ResultsStore
 from .runner import SimulationResult, simulate_protocol
 
-__all__ = ["SweepPoint", "SweepExecutor", "run_sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepTask",
+    "SweepExecutor",
+    "run_sweep",
+    "completed_points_from_rows",
+]
 
-#: A protocol factory receives ``(k, eps_inf, eps_1)`` and returns a protocol.
+#: Deprecated: a protocol factory receives ``(k, eps_inf, eps_1)`` and
+#: returns a protocol.  Use :class:`~repro.specs.ProtocolSpec` templates
+#: instead — specs are picklable and serializable.
 ProtocolFactory = Callable[[int, float, float], LongitudinalProtocol]
+
+#: A grid key: ``(display name, alpha, eps_inf)``.
+GridKey = Tuple[str, float, float]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One picklable unit of sweep work: a grid point repetition.
+
+    ``spec`` is the protocol template; a worker resolves it against the
+    dataset's domain and the grid point's budgets with
+    ``build_protocol(spec.at(k=dataset.k, eps_inf=eps_inf, alpha=alpha))``.
+    """
+
+    spec: ProtocolSpec
+    dataset_name: str
+    eps_inf: float
+    alpha: float
+    run: int
+
+    def build(self, k: int) -> LongitudinalProtocol:
+        """Resolve the template into a live protocol for domain size ``k``."""
+        return build_protocol(self.spec.at(k=k, eps_inf=self.eps_inf, alpha=self.alpha))
+
+    def check_dataset(self, dataset: LongitudinalDataset) -> LongitudinalDataset:
+        """Guard against executing the task against the wrong workload.
+
+        Tasks are shippable; a worker pool initialized with a different
+        dataset must fail loudly instead of producing mislabelled results.
+        """
+        if self.dataset_name and dataset.name != self.dataset_name:
+            raise ExperimentError(
+                f"task for dataset {self.dataset_name!r} reached a worker "
+                f"holding dataset {dataset.name!r}"
+            )
+        return dataset
 
 
 @dataclass
@@ -85,6 +157,26 @@ class SweepPoint:
         }
 
 
+def completed_points_from_rows(rows: Iterable[Mapping[str, object]]) -> Set[GridKey]:
+    """Grid keys already present in previously flushed CSV rows.
+
+    Accepts the string-valued dictionaries of
+    :meth:`repro.store.ResultsStore.load_rows`; used by ``repro-ldp sweep
+    --resume`` to skip finished points.
+    """
+    completed: Set[GridKey] = set()
+    for row in rows:
+        try:
+            completed.add(
+                (str(row["protocol"]), float(row["alpha"]), float(row["eps_inf"]))
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ExperimentError(
+                f"cannot resume from row {dict(row)!r}: {error}"
+            ) from None
+    return completed
+
+
 @dataclass(frozen=True)
 class _RunStats:
     """Slim picklable per-run summary shipped back from worker processes."""
@@ -106,13 +198,17 @@ def _init_worker(dataset: LongitudinalDataset) -> None:
 
 def _execute_task(
     task_index: int,
-    protocol: LongitudinalProtocol,
+    work: Union[SweepTask, LongitudinalProtocol],
     seed: np.random.SeedSequence,
     keep_full: bool,
     dataset: Optional[LongitudinalDataset] = None,
 ):
     if dataset is None:
         dataset = _WORKER_DATASET
+    if isinstance(work, SweepTask):
+        protocol = work.build(work.check_dataset(dataset).k)
+    else:
+        protocol = work
     result = simulate_protocol(protocol, dataset, np.random.default_rng(seed))
     if keep_full:
         return task_index, result
@@ -129,11 +225,13 @@ class SweepExecutor:
 
     Parameters
     ----------
-    protocol_factories:
-        Mapping from display name to a factory ``(k, eps_inf, eps_1) ->
-        protocol``.  Factories run in the parent process (they may be
-        lambdas); only the constructed protocol objects cross process
-        boundaries.
+    protocols:
+        Mapping from display name to a :class:`~repro.specs.ProtocolSpec`
+        template; tasks carry the spec across process boundaries and resolve
+        it with :func:`repro.registry.build_protocol`.  A mapping of legacy
+        factories ``(k, eps_inf, eps_1) -> protocol`` is still accepted
+        (deprecated): factories run in the parent process and the
+        constructed protocol objects are pickled into the tasks.
     dataset:
         The longitudinal workload to simulate (shipped to each worker once).
     eps_inf_values, alpha_values:
@@ -154,14 +252,23 @@ class SweepExecutor:
         When ``store`` is given, completed grid points are appended to
         ``<experiment_id>.csv`` in grid order, ``flush_every`` points at a
         time, while the sweep is still running.
+    completed, resume:
+        Resume support: grid keys in ``completed`` (``(protocol_name,
+        alpha, eps_inf)``, see :func:`completed_points_from_rows`) are
+        skipped — not simulated and not re-flushed — while the task seed
+        derivation still covers the full grid, so the union of the old and
+        new CSV rows is bit-identical to one uninterrupted sweep.
+        ``resume=True`` additionally allows appending to an existing CSV
+        (otherwise a non-empty store entry is an error).  Skipped points are
+        returned as ``None``.
     """
 
     def __init__(
         self,
-        protocol_factories: Dict[str, ProtocolFactory],
-        dataset: LongitudinalDataset,
-        eps_inf_values: Iterable[float],
-        alpha_values: Iterable[float],
+        protocols: Optional[Mapping[str, Union[ProtocolSpec, ProtocolFactory]]] = None,
+        dataset: LongitudinalDataset = None,
+        eps_inf_values: Iterable[float] = (),
+        alpha_values: Iterable[float] = (),
         n_runs: int = 1,
         rng: Optional[int] = 0,
         keep_runs: bool = True,
@@ -169,14 +276,24 @@ class SweepExecutor:
         store: Optional[ResultsStore] = None,
         experiment_id: str = "sweep",
         flush_every: int = 1,
+        completed: Optional[Collection[GridKey]] = None,
+        resume: bool = False,
+        protocol_factories: Optional[Mapping[str, ProtocolFactory]] = None,
     ) -> None:
+        if protocol_factories is not None:
+            if protocols is not None:
+                raise ExperimentError(
+                    "give either 'protocols' or the deprecated "
+                    "'protocol_factories', not both"
+                )
+            protocols = protocol_factories
         self.n_runs = require_int_at_least(n_runs, 1, "n_runs")
         self.n_workers = require_int_at_least(n_workers, 1, "n_workers")
         self.flush_every = require_int_at_least(flush_every, 1, "flush_every")
         eps_inf_values = list(eps_inf_values)
         alpha_values = list(alpha_values)
-        if not protocol_factories:
-            raise ExperimentError("at least one protocol factory is required")
+        if not protocols:
+            raise ExperimentError("at least one protocol spec is required")
         if not eps_inf_values or not alpha_values:
             raise ExperimentError("the privacy grid must be non-empty")
         # Fail fast on an invalid grid, before any generator table is derived
@@ -184,40 +301,90 @@ class SweepExecutor:
         for alpha in alpha_values:
             if not 0.0 < alpha < 1.0:
                 raise ExperimentError(f"alpha must lie in (0, 1), got {alpha}")
-        self.protocol_factories = dict(protocol_factories)
+        self.protocols: Dict[str, Union[ProtocolSpec, ProtocolFactory]] = dict(protocols)
+        self._spec_mode = all(
+            isinstance(entry, ProtocolSpec) for entry in self.protocols.values()
+        )
+        if not self._spec_mode:
+            if any(isinstance(entry, ProtocolSpec) for entry in self.protocols.values()):
+                raise ExperimentError(
+                    "cannot mix ProtocolSpec entries and factory callables in "
+                    "one sweep"
+                )
+            warnings.warn(
+                "protocol factories are deprecated; pass ProtocolSpec templates "
+                "instead (see repro.specs) so sweep tasks stay picklable",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.dataset = dataset
         self.rng = rng
         self.keep_runs = keep_runs
         self.store = store
         self.experiment_id = experiment_id
+        self.resume = bool(resume)
+        self.completed: Set[GridKey] = {
+            (str(name), float(alpha), float(eps_inf))
+            for name, alpha, eps_inf in (completed or ())
+        }
         #: Grid points in canonical order: protocol -> alpha -> eps_inf.
-        self.grid: List[Tuple[str, float, float]] = [
+        self.grid: List[GridKey] = [
             (protocol_name, alpha, eps_inf)
-            for protocol_name in self.protocol_factories
+            for protocol_name in self.protocols
             for alpha in alpha_values
             for eps_inf in eps_inf_values
+        ]
+
+    # Backwards-compatible view of the legacy constructor argument.
+    @property
+    def protocol_factories(self) -> Dict[str, Union[ProtocolSpec, ProtocolFactory]]:
+        return self.protocols
+
+    def tasks(self) -> List[Optional[SweepTask]]:
+        """The picklable task list, in task order (``None`` in factory mode)."""
+        if not self._spec_mode:
+            return [None] * (len(self.grid) * self.n_runs)
+        dataset_name = self.dataset.name if self.dataset is not None else ""
+        return [
+            SweepTask(
+                spec=self.protocols[name],
+                dataset_name=dataset_name,
+                eps_inf=eps_inf,
+                alpha=alpha,
+                run=run,
+            )
+            for name, alpha, eps_inf in self.grid
+            for run in range(self.n_runs)
         ]
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def run(self) -> List[SweepPoint]:
-        """Execute every task and return the grid points in canonical order."""
-        if self.store is not None and self.store.has_rows(self.experiment_id):
+    def run(self) -> List[Optional[SweepPoint]]:
+        """Execute every task and return the grid points in canonical order.
+
+        On resume, points listed in ``completed`` are skipped and returned
+        as ``None``.
+        """
+        if (
+            self.store is not None
+            and self.store.has_rows(self.experiment_id)
+            and not self.resume
+        ):
             # Appending after a previous (or interrupted) run would silently
             # duplicate grid points in the CSV.
             raise ExperimentError(
                 f"results for experiment {self.experiment_id!r} already exist in "
-                f"the store; pick a new experiment_id or delete the old CSV first"
+                f"the store; pick a new experiment_id, delete the old CSV first, "
+                f"or pass resume=True with the completed grid keys"
             )
         n_points = len(self.grid)
         n_tasks = n_points * self.n_runs
+        # Seeds cover the FULL grid even on resume, so the recomputed points
+        # consume exactly the streams they would have in one uninterrupted run.
         seeds = derive_seed_sequences(self.rng, n_tasks)
-        protocols = [
-            self.protocol_factories[name](self.dataset.k, eps_inf, alpha * eps_inf)
-            for name, alpha, eps_inf in self.grid
-            for _ in range(self.n_runs)
-        ]
+        skip = [key in self.completed for key in self.grid]
+        work_items = self._work_items(skip)
 
         results: List[object] = [None] * n_tasks
         points: List[Optional[SweepPoint]] = [None] * n_points
@@ -230,33 +397,69 @@ class SweepExecutor:
             completed_runs[point_index] += 1
             if completed_runs[point_index] == self.n_runs:
                 points[point_index] = self._build_point(point_index, results)
-                self._flush_ready(points, flush_state)
+                self._flush_ready(points, skip, flush_state)
 
         try:
             if self.n_workers == 1:
-                for task_index, (protocol, seed) in enumerate(zip(protocols, seeds)):
+                for task_index, work in enumerate(work_items):
+                    if work is None:
+                        continue
                     _, payload = _execute_task(
-                        task_index, protocol, seed, self.keep_runs, self.dataset
+                        task_index, work, seeds[task_index], self.keep_runs, self.dataset
                     )
                     on_task_done(task_index, payload)
             else:
-                self._run_parallel(protocols, seeds, on_task_done)
+                self._run_parallel(work_items, seeds, on_task_done)
         finally:
             # Flush the completed grid-order prefix even when a task failed
             # or the sweep was interrupted — finished points stay on disk.
-            self._flush_ready(points, flush_state, final=True)
+            self._flush_ready(points, skip, flush_state, final=True)
         return list(points)
 
-    def _run_parallel(self, protocols, seeds, on_task_done) -> None:
-        max_workers = min(self.n_workers, len(protocols))
+    def _work_items(
+        self, skip: Sequence[bool]
+    ) -> List[Optional[Union[SweepTask, LongitudinalProtocol]]]:
+        """One picklable work item per task; ``None`` for skipped tasks."""
+        items: List[Optional[Union[SweepTask, LongitudinalProtocol]]] = []
+        dataset_name = self.dataset.name if self.dataset is not None else ""
+        for point_index, (name, alpha, eps_inf) in enumerate(self.grid):
+            for run in range(self.n_runs):
+                if skip[point_index]:
+                    items.append(None)
+                elif self._spec_mode:
+                    items.append(
+                        SweepTask(
+                            spec=self.protocols[name],
+                            dataset_name=dataset_name,
+                            eps_inf=eps_inf,
+                            alpha=alpha,
+                            run=run,
+                        )
+                    )
+                else:
+                    # Deprecated path: factories run in the parent (they may
+                    # be lambdas); the protocol object crosses the process
+                    # boundary instead of a spec.
+                    items.append(
+                        self.protocols[name](self.dataset.k, eps_inf, alpha * eps_inf)
+                    )
+        return items
+
+    def _run_parallel(self, work_items, seeds, on_task_done) -> None:
+        active = [index for index, work in enumerate(work_items) if work is not None]
+        if not active:
+            return
+        max_workers = min(self.n_workers, len(active))
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
             initargs=(self.dataset,),
         ) as pool:
             pending = {
-                pool.submit(_execute_task, index, protocol, seed, self.keep_runs)
-                for index, (protocol, seed) in enumerate(zip(protocols, seeds))
+                pool.submit(
+                    _execute_task, index, work_items[index], seeds[index], self.keep_runs
+                )
+                for index in active
             }
             try:
                 while pending:
@@ -296,14 +499,22 @@ class SweepExecutor:
     def _flush_ready(
         self,
         points: Sequence[Optional[SweepPoint]],
+        skip: Sequence[bool],
         flush_state: dict,
         final: bool = False,
     ) -> None:
-        """Append finished points to the store, in grid order, batched."""
+        """Append finished points to the store, in grid order, batched.
+
+        Skipped (already-persisted) points advance the cursor without being
+        re-appended.
+        """
         if self.store is None:
             return
-        while flush_state["cursor"] < len(points) and points[flush_state["cursor"]] is not None:
-            flush_state["pending"].append(points[flush_state["cursor"]].as_row())
+        while flush_state["cursor"] < len(points) and (
+            skip[flush_state["cursor"]] or points[flush_state["cursor"]] is not None
+        ):
+            if not skip[flush_state["cursor"]]:
+                flush_state["pending"].append(points[flush_state["cursor"]].as_row())
             flush_state["cursor"] += 1
         if flush_state["pending"] and (final or len(flush_state["pending"]) >= self.flush_every):
             self.store.append_rows(self.experiment_id, flush_state["pending"])
@@ -311,10 +522,10 @@ class SweepExecutor:
 
 
 def run_sweep(
-    protocol_factories: Dict[str, ProtocolFactory],
-    dataset: LongitudinalDataset,
-    eps_inf_values: Iterable[float],
-    alpha_values: Iterable[float],
+    protocols: Optional[Mapping[str, Union[ProtocolSpec, ProtocolFactory]]] = None,
+    dataset: LongitudinalDataset = None,
+    eps_inf_values: Iterable[float] = (),
+    alpha_values: Iterable[float] = (),
     n_runs: int = 1,
     rng: Optional[int] = 0,
     keep_runs: bool = True,
@@ -322,7 +533,10 @@ def run_sweep(
     store: Optional[ResultsStore] = None,
     experiment_id: str = "sweep",
     flush_every: int = 1,
-) -> List[SweepPoint]:
+    completed: Optional[Collection[GridKey]] = None,
+    resume: bool = False,
+    protocol_factories: Optional[Mapping[str, ProtocolFactory]] = None,
+) -> List[Optional[SweepPoint]]:
     """Run the full ``(protocol, eps_inf, alpha)`` grid over one dataset.
 
     This is the functional wrapper around :class:`SweepExecutor`; see its
@@ -331,7 +545,7 @@ def run_sweep(
     bit-identical to the serial execution for the same root seed.
     """
     executor = SweepExecutor(
-        protocol_factories=protocol_factories,
+        protocols=protocols,
         dataset=dataset,
         eps_inf_values=eps_inf_values,
         alpha_values=alpha_values,
@@ -342,5 +556,8 @@ def run_sweep(
         store=store,
         experiment_id=experiment_id,
         flush_every=flush_every,
+        completed=completed,
+        resume=resume,
+        protocol_factories=protocol_factories,
     )
     return executor.run()

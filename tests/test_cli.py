@@ -1,14 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.specs import ProtocolSpec, SweepSpec, load_sweep_spec
 
 
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_prog_name_matches_installed_script(self):
+        # pyproject installs the entry point as ``repro-ldp``.
+        assert build_parser().prog == "repro-ldp"
 
     def test_figure3_accepts_dataset_choices(self):
         args = build_parser().parse_args(["figure3", "--dataset", "syn", "adult"])
@@ -67,3 +74,123 @@ class TestCommands:
         )
         assert code == 0
         assert "Table 2" in capsys.readouterr().out
+
+
+def _write_grid(path, n_runs=1):
+    spec = SweepSpec(
+        name="cli",
+        protocols=(
+            ProtocolSpec(name="L-OSUE"),
+            ProtocolSpec(name="dBitFlipPM", label="1BitFlipPM", params={"d": 1}),
+        ),
+        eps_inf_values=(0.5, 2.0),
+        alpha_values=(0.5,),
+        datasets=("syn",),
+        n_runs=n_runs,
+        dataset_scale=0.02,
+        seed=11,
+    )
+    return spec.save(path)
+
+
+class TestSweepCommand:
+    def test_sweep_streams_grid_to_csv(self, capsys, tmp_path):
+        grid = _write_grid(tmp_path / "grid.json")
+        out = tmp_path / "out"
+        assert main(["sweep", "--spec", str(grid), "--output-dir", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "4 grid points" in output and "0 already complete" in output
+        csv_path = out / "cli_syn.csv"
+        assert csv_path.exists()
+        assert len(csv_path.read_text().strip().splitlines()) == 5  # header + 4
+
+    def test_sweep_resume_recomputes_only_missing_points(self, capsys, tmp_path):
+        grid = _write_grid(tmp_path / "grid.json")
+        out = tmp_path / "out"
+        main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+        capsys.readouterr()
+        csv_path = out / "cli_syn.csv"
+        full = csv_path.read_text()
+
+        # Simulate an interrupted sweep: drop the last two data rows.
+        lines = full.strip().splitlines()
+        csv_path.write_text("\n".join(lines[:3]) + "\n", encoding="utf-8")
+
+        code = main(["sweep", "--spec", str(grid), "--output-dir", str(out), "--resume"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "2 already complete" in output and "2 to run" in output
+        # Bit-identical to the uninterrupted run: resumed points consume the
+        # same derived streams.
+        assert csv_path.read_text() == full
+
+    def test_sweep_resume_ignores_rows_from_a_different_grid(self, capsys, tmp_path):
+        """A stale CSV (same name, different grid) must not satisfy the sweep."""
+        grid = _write_grid(tmp_path / "grid.json")
+        out = tmp_path / "out"
+        main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+        capsys.readouterr()
+
+        # Re-point the spec at a different eps grid under the same name.
+        payload = json.loads((tmp_path / "grid.json").read_text())
+        payload["eps_inf_values"] = [1.0, 4.0]
+        (tmp_path / "grid.json").write_text(json.dumps(payload))
+
+        code = main(["sweep", "--spec", str(grid), "--output-dir", str(out), "--resume"])
+        assert code == 0
+        output = capsys.readouterr().out
+        # The 4 old rows are foreign to the new grid: everything recomputes.
+        assert "0 already complete, 4 to run" in output
+        assert "not part of this grid" in output
+        csv_rows = (out / "cli_syn.csv").read_text().strip().splitlines()
+        assert len(csv_rows) == 9  # header + 4 old + 4 new
+
+    def test_sweep_resume_noop_when_complete(self, capsys, tmp_path):
+        grid = _write_grid(tmp_path / "grid.json")
+        out = tmp_path / "out"
+        main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+        capsys.readouterr()
+        assert main(
+            ["sweep", "--spec", str(grid), "--output-dir", str(out), "--resume"]
+        ) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_sweep_without_resume_refuses_existing_csv(self, tmp_path):
+        from repro.exceptions import ExperimentError
+
+        grid = _write_grid(tmp_path / "grid.json")
+        out = tmp_path / "out"
+        main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+        with pytest.raises(ExperimentError, match="already exist"):
+            main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+
+    def test_sweep_with_bad_spec_file_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken", encoding="utf-8")
+        code = main(["sweep", "--spec", str(bad), "--output-dir", str(tmp_path / "o")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestEmitSpec:
+    def test_figure3_emits_consumable_sweep_spec(self, capsys, tmp_path):
+        target = tmp_path / "figure3.json"
+        code = main(
+            [
+                "figure3",
+                "--dataset", "syn",
+                "--eps", "0.5", "2.0",
+                "--alpha", "0.5",
+                "--scale", "0.02",
+                "--emit-spec", str(target),
+            ]
+        )
+        assert code == 0
+        assert "wrote sweep spec" in capsys.readouterr().out
+        spec = load_sweep_spec(target)
+        assert spec.eps_inf_values == (0.5, 2.0)
+        assert spec.datasets == ("syn",)
+        # The emitted grid names the full paper line-up.
+        assert {"RAPPOR", "OLOLOHA", "1BitFlipPM"} <= set(spec.grid_protocols())
+        # And it round-trips through JSON on disk.
+        assert SweepSpec.from_dict(json.loads(target.read_text())) == spec

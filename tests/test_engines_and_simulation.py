@@ -16,6 +16,7 @@ from repro.simulation import (
 )
 from repro.simulation.metrics import averaged_mse
 from repro.simulation.sweep import run_sweep
+from repro.specs import ProtocolSpec
 
 
 class TestEngineDispatch:
@@ -157,12 +158,12 @@ class TestSimulationRunner:
 
 class TestSweep:
     def test_sweep_grid_size_and_ordering(self, tiny_dataset):
-        factories = {
-            "OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1),
-            "RAPPOR": lambda k, e, e1: LSUE(k, e, e1),
+        specs = {
+            "OLOLOHA": ProtocolSpec(name="OLOLOHA"),
+            "RAPPOR": ProtocolSpec(name="L-SUE", label="RAPPOR"),
         }
         points = run_sweep(
-            factories, tiny_dataset, eps_inf_values=[1.0, 2.0], alpha_values=[0.5], n_runs=2, rng=0
+            specs, tiny_dataset, eps_inf_values=[1.0, 2.0], alpha_values=[0.5], n_runs=2, rng=0
         )
         assert len(points) == 4
         assert all(len(point.runs) == 2 for point in points)
@@ -171,7 +172,7 @@ class TestSweep:
     def test_sweep_requires_valid_alpha(self, tiny_dataset):
         with pytest.raises(ExperimentError):
             run_sweep(
-                {"OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1)},
+                {"OLOLOHA": ProtocolSpec(name="OLOLOHA")},
                 tiny_dataset,
                 eps_inf_values=[1.0],
                 alpha_values=[1.5],
@@ -182,9 +183,9 @@ class TestSweep:
             run_sweep({}, tiny_dataset, eps_inf_values=[1.0], alpha_values=[0.5])
 
     def test_sweep_mse_decreases_with_budget(self, small_dataset):
-        factories = {"OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1)}
+        specs = {"OLOLOHA": ProtocolSpec(name="OLOLOHA")}
         points = run_sweep(
-            factories, small_dataset, eps_inf_values=[0.5, 4.0], alpha_values=[0.5], rng=1
+            specs, small_dataset, eps_inf_values=[0.5, 4.0], alpha_values=[0.5], rng=1
         )
         low_budget = next(p for p in points if p.eps_inf == 0.5)
         high_budget = next(p for p in points if p.eps_inf == 4.0)
@@ -192,7 +193,7 @@ class TestSweep:
 
     def test_keep_runs_false_drops_details(self, tiny_dataset):
         points = run_sweep(
-            {"RAPPOR": lambda k, e, e1: LSUE(k, e, e1)},
+            {"RAPPOR": ProtocolSpec(name="L-SUE", label="RAPPOR")},
             tiny_dataset,
             eps_inf_values=[1.0],
             alpha_values=[0.5],

@@ -160,8 +160,23 @@ class TestEmpiricalHelpers:
         assert dbitflip_bucket_count(1412) == 353
         assert dbitflip_bucket_count(96) == 96
 
-    def test_factories_instantiate_protocols(self):
-        factories = paper_protocol_factories()
+    def test_specs_instantiate_protocols(self):
+        from repro.experiments.empirical import paper_protocol_specs
+        from repro.registry import build_protocol
+
+        specs = paper_protocol_specs()
+        assert list(specs) == [
+            "RAPPOR", "L-OSUE", "L-GRR", "BiLOLOHA", "OLOLOHA",
+            "1BitFlipPM", "bBitFlipPM",
+        ]
+        for name, spec in specs.items():
+            protocol = build_protocol(spec.at(k=24, eps_inf=2.0, alpha=0.5))
+            assert protocol.k == 24
+            assert spec.display_name == name
+
+    def test_factories_shim_instantiates_protocols_but_warns(self):
+        with pytest.warns(DeprecationWarning, match="paper_protocol_factories"):
+            factories = paper_protocol_factories()
         for name, factory in factories.items():
             protocol = factory(24, 2.0, 1.0)
             assert protocol.k == 24

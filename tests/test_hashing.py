@@ -67,6 +67,38 @@ class TestFamilyBasics:
             family_cls(g=1)
 
 
+class TestBatchedDomainHashing:
+    @pytest.mark.parametrize("family_cls", ALL_FAMILIES)
+    def test_sample_hashed_domains_shape_and_range(self, family_cls):
+        family = family_cls(g=5)
+        matrix = family.sample_hashed_domains(6, 40, rng=0)
+        assert matrix.shape == (6, 40)
+        assert matrix.min() >= 0 and matrix.max() < 5
+
+    def test_blake_batch_rows_match_per_function_hashing(self):
+        """The vectorized Blake batch draw must agree with scalar hashing."""
+        from repro.hashing.families import _BlakeFunction
+
+        family = BlakeHashFamily(g=7)
+        matrix = family.sample_hashed_domains(4, 30, rng=3)
+        seeds = np.random.default_rng(3).integers(0, 2**63 - 1, size=4)
+        for row, seed in zip(matrix, seeds):
+            function = _BlakeFunction(seed=int(seed), g=7)
+            assert np.array_equal(row, [function(v) for v in range(30)])
+
+    def test_blake_counter_blocks_are_independent(self):
+        """Values inside one digest block must still hash independently."""
+        function = BlakeHashFamily(g=64).sample(rng=9)
+        hashes = function.hash_all(8)  # exactly one counter block
+        assert len(set(int(h) for h in hashes)) > 1
+
+    @pytest.mark.parametrize("family_cls", ALL_FAMILIES)
+    def test_empty_input_returns_empty_array(self, family_cls):
+        function = family_cls(g=4).sample(rng=0)
+        out = function.hash_array(np.array([], dtype=np.int64))
+        assert out.shape == (0,)
+
+
 class TestUniversality:
     @pytest.mark.parametrize("family_cls", [MultiplyShiftHashFamily, PolynomialHashFamily])
     def test_empirical_universality_holds(self, family_cls):

@@ -1,5 +1,5 @@
 """Tests for the SweepExecutor: parallel bit-identity, fail-fast validation,
-dispersion statistics and incremental result flushing."""
+dispersion statistics, incremental result flushing and resume."""
 
 import warnings
 
@@ -8,21 +8,27 @@ import pytest
 
 from repro.exceptions import ExperimentError
 from repro.longitudinal import LGRR, LSUE, OLOLOHA
-from repro.simulation.sweep import SweepExecutor, run_sweep
+from repro.simulation.sweep import (
+    SweepExecutor,
+    SweepTask,
+    completed_points_from_rows,
+    run_sweep,
+)
+from repro.specs import ProtocolSpec
 from repro.store import ResultsStore
 
 
-def _factories():
+def _specs():
     return {
-        "OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1),
-        "RAPPOR": lambda k, e, e1: LSUE(k, e, e1),
+        "OLOLOHA": ProtocolSpec(name="OLOLOHA"),
+        "RAPPOR": ProtocolSpec(name="L-SUE", label="RAPPOR"),
     }
 
 
 class TestParallelBitIdentity:
     def test_parallel_reproduces_serial_bit_for_bit(self, tiny_dataset):
         kwargs = dict(
-            protocol_factories=_factories(),
+            protocols=_specs(),
             dataset=tiny_dataset,
             eps_inf_values=[1.0, 2.0],
             alpha_values=[0.5],
@@ -46,7 +52,7 @@ class TestParallelBitIdentity:
 
     def test_worker_count_does_not_change_results(self, tiny_dataset):
         kwargs = dict(
-            protocol_factories={"L-GRR": lambda k, e, e1: LGRR(k, e, e1)},
+            protocols={"L-GRR": ProtocolSpec(name="L-GRR")},
             dataset=tiny_dataset,
             eps_inf_values=[2.0],
             alpha_values=[0.4, 0.6],
@@ -59,6 +65,75 @@ class TestParallelBitIdentity:
         for a, b in zip(two, three):
             assert a.mse_avg == b.mse_avg and a.eps_avg == b.eps_avg
 
+    def test_task_rejects_wrong_dataset(self, tiny_dataset, small_dataset):
+        executor = SweepExecutor(
+            _specs(), tiny_dataset, eps_inf_values=[1.0], alpha_values=[0.5]
+        )
+        task = executor.tasks()[0]
+        assert task.dataset_name == tiny_dataset.name
+        with pytest.raises(ExperimentError, match="reached a worker"):
+            task.check_dataset(small_dataset)
+
+    def test_tasks_are_picklable(self, tiny_dataset):
+        import pickle
+
+        executor = SweepExecutor(
+            _specs(), tiny_dataset, eps_inf_values=[1.0], alpha_values=[0.5], n_runs=2
+        )
+        tasks = executor.tasks()
+        assert len(tasks) == 4
+        restored = pickle.loads(pickle.dumps(tasks))
+        assert all(isinstance(task, SweepTask) for task in restored)
+        assert restored == tasks
+        protocol = restored[0].build(tiny_dataset.k)
+        assert protocol.k == tiny_dataset.k
+
+
+class TestLegacyFactoryShim:
+    def test_factories_still_run_but_warn(self, tiny_dataset):
+        factories = {
+            "OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1),
+            "RAPPOR": lambda k, e, e1: LSUE(k, e, e1),
+        }
+        kwargs = dict(
+            dataset=tiny_dataset,
+            eps_inf_values=[1.0, 2.0],
+            alpha_values=[0.5],
+            n_runs=1,
+            rng=123,
+            keep_runs=False,
+        )
+        with pytest.warns(DeprecationWarning, match="factories are deprecated"):
+            legacy = run_sweep(factories, **kwargs)
+        via_specs = run_sweep(_specs(), **kwargs)
+        # The deprecated closure path and the spec path are bit-identical.
+        for a, b in zip(legacy, via_specs):
+            assert a.protocol_name == b.protocol_name
+            assert a.mse_avg == b.mse_avg
+            assert a.eps_avg == b.eps_avg
+
+    def test_protocol_factories_keyword_still_accepted(self, tiny_dataset):
+        with pytest.warns(DeprecationWarning):
+            points = run_sweep(
+                protocol_factories={"L-GRR": lambda k, e, e1: LGRR(k, e, e1)},
+                dataset=tiny_dataset,
+                eps_inf_values=[1.0],
+                alpha_values=[0.5],
+            )
+        assert len(points) == 1
+
+    def test_mixing_specs_and_factories_rejected(self, tiny_dataset):
+        with pytest.raises(ExperimentError, match="mix"):
+            SweepExecutor(
+                {
+                    "OLOLOHA": ProtocolSpec(name="OLOLOHA"),
+                    "RAPPOR": lambda k, e, e1: LSUE(k, e, e1),
+                },
+                tiny_dataset,
+                eps_inf_values=[1.0],
+                alpha_values=[0.5],
+            )
+
 
 class TestFailFastValidation:
     def test_invalid_alpha_rejected_before_any_simulation(self, tiny_dataset):
@@ -67,7 +142,7 @@ class TestFailFastValidation:
         # must reject the grid up front.
         with pytest.raises(ExperimentError, match="alpha"):
             SweepExecutor(
-                _factories(),
+                _specs(),
                 tiny_dataset,
                 eps_inf_values=[1.0],
                 alpha_values=[1.5],
@@ -76,11 +151,11 @@ class TestFailFastValidation:
 
     def test_empty_grid_rejected(self, tiny_dataset):
         with pytest.raises(ExperimentError):
-            SweepExecutor(_factories(), tiny_dataset, eps_inf_values=[], alpha_values=[0.5])
+            SweepExecutor(_specs(), tiny_dataset, eps_inf_values=[], alpha_values=[0.5])
 
     def test_grid_order_is_protocol_alpha_eps(self, tiny_dataset):
         executor = SweepExecutor(
-            _factories(),
+            _specs(),
             tiny_dataset,
             eps_inf_values=[1.0, 2.0],
             alpha_values=[0.4, 0.6],
@@ -98,7 +173,7 @@ class TestDispersionStatistics:
         with warnings.catch_warnings():
             warnings.simplefilter("error")  # np.std([]) would warn
             points = run_sweep(
-                {"RAPPOR": lambda k, e, e1: LSUE(k, e, e1)},
+                {"RAPPOR": ProtocolSpec(name="L-SUE", label="RAPPOR")},
                 tiny_dataset,
                 eps_inf_values=[1.0],
                 alpha_values=[0.5],
@@ -132,7 +207,7 @@ class TestIncrementalFlushing:
     def test_sweep_flushes_points_to_store(self, tiny_dataset, tmp_path):
         store = ResultsStore(tmp_path)
         points = run_sweep(
-            _factories(),
+            _specs(),
             tiny_dataset,
             eps_inf_values=[1.0, 2.0],
             alpha_values=[0.5],
@@ -152,7 +227,7 @@ class TestIncrementalFlushing:
     def test_parallel_sweep_flushes_in_grid_order(self, tiny_dataset, tmp_path):
         store = ResultsStore(tmp_path)
         points = run_sweep(
-            _factories(),
+            _specs(),
             tiny_dataset,
             eps_inf_values=[1.0, 2.0],
             alpha_values=[0.5],
@@ -172,7 +247,7 @@ class TestIncrementalFlushing:
         """A second sweep must not silently append duplicate grid points."""
         store = ResultsStore(tmp_path)
         kwargs = dict(
-            protocol_factories={"RAPPOR": lambda k, e, e1: LSUE(k, e, e1)},
+            protocols={"RAPPOR": ProtocolSpec(name="L-SUE", label="RAPPOR")},
             dataset=tiny_dataset,
             eps_inf_values=[1.0],
             alpha_values=[0.5],
@@ -189,41 +264,23 @@ class TestIncrementalFlushing:
         """Finished grid points reach the store even if a later point errors."""
         store = ResultsStore(tmp_path)
 
-        def flaky_factory(k, eps_inf, eps_1):
-            if eps_inf == 3.0:
-                raise RuntimeError("boom")
-            return LSUE(k, eps_inf, eps_1)
-
-        with pytest.raises(RuntimeError):
-            run_sweep(
-                {"RAPPOR": flaky_factory},
-                tiny_dataset,
-                eps_inf_values=[1.0, 2.0, 3.0],
-                alpha_values=[0.5],
-                keep_runs=False,
-                store=store,
-                experiment_id="flaky",
-                flush_every=10,  # larger than the grid: only the final flush runs
-            )
-        # Factories run up front, so here nothing completed — the file may not
-        # exist.  Worker-side failures are the interesting case:
-        assert not store.has_rows("flaky") or len(store.load_rows("flaky")) < 3
-
         def late_fail_factory(k, eps_inf, eps_1):
             # constructs fine; fails inside simulate_protocol (domain mismatch)
             return LSUE(k + (1 if eps_inf == 3.0 else 0), eps_inf, eps_1)
 
         with pytest.raises(ExperimentError):
-            run_sweep(
-                {"RAPPOR": late_fail_factory},
-                tiny_dataset,
-                eps_inf_values=[1.0, 2.0, 3.0],
-                alpha_values=[0.5],
-                keep_runs=False,
-                store=store,
-                experiment_id="latefail",
-                flush_every=10,
-            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                run_sweep(
+                    {"RAPPOR": late_fail_factory},
+                    tiny_dataset,
+                    eps_inf_values=[1.0, 2.0, 3.0],
+                    alpha_values=[0.5],
+                    keep_runs=False,
+                    store=store,
+                    experiment_id="latefail",
+                    flush_every=10,
+                )
         rows = store.load_rows("latefail")
         assert [float(row["eps_inf"]) for row in rows] == [1.0, 2.0]
 
@@ -239,3 +296,62 @@ class TestIncrementalFlushing:
         store.append_rows("inc2", [{"a": 1}])
         with pytest.raises(ExperimentError):
             store.append_rows("inc2", [{"c": 1}])
+
+
+class TestResume:
+    def _run(self, dataset, store, completed=None, resume=False):
+        return run_sweep(
+            _specs(),
+            dataset,
+            eps_inf_values=[1.0, 2.0],
+            alpha_values=[0.5],
+            n_runs=2,
+            rng=42,
+            keep_runs=False,
+            store=store,
+            experiment_id="resumable",
+            completed=completed,
+            resume=resume,
+        )
+
+    def test_resume_skips_completed_and_matches_uninterrupted_run(
+        self, tiny_dataset, tmp_path
+    ):
+        full_store = ResultsStore(tmp_path / "full")
+        self._run(tiny_dataset, full_store)
+        full_rows = full_store.load_rows("resumable")
+        assert len(full_rows) == 4
+
+        # Simulate an interrupted sweep: only the first two rows survived.
+        partial_store = ResultsStore(tmp_path / "partial")
+        partial_store.append_rows("resumable", [dict(row) for row in full_rows[:2]])
+        completed = completed_points_from_rows(partial_store.load_rows("resumable"))
+        assert len(completed) == 2
+
+        points = self._run(
+            tiny_dataset, partial_store, completed=completed, resume=True
+        )
+        # Skipped points are returned as None, recomputed ones as SweepPoint.
+        assert [point is None for point in points] == [True, True, False, False]
+        resumed_rows = partial_store.load_rows("resumable")
+        assert resumed_rows == full_rows
+
+    def test_resume_without_flag_rejected(self, tiny_dataset, tmp_path):
+        store = ResultsStore(tmp_path)
+        self._run(tiny_dataset, store)
+        with pytest.raises(ExperimentError, match="resume"):
+            self._run(tiny_dataset, store, completed=set())
+
+    def test_completed_points_from_rows_rejects_malformed(self):
+        with pytest.raises(ExperimentError, match="cannot resume"):
+            completed_points_from_rows([{"protocol": "x"}])
+
+    def test_fully_completed_grid_runs_nothing(self, tiny_dataset, tmp_path):
+        store = ResultsStore(tmp_path)
+        self._run(tiny_dataset, store)
+        completed = completed_points_from_rows(store.load_rows("resumable"))
+        points = self._run(
+            tiny_dataset, store, completed=completed, resume=True
+        )
+        assert all(point is None for point in points)
+        assert len(store.load_rows("resumable")) == 4

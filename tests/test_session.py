@@ -1,0 +1,172 @@
+"""Tests for the CollectorSession streaming server façade."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError, ParameterError
+from repro.longitudinal import LOSUE
+from repro.service import CollectorSession
+from repro.simulation import simulate_protocol_sharded, simulate_with_clients
+from repro.simulation.runner import run_shard_task, ShardTask
+from repro.specs import ProtocolSpec
+
+
+def _spec(k: int) -> ProtocolSpec:
+    return ProtocolSpec(name="L-OSUE", k=k, eps_inf=2.0, eps_1=1.0)
+
+
+def _collect_reports(protocol, dataset, rng):
+    """One client per user; returns reports[t][i] like a real collection."""
+    generator = np.random.default_rng(rng)
+    clients = [protocol.create_client(generator) for _ in range(dataset.n_users)]
+    rounds = []
+    for values_t in dataset.iter_rounds():
+        rounds.append(
+            [c.report(int(v), generator) for c, v in zip(clients, values_t)]
+        )
+    return rounds
+
+
+class TestIncrementalCollection:
+    def test_out_of_order_batches_match_batch_reference(self, tiny_dataset):
+        spec = _spec(tiny_dataset.k)
+        session = CollectorSession(spec, n_rounds=tiny_dataset.n_rounds)
+        reference = simulate_with_clients(
+            session.protocol, tiny_dataset, rng=np.random.default_rng(3)
+        )
+        rounds = _collect_reports(session.protocol, tiny_dataset, rng=3)
+
+        # Feed the same reports out of round order, split into uneven batches.
+        order = list(reversed(range(tiny_dataset.n_rounds)))
+        for t in order:
+            reports = rounds[t]
+            mid = len(reports) // 3
+            session.submit_reports(t, reports[:mid])
+            session.submit_reports(t, reports[mid:])
+
+        assert session.is_complete
+        assert session.total_reports == tiny_dataset.n_users * tiny_dataset.n_rounds
+        # Same reports -> same support counts -> identical debiased estimates.
+        np.testing.assert_allclose(session.estimates(), reference.estimates)
+
+    def test_running_estimate_uses_partial_sample_size(self, tiny_dataset):
+        session = CollectorSession(_spec(tiny_dataset.k), n_rounds=2)
+        rounds = _collect_reports(session.protocol, tiny_dataset, rng=0)
+        half = tiny_dataset.n_users // 2
+        estimate = session.submit_reports(0, rounds[0][:half])
+        assert estimate.n_reports == half
+        # A partial round still produces a (roughly) normalized histogram
+        # because the estimator is scaled by the received-report count.
+        assert estimate.frequencies.sum() == pytest.approx(1.0, abs=0.35)
+        full = session.submit_reports(0, rounds[0][half:])
+        assert full.n_reports == tiny_dataset.n_users
+
+    def test_estimates_marks_missing_rounds_nan(self, tiny_dataset):
+        session = CollectorSession(_spec(tiny_dataset.k), n_rounds=3)
+        rounds = _collect_reports(session.protocol, tiny_dataset, rng=1)
+        session.submit_reports(1, rounds[1])
+        matrix = session.estimates()
+        assert np.isnan(matrix[0]).all() and np.isnan(matrix[2]).all()
+        assert np.isfinite(matrix[1]).all()
+        assert list(session.rounds_observed) == [1]
+
+    def test_submit_counts_fast_path_matches_reports(self, tiny_dataset):
+        spec = _spec(tiny_dataset.k)
+        by_reports = CollectorSession(spec, n_rounds=1)
+        by_counts = CollectorSession(spec, n_rounds=1)
+        rounds = _collect_reports(by_reports.protocol, tiny_dataset, rng=2)
+        by_reports.submit_reports(0, rounds[0])
+        counts = by_reports.protocol.support_counts(rounds[0])
+        by_counts.submit_counts(0, counts, n_reports=len(rounds[0]))
+        np.testing.assert_allclose(by_counts.estimates(), by_reports.estimates())
+
+    def test_absorb_shard_summaries_matches_sharded_runner(self, tiny_dataset):
+        spec = _spec(tiny_dataset.k)
+        reference = simulate_protocol_sharded(spec, tiny_dataset, n_shards=3, rng=5)
+        from repro.rng import derive_seed_sequences
+
+        session = CollectorSession(spec, n_rounds=tiny_dataset.n_rounds)
+        seeds = derive_seed_sequences(5, 3)
+        boundaries = np.linspace(0, tiny_dataset.n_users, 4).astype(int)
+        for shard, seed in enumerate(seeds):
+            summary = run_shard_task(
+                ShardTask(
+                    spec=spec,
+                    dataset_name=tiny_dataset.name,
+                    start=int(boundaries[shard]),
+                    stop=int(boundaries[shard + 1]),
+                    seed=seed,
+                ),
+                tiny_dataset,
+            )
+            session.absorb_summary(summary)
+        np.testing.assert_allclose(session.estimates(), reference.estimates)
+
+
+class TestSessionValidation:
+    def test_round_index_out_of_range(self):
+        session = CollectorSession(_spec(8), n_rounds=2)
+        client = session.protocol.create_client(rng=0)
+        with pytest.raises(AggregationError, match="round index"):
+            session.submit_reports(2, [client.report(0, rng=1)])
+
+    def test_empty_batch_rejected(self):
+        session = CollectorSession(_spec(8), n_rounds=2)
+        with pytest.raises(AggregationError, match="empty"):
+            session.submit_reports(0, [])
+
+    def test_counts_shape_checked(self):
+        session = CollectorSession(_spec(8), n_rounds=2)
+        with pytest.raises(AggregationError, match="shape"):
+            session.submit_counts(0, np.zeros(5), n_reports=3)
+
+    def test_estimate_of_unobserved_round_rejected(self):
+        session = CollectorSession(_spec(8), n_rounds=2)
+        with pytest.raises(AggregationError, match="any reports"):
+            session.estimate(0)
+
+    def test_protocol_object_sessions_work_but_cannot_checkpoint(self, tmp_path):
+        session = CollectorSession(LOSUE(8, 2.0, 1.0), n_rounds=2)
+        client = session.protocol.create_client(rng=0)
+        session.submit_reports(0, [client.report(1, rng=1)])
+        with pytest.raises(ParameterError, match="ProtocolSpec"):
+            session.checkpoint(tmp_path / "ck.json")
+
+
+class TestCheckpointRestore:
+    def test_round_trip_preserves_state_and_estimates(self, tiny_dataset, tmp_path):
+        spec = _spec(tiny_dataset.k)
+        session = CollectorSession(spec, n_rounds=tiny_dataset.n_rounds)
+        rounds = _collect_reports(session.protocol, tiny_dataset, rng=4)
+        session.submit_reports(0, rounds[0])
+        session.submit_reports(2, rounds[2][:50])
+
+        path = session.checkpoint(tmp_path / "session.json")
+        restored = CollectorSession.restore(path)
+        assert restored.spec == spec
+        assert restored.n_rounds == session.n_rounds
+        np.testing.assert_array_equal(
+            restored.reports_per_round, session.reports_per_round
+        )
+        np.testing.assert_allclose(restored.estimates(), session.estimates())
+
+        # The restored session keeps collecting where the original stopped.
+        restored.submit_reports(2, rounds[2][50:])
+        session.submit_reports(2, rounds[2][50:])
+        np.testing.assert_allclose(restored.estimates(), session.estimates())
+
+    def test_restore_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="no session checkpoint"):
+            CollectorSession.restore(tmp_path / "absent.json")
+
+    def test_restore_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken", encoding="utf-8")
+        with pytest.raises(ParameterError, match="invalid session checkpoint"):
+            CollectorSession.restore(path)
+
+    def test_restore_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text('{"format": 99}', encoding="utf-8")
+        with pytest.raises(ParameterError, match="unsupported checkpoint format"):
+            CollectorSession.restore(path)

@@ -1,0 +1,287 @@
+"""Tests for the declarative construction API: ProtocolSpec / SweepSpec,
+the protocol registry, and spec-driven sweep / shard equivalence."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.longitudinal import (
+    BiLOLOHA,
+    DBitFlipPM,
+    LGRR,
+    LOLOHA,
+    LOSUE,
+    LSUE,
+    OLOLOHA,
+)
+from repro.registry import (
+    build_protocol,
+    dbitflip_bucket_count,
+    register_protocol,
+    registered_protocols,
+)
+from repro.simulation import simulate_protocol_sharded
+from repro.simulation.sweep import run_sweep
+from repro.specs import ProtocolSpec, SweepSpec, load_sweep_spec
+
+#: One concrete, buildable spec per registered protocol name.
+CONCRETE_SPECS = {
+    "L-GRR": ProtocolSpec(name="L-GRR", k=24, eps_inf=2.0, alpha=0.5),
+    "L-SUE": ProtocolSpec(name="L-SUE", k=24, eps_inf=2.0, eps_1=1.0),
+    "RAPPOR": ProtocolSpec(name="RAPPOR", k=24, eps_inf=2.0, alpha=0.5),
+    "L-OSUE": ProtocolSpec(name="L-OSUE", k=24, eps_inf=2.0, alpha=0.5),
+    "L-OUE": ProtocolSpec(name="L-OUE", k=24, eps_inf=2.0, alpha=0.5),
+    "L-SOUE": ProtocolSpec(name="L-SOUE", k=24, eps_inf=2.0, alpha=0.5),
+    "LOLOHA": ProtocolSpec(name="LOLOHA", k=24, eps_inf=2.0, alpha=0.5, params={"g": 4}),
+    "BiLOLOHA": ProtocolSpec(name="BiLOLOHA", k=24, eps_inf=2.0, alpha=0.5),
+    "OLOLOHA": ProtocolSpec(
+        name="OLOLOHA", k=24, eps_inf=2.0, alpha=0.5, params={"hash_family": "polynomial"}
+    ),
+    "dBitFlipPM": ProtocolSpec(
+        name="dBitFlipPM", k=24, eps_inf=2.0, params={"b": 12, "d": 3}
+    ),
+}
+
+EXPECTED_TYPES = {
+    "L-GRR": LGRR,
+    "L-SUE": LSUE,
+    "RAPPOR": LSUE,
+    "L-OSUE": LOSUE,
+    "LOLOHA": LOLOHA,
+    "BiLOLOHA": BiLOLOHA,
+    "OLOLOHA": OLOLOHA,
+    "dBitFlipPM": DBitFlipPM,
+}
+
+
+class TestProtocolSpec:
+    def test_every_registered_protocol_has_a_concrete_spec(self):
+        assert set(registered_protocols()) == set(CONCRETE_SPECS)
+
+    @pytest.mark.parametrize("name", sorted(CONCRETE_SPECS))
+    def test_json_round_trip_every_protocol(self, name):
+        spec = CONCRETE_SPECS[name]
+        assert ProtocolSpec.from_json(spec.to_json()) == spec
+        assert ProtocolSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    @pytest.mark.parametrize("name", sorted(CONCRETE_SPECS))
+    def test_build_every_protocol(self, name):
+        spec = CONCRETE_SPECS[name]
+        protocol = build_protocol(spec)
+        assert protocol.k == 24
+        if name in EXPECTED_TYPES:
+            assert isinstance(protocol, EXPECTED_TYPES[name])
+
+    @pytest.mark.parametrize("name", sorted(CONCRETE_SPECS))
+    def test_specs_are_picklable_and_hashable(self, name):
+        spec = CONCRETE_SPECS[name]
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_build_matches_direct_construction(self):
+        spec = ProtocolSpec(name="OLOLOHA", k=24, eps_inf=2.0, alpha=0.5)
+        built = build_protocol(spec)
+        direct = OLOLOHA(24, 2.0, 1.0)
+        assert built.g == direct.g
+        assert built.chained_parameters == direct.chained_parameters
+
+    def test_dbitflip_defaults_follow_paper_rule(self):
+        small = build_protocol(ProtocolSpec(name="dBitFlipPM", k=100, eps_inf=2.0))
+        assert (small.b, small.d) == (100, 1)
+        large = build_protocol(
+            ProtocolSpec(name="dBitFlipPM", k=1412, eps_inf=2.0, params={"d": "b"})
+        )
+        assert large.b == dbitflip_bucket_count(1412) == 353
+        assert large.d == large.b
+
+    def test_at_fills_grid_fields(self):
+        template = ProtocolSpec(name="L-OSUE")
+        concrete = template.at(k=16, eps_inf=2.0, alpha=0.5)
+        assert concrete.is_concrete
+        assert concrete.resolved_eps_1 == pytest.approx(1.0)
+        # Overriding eps_1 clears alpha (and vice versa).
+        assert concrete.at(eps_1=0.7).alpha is None
+        assert concrete.at(eps_1=0.7).resolved_eps_1 == 0.7
+
+    def test_display_name_defaults_to_name(self):
+        assert ProtocolSpec(name="L-OSUE").display_name == "L-OSUE"
+        assert ProtocolSpec(name="dBitFlipPM", label="1BitFlipPM").display_name == "1BitFlipPM"
+
+
+class TestSpecValidation:
+    def test_unknown_protocol_name_rejected(self):
+        with pytest.raises(ParameterError, match="unknown protocol"):
+            build_protocol(ProtocolSpec(name="L-IMAGINARY", k=8, eps_inf=1.0, alpha=0.5))
+
+    def test_non_concrete_spec_rejected(self):
+        with pytest.raises(ParameterError, match="not concrete"):
+            build_protocol(ProtocolSpec(name="L-OSUE", alpha=0.5))
+
+    def test_missing_first_report_budget_rejected(self):
+        with pytest.raises(ParameterError, match="alpha.*eps_1|eps_1.*alpha"):
+            build_protocol(ProtocolSpec(name="L-OSUE", k=8, eps_inf=1.0))
+
+    def test_alpha_and_eps_1_mutually_exclusive(self):
+        with pytest.raises(ParameterError, match="mutually exclusive"):
+            ProtocolSpec(name="L-OSUE", alpha=0.5, eps_1=1.0)
+
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ParameterError, match="alpha"):
+            ProtocolSpec(name="L-OSUE", alpha=1.5)
+
+    def test_unknown_builder_param_rejected(self):
+        with pytest.raises(ParameterError, match="unknown params"):
+            build_protocol(
+                ProtocolSpec(name="L-GRR", k=8, eps_inf=1.0, alpha=0.5, params={"b": 4})
+            )
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(ParameterError, match="JSON scalar"):
+            ProtocolSpec(name="dBitFlipPM", params={"d": [1, 2]})
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ParameterError, match="unknown protocol spec fields"):
+            ProtocolSpec.from_dict({"name": "L-OSUE", "epsilon": 1.0})
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_protocol("L-GRR", lambda spec: None)
+
+    def test_invalid_dbitflip_d_string_rejected(self):
+        with pytest.raises(ParameterError, match="'b'"):
+            build_protocol(
+                ProtocolSpec(name="dBitFlipPM", k=8, eps_inf=1.0, params={"d": "all"})
+            )
+
+
+class TestSweepSpec:
+    def _spec(self):
+        return SweepSpec(
+            protocols=(
+                ProtocolSpec(name="L-OSUE"),
+                ProtocolSpec(name="dBitFlipPM", label="1BitFlipPM", params={"d": 1}),
+            ),
+            eps_inf_values=(0.5, 2.0),
+            alpha_values=(0.5,),
+            datasets=("syn",),
+            n_runs=1,
+            dataset_scale=0.02,
+            seed=7,
+            name="demo",
+        )
+
+    def test_json_round_trip(self, tmp_path):
+        spec = self._spec()
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        path = spec.save(tmp_path / "grid.json")
+        assert load_sweep_spec(path) == spec
+
+    def test_grid_accessors(self):
+        spec = self._spec()
+        assert list(spec.grid_protocols()) == ["L-OSUE", "1BitFlipPM"]
+        assert spec.n_grid_points == 4
+        assert spec.experiment_id("syn") == "demo_syn"
+
+    def test_duplicate_display_names_rejected(self):
+        with pytest.raises(ParameterError, match="unique"):
+            SweepSpec(
+                protocols=(
+                    ProtocolSpec(name="dBitFlipPM"),
+                    ProtocolSpec(name="dBitFlipPM"),
+                ),
+                eps_inf_values=(1.0,),
+                alpha_values=(0.5,),
+            )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="not found"):
+            load_sweep_spec(tmp_path / "absent.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ParameterError, match="invalid JSON"):
+            load_sweep_spec(path)
+
+
+class TestSpecSweepEquivalence:
+    """Acceptance criterion: spec-driven sweeps are bit-identical to the
+    legacy factory path, for two protocols x two grid points, serial and
+    parallel."""
+
+    GRID = dict(eps_inf_values=[1.0, 2.0], alpha_values=[0.5], n_runs=2, rng=123)
+
+    def _legacy(self, dataset, **overrides):
+        factories = {
+            "OLOLOHA": lambda k, e, e1: OLOLOHA(k, e, e1),
+            "RAPPOR": lambda k, e, e1: LSUE(k, e, e1),
+        }
+        with pytest.warns(DeprecationWarning):
+            return run_sweep(
+                factories, dataset, keep_runs=False, **{**self.GRID, **overrides}
+            )
+
+    def _specs(self, dataset, **overrides):
+        specs = {
+            "OLOLOHA": ProtocolSpec(name="OLOLOHA"),
+            "RAPPOR": ProtocolSpec(name="L-SUE", label="RAPPOR"),
+        }
+        return run_sweep(specs, dataset, keep_runs=False, **{**self.GRID, **overrides})
+
+    def test_spec_sweep_bit_identical_to_legacy_factories(self, tiny_dataset):
+        legacy = self._legacy(tiny_dataset)
+        via_specs = self._specs(tiny_dataset)
+        assert len(legacy) == len(via_specs) == 4
+        for a, b in zip(legacy, via_specs):
+            assert (a.protocol_name, a.alpha, a.eps_inf) == (
+                b.protocol_name,
+                b.alpha,
+                b.eps_inf,
+            )
+            assert a.mse_avg == b.mse_avg
+            assert a.eps_avg == b.eps_avg
+            assert a.run_mses == b.run_mses
+
+    def test_spec_sweep_bit_identical_serial_vs_two_workers(self, tiny_dataset):
+        serial = self._specs(tiny_dataset)
+        parallel = self._specs(tiny_dataset, n_workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.mse_avg == b.mse_avg
+            assert a.eps_avg == b.eps_avg
+            assert a.run_mses == b.run_mses
+
+
+class TestShardedSpecSimulation:
+    def test_spec_shards_match_protocol_shards(self, tiny_dataset):
+        spec = ProtocolSpec(name="L-OSUE", k=tiny_dataset.k, eps_inf=2.0, eps_1=1.0)
+        from_protocol = simulate_protocol_sharded(
+            build_protocol(spec), tiny_dataset, n_shards=3, rng=5
+        )
+        from_spec = simulate_protocol_sharded(spec, tiny_dataset, n_shards=3, rng=5)
+        assert np.array_equal(from_protocol.estimates, from_spec.estimates)
+
+    def test_distributed_shards_bit_identical(self, tiny_dataset):
+        spec = ProtocolSpec(name="OLOLOHA", k=tiny_dataset.k, eps_inf=2.0, alpha=0.5)
+        serial = simulate_protocol_sharded(spec, tiny_dataset, n_shards=4, rng=9)
+        distributed = simulate_protocol_sharded(
+            spec, tiny_dataset, n_shards=4, rng=9, n_workers=2
+        )
+        assert np.array_equal(serial.estimates, distributed.estimates)
+        assert np.array_equal(
+            serial.distinct_memoized_per_user, distributed.distinct_memoized_per_user
+        )
+
+    def test_distributing_protocol_objects_rejected(self, tiny_dataset):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="ProtocolSpec"):
+            simulate_protocol_sharded(
+                OLOLOHA(tiny_dataset.k, 2.0, 1.0),
+                tiny_dataset,
+                n_shards=2,
+                rng=0,
+                n_workers=2,
+            )
