@@ -1,0 +1,41 @@
+"""Atomic file writes shared by the store, session and coordinator layers.
+
+``os.replace`` of a same-directory temp file is atomic on POSIX: readers —
+and crash-recovery paths like sweep ``--resume`` or coordinator
+``load_checkpoint`` — observe either the previous complete file or the new
+complete file, never a torn prefix.  The temp name embeds pid + uuid so
+concurrent writers of the same target cannot collide on the staging file.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+from typing import BinaryIO, Callable, Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(
+    path: Union[str, Path], write: Callable[[BinaryIO], None]
+) -> Path:
+    """Call ``write(handle)`` on a staged temp file, fsync, rename over
+    ``path``.  The staging file is removed if anything fails."""
+    path = Path(path)
+    staged = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    try:
+        with staged.open("wb") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staged, path)
+    finally:
+        if staged.exists():
+            staged.unlink()
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], content: str) -> Path:
+    """Atomically replace ``path`` with UTF-8 ``content``."""
+    return atomic_write_bytes(path, lambda handle: handle.write(content.encode("utf-8")))

@@ -42,13 +42,35 @@ without recomputing the points already on disk::
 
 The figure/table subcommands can emit their grids in the same format with
 ``--emit-spec grid.json`` instead of running them.
+
+Sweep CSVs carry the spec's fingerprint as a ``#`` comment line; ``--resume``
+refuses a CSV whose fingerprint does not match the current spec file, so a
+changed grid (different runs, seed, protocols …) cannot silently absorb rows
+computed under different parameters.
+
+The ``serve`` / ``work`` pair runs a *distributed* sharded collection (see
+:mod:`repro.distributed`): ``serve`` loads a
+:class:`repro.specs.CollectionSpec`, publishes shard tasks over a transport
+— a crash-safe spool directory (``--transport file --queue-dir DIR``) or a
+TCP broker (``--transport tcp --bind HOST:PORT``) — and aggregates worker
+summaries fault-tolerantly (lease-based requeue of dead workers' shards,
+duplicate-delivery dedup, optional ``--checkpoint`` for collector restarts).
+``work`` processes attach to the same queue from any host::
+
+    repro-ldp serve --spec collection.json --transport file --queue-dir q/
+    repro-ldp work --queue-dir q/          # as many of these as you like
+    repro-ldp work --connect 10.0.0.5:7000 # tcp flavour
+
+Every shard's randomness derives from the collection seed alone, so the
+final estimates are bit-identical to the serial path regardless of worker
+fleet, crashes or retries.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .datasets import dataset_summaries, make_dataset
 from .exceptions import ReproError
@@ -70,10 +92,12 @@ from .experiments import (
     run_table2,
 )
 from .simulation.sweep import completed_points_from_rows, run_sweep
-from .specs import SweepSpec, load_sweep_spec
+from .specs import SweepSpec, load_collection_spec, load_sweep_spec
 from .store import ResultsStore
 
-__all__ = ["build_parser", "main", "run_spec_sweep"]
+__all__ = ["build_parser", "main", "run_spec_sweep", "run_serve", "run_work"]
+
+_FINGERPRINT_KEY = "sweep_spec_fingerprint"
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -169,6 +193,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's worker-process count",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="coordinate a distributed sharded collection: publish shard "
+             "tasks over a transport and aggregate worker summaries "
+             "fault-tolerantly",
+    )
+    serve_parser.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="collection spec JSON file (see repro.specs.CollectionSpec)",
+    )
+    serve_parser.add_argument(
+        "--transport", choices=["file", "tcp"], default="file",
+        help="how shard tasks reach the workers (default: file)",
+    )
+    serve_parser.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="spool directory of the file transport (shared with workers)",
+    )
+    serve_parser.add_argument(
+        "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address of the tcp broker (port 0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="requeue a claimed shard after this long without a summary",
+    )
+    serve_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH.npz",
+        help="coordinator checkpoint, rewritten after every summary; an "
+             "existing checkpoint of the same plan is restored so a killed "
+             "collector resumes bit-identical to an uninterrupted run",
+    )
+    serve_parser.add_argument(
+        "--local-workers", type=int, default=0, metavar="N",
+        help="also run N worker threads inside the collector process",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="abort if the collection has not completed in time",
+    )
+    serve_parser.add_argument(
+        "--save-estimates", default=None, metavar="PATH.npz",
+        help="write the final estimate matrix (plus ground truth and "
+             "metrics) as an .npz archive",
+    )
+
+    work_parser = subparsers.add_parser(
+        "work",
+        help="run a shard worker: claim tasks from a queue, execute them "
+             "and return summaries (datasets are rebuilt from the task's "
+             "registry reference — no code is shipped)",
+    )
+    work_endpoint = work_parser.add_mutually_exclusive_group(required=True)
+    work_endpoint.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="spool directory of a file-transport collection",
+    )
+    work_endpoint.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="address of a tcp-transport broker",
+    )
+    work_parser.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after completing N shards (default: unbounded)",
+    )
+    work_parser.add_argument(
+        "--idle-exit", type=float, default=60.0, metavar="SECONDS",
+        help="exit after this long without claimable work (default: 60)",
+    )
+
     datasets_parser = subparsers.add_parser(
         "datasets", help="summarize the evaluation workloads"
     )
@@ -216,6 +310,7 @@ def run_spec_sweep(
     store = ResultsStore(output_dir)
     workers = n_workers if n_workers is not None else spec.n_workers
     protocols = spec.grid_protocols()
+    fingerprint = spec.fingerprint()
     grid_keys = {
         (name, float(alpha), float(eps_inf))
         for name in protocols
@@ -226,6 +321,24 @@ def run_spec_sweep(
         experiment_id = spec.experiment_id(dataset_name)
         completed = set()
         if resume and store.has_rows(experiment_id):
+            comment = store.read_header_comment(experiment_id)
+            if comment is not None and comment.startswith(f"{_FINGERPRINT_KEY}="):
+                on_disk_fingerprint = comment.split("=", 1)[1]
+                if on_disk_fingerprint != fingerprint:
+                    raise ReproError(
+                        f"refusing to resume {experiment_id}.csv: it was "
+                        f"written by a sweep spec with fingerprint "
+                        f"{on_disk_fingerprint}, but the current spec's "
+                        f"fingerprint is {fingerprint} (grid, runs, scale or "
+                        f"seed changed); move the old CSV aside or rerun with "
+                        f"the original spec"
+                    )
+            else:
+                print(
+                    f"{dataset_name}: warning: {experiment_id}.csv carries no "
+                    f"spec fingerprint (written before fingerprinting); "
+                    f"resuming on row keys only"
+                )
             on_disk = completed_points_from_rows(store.load_rows(experiment_id))
             # Only rows that belong to THIS grid count as done; a CSV left by
             # a different spec (other eps/alpha/protocols under the same
@@ -264,9 +377,134 @@ def run_spec_sweep(
             experiment_id=experiment_id,
             completed=completed,
             resume=resume,
+            header_comment=f"{_FINGERPRINT_KEY}={fingerprint}",
         )
         rows = store.load_rows(experiment_id)
         print(f"{dataset_name}: {len(rows)} rows in {store.root / (experiment_id + '.csv')}")
+    return 0
+
+
+def _parse_host_port(address: str, option: str) -> Tuple[str, int]:
+    host, separator, port = address.rpartition(":")
+    if not separator or not host:
+        raise ReproError(f"{option} must look like HOST:PORT, got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(f"invalid port in {option}={address!r}") from None
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Coordinate one distributed sharded collection end to end."""
+    from contextlib import nullcontext
+
+    import numpy as np
+
+    from .distributed import (
+        Coordinator,
+        DatasetRef,
+        FileQueueTransport,
+        SocketTransport,
+        local_worker_threads,
+    )
+    from .simulation.runner import make_shard_tasks, result_from_summaries
+
+    spec = load_collection_spec(args.spec)
+    dataset = make_dataset(spec.dataset, scale=spec.dataset_scale, rng=spec.seed)
+    tasks = make_shard_tasks(spec.protocol, dataset, spec.n_shards, spec.seed)
+    dataset_ref = DatasetRef(
+        name=spec.dataset, scale=spec.dataset_scale, seed=spec.seed
+    )
+    if args.transport == "file":
+        if not args.queue_dir:
+            raise ReproError("--transport file requires --queue-dir")
+        transport = FileQueueTransport(args.queue_dir)
+        print(f"{spec.name}: spooling {len(tasks)} shard tasks to {args.queue_dir}")
+    else:
+        host, port = _parse_host_port(args.bind, "--bind")
+        transport = SocketTransport(host, port)
+        print(
+            f"{spec.name}: broker listening on "
+            f"{transport.address[0]}:{transport.address[1]} "
+            f"({len(tasks)} shard tasks)"
+        )
+    try:
+        coordinator = Coordinator(
+            tasks,
+            transport,
+            dataset_ref=dataset_ref,
+            lease_timeout=args.lease_timeout,
+            checkpoint_path=args.checkpoint,
+        )
+        if args.checkpoint:
+            restored = coordinator.load_checkpoint()
+            if restored:
+                print(
+                    f"{spec.name}: restored {restored} shard summaries from "
+                    f"{args.checkpoint}"
+                )
+        workers = (
+            local_worker_threads(transport, args.local_workers, dataset=dataset)
+            if args.local_workers > 0
+            else nullcontext()
+        )
+        with workers:
+            coordinator.run(timeout=args.timeout)
+    finally:
+        transport.close()
+    result = result_from_summaries(
+        spec.protocol,
+        dataset,
+        coordinator.ordered_summaries(),
+        extra={"transport": type(transport).__name__},
+    )
+    print(
+        f"{spec.name}: collected {coordinator.n_shards} shards "
+        f"({coordinator.requeued} requeued, {coordinator.duplicates} duplicate "
+        f"and {coordinator.foreign} foreign summaries dropped)"
+    )
+    print(
+        f"{spec.name}: protocol={result.protocol_name} dataset={result.dataset_name} "
+        f"mse_avg={result.mse_avg:.6e} eps_avg={result.eps_avg:.4f}"
+    )
+    if args.save_estimates:
+        from pathlib import Path
+
+        target = Path(args.save_estimates)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            target,
+            estimates=result.estimates,
+            true_frequencies=result.true_frequencies,
+            distinct_memoized_per_user=result.distinct_memoized_per_user,
+            mse_avg=np.float64(result.mse_avg),
+            eps_avg=np.float64(result.eps_avg),
+        )
+        print(f"{spec.name}: estimates saved to {target}")
+    return 0
+
+
+def run_work(args: argparse.Namespace) -> int:
+    """Run one worker process against a file or tcp queue."""
+    from .distributed import FileQueueWorker, SocketWorker, run_worker
+
+    if args.queue_dir:
+        endpoint = FileQueueWorker(args.queue_dir)
+        where = args.queue_dir
+    else:
+        host, port = _parse_host_port(args.connect, "--connect")
+        endpoint = SocketWorker(host, port)
+        where = args.connect
+    print(f"worker attached to {where}")
+    try:
+        completed = run_worker(
+            endpoint,
+            max_tasks=args.max_tasks,
+            idle_timeout=args.idle_exit,
+        )
+    finally:
+        endpoint.close()
+    print(f"worker done: {completed} shards completed")
     return 0
 
 
@@ -282,12 +520,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "sweep":
         try:
             spec = load_sweep_spec(args.spec)
+            return run_spec_sweep(
+                spec, args.output_dir, resume=args.resume, n_workers=args.workers
+            )
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        return run_spec_sweep(
-            spec, args.output_dir, resume=args.resume, n_workers=args.workers
-        )
+
+    if args.command == "serve":
+        try:
+            return run_serve(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "work":
+        try:
+            return run_work(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     if args.command == "table1":
         result = run_table1(

@@ -1,0 +1,221 @@
+"""Wire encoding of distributed work units and results.
+
+Everything that crosses a transport is **plain data**: shard tasks travel as
+JSON documents (the :class:`~repro.simulation.runner.ShardTask` fields plus
+an optional :class:`DatasetRef` telling remote workers how to rebuild the
+workload from the dataset registry), and shard summaries travel as ``.npz``
+archives (numpy's own zip container).  No pickled code ever crosses a
+process or host boundary, so a worker can only execute protocols and
+datasets that its own library build already knows how to construct.
+
+Seed sequences serialize by their ``(entropy, spawn_key)`` pair —
+:class:`numpy.random.SeedSequence` is a pure function of those fields, so a
+worker on another host reconstructs bit-identical randomness streams.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+from ..simulation.runner import ShardTask
+from ..simulation.sinks import ShardSummary
+from ..specs import ProtocolSpec
+
+__all__ = [
+    "DatasetRef",
+    "TransportError",
+    "encode_task",
+    "decode_task",
+    "encode_summary",
+    "decode_summary",
+    "seed_to_dict",
+    "seed_from_dict",
+]
+
+_TASK_KIND = "repro-shard-task"
+_TASK_FORMAT = 1
+_SUMMARY_FORMAT = 1
+
+
+class TransportError(ExperimentError):
+    """A payload could not be encoded, decoded or delivered."""
+
+
+def seed_to_dict(seed: np.random.SeedSequence) -> Dict[str, object]:
+    """JSON-scalar form of a :class:`~numpy.random.SeedSequence`."""
+    entropy = seed.entropy
+    if entropy is None:
+        raise TransportError(
+            "cannot ship a SeedSequence without explicit entropy; derive task "
+            "seeds from an integer root seed"
+        )
+    return {
+        "entropy": list(entropy) if isinstance(entropy, (list, tuple)) else int(entropy),
+        "spawn_key": [int(key) for key in seed.spawn_key],
+    }
+
+
+def seed_from_dict(payload: Dict[str, object]) -> np.random.SeedSequence:
+    """Inverse of :func:`seed_to_dict` (bit-identical streams)."""
+    entropy = payload["entropy"]
+    if isinstance(entropy, list):
+        entropy = [int(word) for word in entropy]
+    else:
+        entropy = int(entropy)
+    return np.random.SeedSequence(
+        entropy, spawn_key=tuple(int(key) for key in payload.get("spawn_key", ()))
+    )
+
+
+@dataclass(frozen=True)
+class DatasetRef:
+    """Registry recipe for rebuilding a workload on a remote worker.
+
+    ``make_dataset(name, scale=scale, rng=seed)`` with equal fields is
+    deterministic, so every worker holding this library reconstructs the
+    exact same dataset — the distributed analogue of shipping the dataset
+    through a process-pool initializer.
+    """
+
+    name: str
+    scale: float = 1.0
+    seed: int = 0
+
+    def build(self):
+        from ..datasets import make_dataset
+
+        return make_dataset(self.name, scale=self.scale, rng=self.seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "scale": float(self.scale), "seed": int(self.seed)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DatasetRef":
+        return cls(
+            name=str(payload["name"]),
+            scale=float(payload.get("scale", 1.0)),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    def cache_key(self) -> Tuple[str, float, int]:
+        return (self.name, float(self.scale), int(self.seed))
+
+
+# --------------------------------------------------------------------- #
+# Shard tasks (JSON)
+# --------------------------------------------------------------------- #
+def encode_task(
+    shard_id: int,
+    task: ShardTask,
+    dataset_ref: Optional[DatasetRef] = None,
+    plan: Optional[str] = None,
+) -> bytes:
+    """Serialize one shard task as a UTF-8 JSON payload.
+
+    ``plan`` is the coordinator's collection-plan fingerprint; workers echo
+    it back in their summaries so a coordinator can recognize (and drop)
+    summaries that a reused queue still holds from a *different* collection.
+    """
+    document: Dict[str, object] = {
+        "kind": _TASK_KIND,
+        "format": _TASK_FORMAT,
+        "shard_id": int(shard_id),
+        "spec": task.spec.to_dict(),
+        "dataset_name": task.dataset_name,
+        "start": int(task.start),
+        "stop": int(task.stop),
+        "seed": seed_to_dict(task.seed),
+    }
+    if dataset_ref is not None:
+        document["dataset"] = dataset_ref.to_dict()
+    if plan is not None:
+        document["plan"] = str(plan)
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def decode_task(
+    payload: bytes,
+) -> Tuple[int, ShardTask, Optional[DatasetRef], Optional[str]]:
+    """Inverse of :func:`encode_task`; validates the payload envelope."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"malformed task payload: {error}") from None
+    if not isinstance(document, dict) or document.get("kind") != _TASK_KIND:
+        raise TransportError(
+            f"payload is not a shard task (kind={document.get('kind') if isinstance(document, dict) else None!r})"
+        )
+    if document.get("format") != _TASK_FORMAT:
+        raise TransportError(
+            f"unsupported task format {document.get('format')!r} "
+            f"(expected {_TASK_FORMAT})"
+        )
+    try:
+        task = ShardTask(
+            spec=ProtocolSpec.from_dict(document["spec"]),
+            dataset_name=str(document["dataset_name"]),
+            start=int(document["start"]),
+            stop=int(document["stop"]),
+            seed=seed_from_dict(document["seed"]),
+        )
+        shard_id = int(document["shard_id"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise TransportError(f"incomplete task payload: {error}") from None
+    ref = document.get("dataset")
+    dataset_ref = DatasetRef.from_dict(ref) if isinstance(ref, dict) else None
+    plan = document.get("plan")
+    return shard_id, task, dataset_ref, (str(plan) if plan is not None else None)
+
+
+# --------------------------------------------------------------------- #
+# Shard summaries (npz)
+# --------------------------------------------------------------------- #
+def encode_summary(
+    shard_id: int, summary: ShardSummary, plan: Optional[str] = None
+) -> bytes:
+    """Serialize one shard summary as an ``.npz`` archive (zip magic).
+
+    ``plan`` should echo the fingerprint received with the task (see
+    :func:`encode_task`).
+    """
+    buffer = io.BytesIO()
+    arrays: Dict[str, np.ndarray] = {
+        "format": np.int64(_SUMMARY_FORMAT),
+        "shard_id": np.int64(shard_id),
+        "n_users": np.int64(summary.n_users),
+        "support_counts": summary.support_counts,
+        "distinct_memoized_per_user": summary.distinct_memoized_per_user,
+    }
+    if plan is not None:
+        arrays["plan"] = np.array(str(plan))
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def decode_summary(payload: bytes) -> Tuple[int, ShardSummary, Optional[str]]:
+    """Inverse of :func:`encode_summary`."""
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+            if int(archive["format"]) != _SUMMARY_FORMAT:
+                raise TransportError(
+                    f"unsupported summary format {int(archive['format'])} "
+                    f"(expected {_SUMMARY_FORMAT})"
+                )
+            shard_id = int(archive["shard_id"])
+            summary = ShardSummary(
+                support_counts=archive["support_counts"],
+                distinct_memoized_per_user=archive["distinct_memoized_per_user"],
+                n_users=int(archive["n_users"]),
+            )
+            plan = str(archive["plan"][()]) if "plan" in archive else None
+    except TransportError:
+        raise
+    except Exception as error:  # zipfile/KeyError/ValueError from np.load
+        raise TransportError(f"malformed summary payload: {error}") from None
+    return shard_id, summary, plan

@@ -1,0 +1,238 @@
+"""Crash-safe file-spool transport.
+
+The queue is a directory tree shared between the coordinator and any number
+of worker processes (same host, or any shared filesystem)::
+
+    <queue_dir>/
+        tasks/      task-<shard>.json      claimable work
+        claims/     task-<shard>.json      claimed work (mtime = lease start)
+        summaries/  summary-<shard>.npz    completed results
+        tmp/                               staging for atomic publishes
+
+Every state transition is a single ``os.replace``/``os.rename`` within the
+queue directory, which POSIX guarantees to be atomic:
+
+* **publish** writes the payload to ``tmp/`` and renames it into ``tasks/``
+  — a reader never observes a half-written task;
+* **claim** renames ``tasks/x`` to ``claims/x`` — exactly one of several
+  racing workers wins (the losers see ``FileNotFoundError`` and move on);
+* **complete** writes the summary to ``tmp/`` and renames it into
+  ``summaries/`` — a worker SIGKILLed mid-write leaves only a stale temp
+  file, never a torn summary;
+* **reclaim** renames an expired ``claims/x`` back to ``tasks/x``.
+
+A worker killed at *any* instant therefore leaves the queue in one of two
+recoverable states: its task still sits in ``claims/`` (requeued after the
+lease expires) or its summary already landed in ``summaries/`` (the shard is
+simply done).  The lease clock is the claim file's mtime, refreshed by the
+claiming worker via :func:`os.utime`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .codec import TransportError
+from .transports import SummaryEnvelope, TaskEnvelope, Transport, WorkerEndpoint
+
+__all__ = ["FileQueueTransport", "FileQueueWorker"]
+
+_TASK_PREFIX = "task-"
+_SUMMARY_PREFIX = "summary-"
+
+
+def _shard_from_name(name: str, prefix: str, suffix: str) -> Optional[int]:
+    if not (name.startswith(prefix) and name.endswith(suffix)):
+        return None
+    try:
+        return int(name[len(prefix) : -len(suffix)])
+    except ValueError:
+        return None
+
+
+class _QueueLayout:
+    """Shared directory layout helpers for both endpoints."""
+
+    def __init__(self, queue_dir: Union[str, Path]) -> None:
+        self.root = Path(queue_dir)
+        self.tasks = self.root / "tasks"
+        self.claims = self.root / "claims"
+        self.summaries = self.root / "summaries"
+        self.tmp = self.root / "tmp"
+        for directory in (self.tasks, self.claims, self.summaries, self.tmp):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def task_name(self, shard_id: int) -> str:
+        return f"{_TASK_PREFIX}{int(shard_id):06d}.json"
+
+    def summary_name(self, shard_id: int) -> str:
+        return f"{_SUMMARY_PREFIX}{int(shard_id):06d}.npz"
+
+    def stage(self, name: str, payload: bytes) -> Path:
+        """Write ``payload`` to a unique temp file and return its path."""
+        staged = self.tmp / f"{name}.{os.getpid()}.{uuid.uuid4().hex}"
+        with staged.open("wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return staged
+
+
+class FileQueueTransport(Transport):
+    """Coordinator endpoint of the file-spool queue."""
+
+    def __init__(self, queue_dir: Union[str, Path]) -> None:
+        self._layout = _QueueLayout(queue_dir)
+        #: shard id -> (mtime_ns, size) of the summary file last delivered.
+        #: Keyed on the file signature, not the shard id alone: a stale
+        #: summary from a previous collection in a reused queue dir gets
+        #: *overwritten* by the fresh worker result, and the replacement
+        #: must be delivered again even though the shard id repeats.
+        self._delivered: Dict[int, Tuple[int, int]] = {}
+
+    @property
+    def queue_dir(self) -> Path:
+        return self._layout.root
+
+    def publish(self, envelope: TaskEnvelope) -> None:
+        layout = self._layout
+        staged = layout.stage(layout.task_name(envelope.shard_id), envelope.payload)
+        os.replace(staged, layout.tasks / layout.task_name(envelope.shard_id))
+
+    def poll_summary(self, timeout: float = 0.0) -> Optional[SummaryEnvelope]:
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            envelope = self._scan_summaries()
+            if envelope is not None:
+                return envelope
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.02)
+
+    def _scan_summaries(self) -> Optional[SummaryEnvelope]:
+        for name in sorted(os.listdir(self._layout.summaries)):
+            shard_id = _shard_from_name(name, _SUMMARY_PREFIX, ".npz")
+            if shard_id is None:
+                continue
+            path = self._layout.summaries / name
+            try:
+                stat = os.stat(path)
+                signature = (stat.st_mtime_ns, stat.st_size)
+                if self._delivered.get(shard_id) == signature:
+                    continue
+                payload = path.read_bytes()
+            except FileNotFoundError:  # pragma: no cover - concurrent cleanup
+                continue
+            self._delivered[shard_id] = signature
+            return SummaryEnvelope(shard_id=shard_id, payload=payload)
+        return None
+
+    def reclaim_expired(self, lease_timeout: float) -> List[int]:
+        layout = self._layout
+        now = time.time()
+        reclaimed: List[int] = []
+        for name in sorted(os.listdir(layout.claims)):
+            shard_id = _shard_from_name(name, _TASK_PREFIX, ".json")
+            if shard_id is None:
+                continue
+            try:
+                claim_stat = os.stat(layout.claims / name)
+            except FileNotFoundError:
+                continue
+            try:
+                summary_stat = os.stat(
+                    layout.summaries / layout.summary_name(shard_id)
+                )
+            except FileNotFoundError:
+                summary_stat = None
+            if (
+                summary_stat is not None
+                and summary_stat.st_mtime_ns >= claim_stat.st_mtime_ns
+            ):
+                # The claimant delivered (the summary postdates the lease
+                # start): the claim is moot, drop it instead of requeueing.
+                # An OLDER summary is stale spool content from a previous
+                # collection and must not cancel a live claim.
+                try:
+                    os.unlink(layout.claims / name)
+                except FileNotFoundError:
+                    pass
+                continue
+            age = now - claim_stat.st_mtime
+            if age < lease_timeout:
+                continue
+            try:
+                os.rename(layout.claims / name, layout.tasks / name)
+            except FileNotFoundError:  # pragma: no cover - lost a reclaim race
+                continue
+            reclaimed.append(shard_id)
+        return reclaimed
+
+    def worker(self) -> "FileQueueWorker":
+        return FileQueueWorker(self._layout.root)
+
+
+class FileQueueWorker(WorkerEndpoint):
+    """Worker endpoint of the file-spool queue.
+
+    Construct directly with the shared queue directory — worker processes do
+    not need (and must not share) the coordinator object.
+    """
+
+    def __init__(self, queue_dir: Union[str, Path]) -> None:
+        self._layout = _QueueLayout(queue_dir)
+
+    def claim(self, timeout: float = 0.0) -> Optional[TaskEnvelope]:
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            envelope = self._try_claim()
+            if envelope is not None:
+                return envelope
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.02)
+
+    def _try_claim(self) -> Optional[TaskEnvelope]:
+        layout = self._layout
+        for name in sorted(os.listdir(layout.tasks)):
+            shard_id = _shard_from_name(name, _TASK_PREFIX, ".json")
+            if shard_id is None:
+                continue
+            claimed_path = layout.claims / name
+            try:
+                os.rename(layout.tasks / name, claimed_path)
+            except FileNotFoundError:
+                continue  # another worker won this task's claim race
+            try:
+                os.utime(claimed_path)  # lease starts now, not at publish time
+                payload = claimed_path.read_bytes()
+            except FileNotFoundError:
+                # Reclaimed from under us before the lease touch / read (the
+                # file's pre-claim mtime already exceeded a tiny lease
+                # timeout); treat as not claimed.
+                continue
+            return TaskEnvelope(shard_id=shard_id, payload=payload)
+        return None
+
+    def complete(self, shard_id: int, payload: bytes) -> None:
+        layout = self._layout
+        name = layout.summary_name(shard_id)
+        staged = layout.stage(name, payload)
+        os.replace(staged, layout.summaries / name)
+        try:
+            os.unlink(layout.claims / layout.task_name(shard_id))
+        except FileNotFoundError:
+            pass  # requeued meanwhile, or claimed by a later attempt
+
+
+def validate_queue_dir(queue_dir: Union[str, Path]) -> Path:
+    """Normalize and create a queue directory, rejecting file paths."""
+    path = Path(queue_dir)
+    if path.exists() and not path.is_dir():
+        raise TransportError(f"queue path {path} exists and is not a directory")
+    _QueueLayout(path)
+    return path

@@ -1,0 +1,316 @@
+"""TCP transport: length-prefixed frames through an asyncio broker.
+
+The coordinator side (:class:`SocketTransport`) runs a small asyncio broker
+on a background thread.  Workers (:class:`SocketWorker`) connect with plain
+blocking sockets and speak a four-message pull protocol::
+
+    worker -> broker   READY                       "give me work"
+    broker -> worker   TASK(shard, payload) |      one claimable task
+                       IDLE                        nothing right now, retry
+    worker -> broker   SUMMARY(shard, payload)     completed result
+    broker -> worker   SHUTDOWN                    collection over, disconnect
+
+Frames are ``>IBI`` headers (payload length, message type, shard id)
+followed by the payload bytes — no pickled code on the wire, only the JSON /
+npz payloads of :mod:`repro.distributed.codec`.
+
+Fault tolerance mirrors the file queue: a task handed to a connection is
+*outstanding* until its SUMMARY arrives.  If the connection drops, its
+outstanding tasks go straight back to the pending queue; if a worker hangs
+without disconnecting, :meth:`SocketTransport.reclaim_expired` requeues
+tasks whose lease is older than the timeout.  Both paths may produce
+duplicate summaries, which the coordinator deduplicates by shard id.
+
+Broker state (pending deque, outstanding map) is guarded by one lock shared
+between the event-loop thread and the coordinator thread; no handler holds
+it across an ``await``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .codec import TransportError
+from .transports import SummaryEnvelope, TaskEnvelope, Transport, WorkerEndpoint
+
+__all__ = ["SocketTransport", "SocketWorker"]
+
+_HEADER = struct.Struct(">IBI")  # payload length, message type, shard id
+_MAX_FRAME = 1 << 30  # defensive bound against garbage length prefixes
+
+MSG_READY = 1
+MSG_TASK = 2
+MSG_IDLE = 3
+MSG_SUMMARY = 4
+MSG_SHUTDOWN = 5
+
+
+def _pack_frame(msg_type: int, shard_id: int, payload: bytes = b"") -> bytes:
+    return _HEADER.pack(len(payload), msg_type, shard_id) + payload
+
+
+async def _read_frame_async(reader: asyncio.StreamReader) -> Tuple[int, int, bytes]:
+    header = await reader.readexactly(_HEADER.size)
+    length, msg_type, shard_id = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise TransportError(f"frame of {length} bytes exceeds the maximum")
+    payload = await reader.readexactly(length) if length else b""
+    return msg_type, shard_id, payload
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame_blocking(sock: socket.socket) -> Tuple[int, int, bytes]:
+    length, msg_type, shard_id = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > _MAX_FRAME:
+        raise TransportError(f"frame of {length} bytes exceeds the maximum")
+    payload = _recv_exact(sock, length) if length else b""
+    return msg_type, shard_id, payload
+
+
+class SocketTransport(Transport):
+    """Coordinator endpoint: an asyncio TCP broker on a background thread.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` (default) binds an ephemeral port; read
+        the resolved address from :attr:`address`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._state_lock = threading.Lock()
+        self._pending: Deque[TaskEnvelope] = deque()
+        #: shard id -> (connection id, lease start, envelope)
+        self._outstanding: Dict[int, Tuple[int, float, TaskEnvelope]] = {}
+        self._summaries: "queue.Queue[SummaryEnvelope]" = queue.Queue()
+        self._writers: set = set()
+        self._shutdown = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._next_connection_id = 0
+        self._thread = threading.Thread(
+            target=self._thread_main, args=(host, port), daemon=True,
+            name="repro-socket-broker",
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise TransportError(f"broker failed to start: {self._startup_error}")
+
+    # ------------------------------------------------------------------ #
+    # Event-loop thread
+    # ------------------------------------------------------------------ #
+    def _thread_main(self, host: str, port: int) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._stop_event = asyncio.Event()
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle_client, host, port)
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            loop.close()
+            return
+        self._address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            loop.run_until_complete(self._stop_event.wait())
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            # Close client connections first so their handlers unwind through
+            # the normal EOF path; cancel only whatever is still left.
+            with self._state_lock:
+                writers = list(self._writers)
+            for writer in writers:
+                writer.close()
+            tasks = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True)
+                )
+            loop.close()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        with self._state_lock:
+            connection_id = self._next_connection_id
+            self._next_connection_id += 1
+            self._writers.add(writer)
+        try:
+            while True:
+                msg_type, shard_id, payload = await _read_frame_async(reader)
+                if msg_type == MSG_READY:
+                    frame = self._next_task_frame(connection_id)
+                    writer.write(frame)
+                    await writer.drain()
+                elif msg_type == MSG_SUMMARY:
+                    with self._state_lock:
+                        self._outstanding.pop(shard_id, None)
+                    self._summaries.put(
+                        SummaryEnvelope(shard_id=shard_id, payload=payload)
+                    )
+                else:
+                    break  # unknown message: drop the connection
+        except (asyncio.IncompleteReadError, ConnectionError, TransportError):
+            pass
+        except asyncio.CancelledError:
+            # Loop shutdown while waiting on this client; exit quietly (a
+            # cancelled handler must not leave asyncio's stream callback a
+            # pending exception to log).
+            pass
+        finally:
+            with self._state_lock:
+                self._writers.discard(writer)
+            self._requeue_connection(connection_id)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - platform noise
+                pass
+
+    def _next_task_frame(self, connection_id: int) -> bytes:
+        with self._state_lock:
+            if self._shutdown:
+                return _pack_frame(MSG_SHUTDOWN, 0)
+            if not self._pending:
+                return _pack_frame(MSG_IDLE, 0)
+            envelope = self._pending.popleft()
+            self._outstanding[envelope.shard_id] = (
+                connection_id, time.monotonic(), envelope,
+            )
+            return _pack_frame(MSG_TASK, envelope.shard_id, envelope.payload)
+
+    def _requeue_connection(self, connection_id: int) -> None:
+        """A connection died: its outstanding tasks become claimable again."""
+        with self._state_lock:
+            for shard_id, (owner, _, envelope) in list(self._outstanding.items()):
+                if owner == connection_id:
+                    del self._outstanding[shard_id]
+                    self._pending.append(envelope)
+
+    # ------------------------------------------------------------------ #
+    # Coordinator side (called from the coordinator thread)
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The broker's resolved ``(host, port)``."""
+        if self._address is None:
+            raise TransportError("broker is not listening")
+        return self._address
+
+    def publish(self, envelope: TaskEnvelope) -> None:
+        with self._state_lock:
+            if self._shutdown:
+                raise TransportError("transport is closed")
+            self._pending.append(envelope)
+
+    def poll_summary(self, timeout: float = 0.0) -> Optional[SummaryEnvelope]:
+        try:
+            if timeout > 0:
+                return self._summaries.get(timeout=timeout)
+            return self._summaries.get_nowait()
+        except queue.Empty:
+            return None
+
+    def reclaim_expired(self, lease_timeout: float) -> List[int]:
+        now = time.monotonic()
+        reclaimed: List[int] = []
+        with self._state_lock:
+            for shard_id, (_, leased_at, envelope) in list(self._outstanding.items()):
+                if now - leased_at >= lease_timeout:
+                    del self._outstanding[shard_id]
+                    self._pending.append(envelope)
+                    reclaimed.append(shard_id)
+        return reclaimed
+
+    def worker(self) -> "SocketWorker":
+        host, port = self.address
+        return SocketWorker(host, port)
+
+    def close(self) -> None:
+        with self._state_lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=5.0)
+
+
+class SocketWorker(WorkerEndpoint):
+    """Worker endpoint: a blocking TCP client of the broker."""
+
+    def __init__(
+        self, host: str, port: int, connect_timeout: float = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._lock = threading.Lock()
+        self._shutdown_seen = False
+
+    def claim(self, timeout: float = 0.0) -> Optional[TaskEnvelope]:
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            if self._shutdown_seen:
+                return None
+            try:
+                with self._lock:
+                    self._sock.sendall(_pack_frame(MSG_READY, 0))
+                    msg_type, shard_id, payload = _read_frame_blocking(self._sock)
+            except (TransportError, ConnectionError, OSError):
+                # The broker went away: for a worker that is between tasks
+                # this is indistinguishable from an orderly SHUTDOWN.
+                self._shutdown_seen = True
+                return None
+            if msg_type == MSG_TASK:
+                return TaskEnvelope(shard_id=shard_id, payload=payload)
+            if msg_type == MSG_SHUTDOWN:
+                self._shutdown_seen = True
+                return None
+            if msg_type != MSG_IDLE:
+                raise TransportError(f"unexpected broker message type {msg_type}")
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.02)
+
+    def complete(self, shard_id: int, payload: bytes) -> None:
+        with self._lock:
+            self._sock.sendall(_pack_frame(MSG_SUMMARY, shard_id, payload))
+
+    @property
+    def saw_shutdown(self) -> bool:
+        """Whether the broker told this worker the collection is over."""
+        return self._shutdown_seen
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - platform noise
+            pass

@@ -1,0 +1,170 @@
+"""Remote aggregator workers: the execution side of the distributed queue.
+
+:func:`run_worker` is the worker loop used both by in-process worker threads
+(``simulate_protocol_sharded(transport=..., n_workers=N)``) and by the
+``repro-ldp work`` CLI process.  It repeatedly claims a task payload, decodes
+it (JSON only — no pickled code), rebuilds the dataset from the embedded
+:class:`~repro.distributed.codec.DatasetRef` when one was not handed in
+directly, executes the shard with
+:func:`repro.simulation.runner.run_shard_task` and delivers the summary.
+
+Because a task carries its own derived seed, a worker is a pure function of
+the task payload: any worker, any number of times, produces the identical
+summary — the property that makes lease-expiry requeues and duplicate
+deliveries harmless.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..datasets.base import LongitudinalDataset
+from ..simulation.runner import run_shard_task
+from .codec import TransportError, decode_task, encode_summary
+from .transports import Transport, WorkerEndpoint
+
+__all__ = ["LocalWorkerPool", "run_worker", "local_worker_threads"]
+
+
+def run_worker(
+    endpoint: WorkerEndpoint,
+    dataset: Optional[LongitudinalDataset] = None,
+    max_tasks: Optional[int] = None,
+    idle_timeout: Optional[float] = 5.0,
+    poll_interval: float = 0.1,
+    stop: Optional[threading.Event] = None,
+) -> int:
+    """Claim-and-execute loop; returns the number of completed shards.
+
+    Parameters
+    ----------
+    endpoint:
+        Worker-side transport endpoint.
+    dataset:
+        The workload, when already available in this process.  ``None``
+        rebuilds (and caches) datasets from each task's
+        :class:`~repro.distributed.codec.DatasetRef` — the remote-worker
+        path.
+    max_tasks:
+        Stop after this many completed shards (``None`` = unbounded).
+    idle_timeout:
+        Exit after this many seconds without claimable work (``None`` =
+        wait forever, until ``stop`` is set or the broker shuts down).
+    poll_interval:
+        Claim poll granularity.
+    stop:
+        Cooperative cancellation for worker threads.
+    """
+    completed = 0
+    cache: Dict[Tuple[str, float, int], LongitudinalDataset] = {}
+    idle_since = time.monotonic()
+    while max_tasks is None or completed < max_tasks:
+        if stop is not None and stop.is_set():
+            break
+        envelope = endpoint.claim(timeout=poll_interval)
+        if envelope is None:
+            if getattr(endpoint, "saw_shutdown", False):
+                break
+            if (
+                idle_timeout is not None
+                and time.monotonic() - idle_since >= idle_timeout
+            ):
+                break
+            continue
+        shard_id, task, dataset_ref, plan = decode_task(envelope.payload)
+        workload = dataset
+        if workload is None:
+            if dataset_ref is None:
+                raise TransportError(
+                    f"task for shard {shard_id} carries no dataset reference and "
+                    f"this worker was not handed a dataset"
+                )
+            key = dataset_ref.cache_key()
+            if key not in cache:
+                cache[key] = dataset_ref.build()
+            workload = cache[key]
+        summary = run_shard_task(task, workload)
+        # Echo the coordinator's plan fingerprint so stale summaries in a
+        # reused queue are recognizable as belonging to another collection.
+        endpoint.complete(shard_id, encode_summary(shard_id, summary, plan=plan))
+        completed += 1
+        idle_since = time.monotonic()
+    return completed
+
+
+class LocalWorkerPool:
+    """Handle to a set of in-process worker threads.
+
+    :meth:`failure_reason` is the liveness hook for
+    :meth:`repro.distributed.coordinator.Coordinator.run`: it reports a
+    non-``None`` reason as soon as a worker raised or every worker exited
+    while the pool is still supposed to be running, so a coordinator does
+    not poll an abandoned queue forever.
+    """
+
+    def __init__(self, threads: List[threading.Thread], stop: threading.Event) -> None:
+        self.threads = threads
+        self.errors: List[BaseException] = []
+        self._stop = stop
+
+    def failure_reason(self) -> Optional[str]:
+        if self.errors:
+            return f"local worker failed: {self.errors[0]!r}"
+        if (
+            self.threads
+            and not self._stop.is_set()
+            and not any(thread.is_alive() for thread in self.threads)
+        ):
+            return "every local worker thread exited before the collection completed"
+        return None
+
+
+@contextmanager
+def local_worker_threads(
+    transport: Transport,
+    n_workers: int,
+    dataset: Optional[LongitudinalDataset] = None,
+) -> Iterator[LocalWorkerPool]:
+    """Run ``n_workers`` worker threads against ``transport`` for a block.
+
+    The workers poll until the block exits (they have no idle timeout); on
+    exit they are signalled to stop and joined.  A worker exception is
+    re-raised in the caller after the block (and is visible earlier through
+    :meth:`LocalWorkerPool.failure_reason`).
+    """
+    stop = threading.Event()
+    pool: LocalWorkerPool
+
+    def loop() -> None:
+        endpoint = transport.worker()
+        try:
+            run_worker(
+                endpoint,
+                dataset=dataset,
+                idle_timeout=None,
+                poll_interval=0.02,
+                stop=stop,
+            )
+        except BaseException as error:  # surfaced via failure_reason / below
+            pool.errors.append(error)
+        finally:
+            endpoint.close()
+
+    threads = [
+        threading.Thread(target=loop, name=f"repro-worker-{i}", daemon=True)
+        for i in range(n_workers)
+    ]
+    pool = LocalWorkerPool(threads, stop)
+    for thread in threads:
+        thread.start()
+    try:
+        yield pool
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+    if pool.errors:
+        raise pool.errors[0]

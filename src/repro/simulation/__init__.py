@@ -64,6 +64,8 @@ _EXPORTS = {
     # runner
     "SimulationResult": ".runner",
     "ShardTask": ".runner",
+    "make_shard_tasks": ".runner",
+    "result_from_summaries": ".runner",
     "run_shard_task": ".runner",
     "simulate_protocol": ".runner",
     "simulate_protocol_sharded": ".runner",
@@ -121,6 +123,8 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .runner import (
         ShardTask,
         SimulationResult,
+        make_shard_tasks,
+        result_from_summaries,
         run_shard_task,
         simulate_protocol,
         simulate_protocol_sharded,

@@ -16,8 +16,12 @@ engines).
 ``simulate_protocol_sharded`` accepts either a protocol object or a
 declarative :class:`~repro.specs.ProtocolSpec`; with a spec, every shard
 becomes a picklable :class:`ShardTask` and ``n_workers > 1`` distributes the
-shards across a process pool — the transport the ROADMAP called out as the
-only missing piece on top of the associative ``ShardedSink`` merge.
+shards across a process pool.  Passing ``transport=`` (see
+:mod:`repro.distributed`) instead routes the same tasks through a pluggable
+transport — in-memory, a crash-safe file spool, or a TCP broker — with a
+fault-tolerant :class:`~repro.distributed.coordinator.Coordinator` that
+requeues crashed workers' shards and deduplicates double deliveries; the
+estimates stay bit-identical to the serial path in every case.
 """
 
 from __future__ import annotations
@@ -42,6 +46,8 @@ from .sinks import ShardedSink, ShardSummary, SupportCountSink
 __all__ = [
     "SimulationResult",
     "ShardTask",
+    "make_shard_tasks",
+    "result_from_summaries",
     "simulate_protocol",
     "simulate_protocol_sharded",
     "simulate_with_clients",
@@ -227,12 +233,69 @@ def _resolve_protocol(
     return protocol_or_spec
 
 
+def make_shard_tasks(
+    spec: ProtocolSpec,
+    dataset: LongitudinalDataset,
+    n_shards: int,
+    rng: RngLike = None,
+) -> List[ShardTask]:
+    """Split ``dataset`` into ``n_shards`` contiguous shard work units.
+
+    Shard ``i`` covers users ``[boundaries[i], boundaries[i+1])`` and is
+    seeded by the ``i``-th child of the root seed — a pure function of
+    ``(rng, n_shards, i)``, so any executor (process pool, file queue, TCP
+    worker, a retry after a crash) reproduces the identical summary.
+    """
+    n_shards = require_int_at_least(n_shards, 1, "n_shards")
+    if n_shards > dataset.n_users:
+        raise ExperimentError(
+            f"cannot split {dataset.n_users} users into {n_shards} shards"
+        )
+    shard_seeds = derive_seed_sequences(rng, n_shards)
+    boundaries = np.linspace(0, dataset.n_users, n_shards + 1).astype(np.int64)
+    return [
+        ShardTask(
+            spec=spec,
+            dataset_name=dataset.name,
+            start=int(boundaries[shard]),
+            stop=int(boundaries[shard + 1]),
+            seed=seed,
+        )
+        for shard, seed in enumerate(shard_seeds)
+    ]
+
+
+def result_from_summaries(
+    protocol: Union[LongitudinalProtocol, ProtocolSpec],
+    dataset: LongitudinalDataset,
+    summaries: List[ShardSummary],
+    extra: Optional[Dict[str, object]] = None,
+) -> SimulationResult:
+    """Merge shard summaries (in the given order) into a final result."""
+    resolved = _resolve_protocol(protocol, dataset.k)
+    merged = ShardedSink()
+    for summary in summaries:
+        merged.absorb(summary)
+    packaged_extra = {"engine": "sharded", "n_shards": len(summaries)}
+    if extra:
+        packaged_extra.update(extra)
+    return _package_result(
+        resolved,
+        dataset,
+        estimates=merged.estimates(resolved),
+        distinct=merged.distinct_memoized_per_user,
+        extra=packaged_extra,
+    )
+
+
 def simulate_protocol_sharded(
     protocol: Union[LongitudinalProtocol, ProtocolSpec],
     dataset: LongitudinalDataset,
     n_shards: int,
     rng: RngLike = None,
     n_workers: int = 1,
+    transport=None,
+    lease_timeout: float = 30.0,
 ) -> SimulationResult:
     """Simulate ``protocol`` by splitting the population into user shards.
 
@@ -249,36 +312,51 @@ def simulate_protocol_sharded(
     picklable :class:`ShardTask` work units and ``n_workers > 1`` executes
     them on a process pool; results are bit-identical for every worker count
     because each shard's stream is derived from the root seed alone.
+
+    With ``transport=`` (a :class:`repro.distributed.Transport`), the tasks
+    are instead serialized as JSON payloads and executed through the
+    fault-tolerant :class:`~repro.distributed.coordinator.Coordinator`:
+    ``n_workers`` local worker threads are attached to the transport
+    (``n_workers=0`` relies entirely on external workers, e.g. ``repro-ldp
+    work`` processes), crashed workers' shards are requeued after
+    ``lease_timeout`` seconds, and the estimates remain bit-identical to the
+    serial path.
     """
     resolved = _resolve_protocol(protocol, dataset.k)
     _check_domains(resolved, dataset)
     n_shards = require_int_at_least(n_shards, 1, "n_shards")
-    n_workers = require_int_at_least(n_workers, 1, "n_workers")
+    n_workers = require_int_at_least(n_workers, 0 if transport is not None else 1, "n_workers")
     if n_shards > dataset.n_users:
         raise ExperimentError(
             f"cannot split {dataset.n_users} users into {n_shards} shards"
         )
-    if n_workers > 1 and not isinstance(protocol, ProtocolSpec):
+    if (n_workers > 1 or transport is not None) and not isinstance(protocol, ProtocolSpec):
         raise ExperimentError(
-            "distributing shards over processes requires a ProtocolSpec "
-            "(protocol objects are not shipped as work units); pass a spec "
-            "from repro.specs"
+            "distributing shards requires a ProtocolSpec (protocol objects "
+            "are not shipped as work units); pass a spec from repro.specs"
         )
-    shard_seeds = derive_seed_sequences(rng, n_shards)
-    boundaries = np.linspace(0, dataset.n_users, n_shards + 1).astype(np.int64)
+
+    if transport is not None:
+        # runtime import: repro.distributed builds on this module
+        from ..distributed import Coordinator, local_worker_threads
+
+        tasks = make_shard_tasks(protocol, dataset, n_shards, rng)
+        coordinator = Coordinator(tasks, transport, lease_timeout=lease_timeout)
+        with local_worker_threads(transport, n_workers, dataset=dataset) as pool:
+            # Abort (instead of polling forever) if every local worker died;
+            # with n_workers=0 external workers are expected and the pool
+            # reports nothing.
+            coordinator.run(abort=pool.failure_reason)
+        return result_from_summaries(
+            protocol,
+            dataset,
+            coordinator.ordered_summaries(),
+            extra={"transport": type(transport).__name__},
+        )
 
     summaries: List[ShardSummary]
     if isinstance(protocol, ProtocolSpec):
-        tasks = [
-            ShardTask(
-                spec=protocol,
-                dataset_name=dataset.name,
-                start=int(boundaries[shard]),
-                stop=int(boundaries[shard + 1]),
-                seed=seed,
-            )
-            for shard, seed in enumerate(shard_seeds)
-        ]
+        tasks = make_shard_tasks(protocol, dataset, n_shards, rng)
         if n_workers == 1:
             summaries = [run_shard_task(task, dataset) for task in tasks]
         else:
@@ -291,6 +369,8 @@ def simulate_protocol_sharded(
                 # shards in shard order — bit-identical to the serial path.
                 summaries = list(pool.map(run_shard_task, tasks))
     else:
+        shard_seeds = derive_seed_sequences(rng, n_shards)
+        boundaries = np.linspace(0, dataset.n_users, n_shards + 1).astype(np.int64)
         summaries = []
         for shard, seed in enumerate(shard_seeds):
             generator = np.random.default_rng(seed)
@@ -303,17 +383,7 @@ def simulate_protocol_sharded(
                 sink.add_round(t, engine.run_round(values_t[start:stop], generator))
             summaries.append(sink.to_summary(engine.distinct_memoized_per_user()))
 
-    merged = ShardedSink()
-    for summary in summaries:
-        merged.absorb(summary)
-
-    return _package_result(
-        resolved,
-        dataset,
-        estimates=merged.estimates(resolved),
-        distinct=merged.distinct_memoized_per_user,
-        extra={"engine": "sharded", "n_shards": n_shards},
-    )
+    return result_from_summaries(resolved, dataset, summaries)
 
 
 def simulate_with_clients(

@@ -261,6 +261,10 @@ class SweepExecutor:
         ``resume=True`` additionally allows appending to an existing CSV
         (otherwise a non-empty store entry is an error).  Skipped points are
         returned as ``None``.
+    header_comment:
+        Optional single-line comment written above the CSV header when the
+        store file is first created (the CLI embeds the sweep spec's
+        fingerprint here so ``--resume`` can detect a changed spec).
     """
 
     def __init__(
@@ -279,6 +283,7 @@ class SweepExecutor:
         completed: Optional[Collection[GridKey]] = None,
         resume: bool = False,
         protocol_factories: Optional[Mapping[str, ProtocolFactory]] = None,
+        header_comment: Optional[str] = None,
     ) -> None:
         if protocol_factories is not None:
             if protocols is not None:
@@ -322,6 +327,7 @@ class SweepExecutor:
         self.keep_runs = keep_runs
         self.store = store
         self.experiment_id = experiment_id
+        self.header_comment = header_comment
         self.resume = bool(resume)
         self.completed: Set[GridKey] = {
             (str(name), float(alpha), float(eps_inf))
@@ -341,21 +347,15 @@ class SweepExecutor:
         return self.protocols
 
     def tasks(self) -> List[Optional[SweepTask]]:
-        """The picklable task list, in task order (``None`` in factory mode)."""
+        """The picklable task list, in task order (``None`` in factory mode).
+
+        Factory mode short-circuits: running the (possibly expensive,
+        parent-process-only) factories just to enumerate tasks would be
+        wasteful, and factory work items are protocol objects, not tasks.
+        """
         if not self._spec_mode:
             return [None] * (len(self.grid) * self.n_runs)
-        dataset_name = self.dataset.name if self.dataset is not None else ""
-        return [
-            SweepTask(
-                spec=self.protocols[name],
-                dataset_name=dataset_name,
-                eps_inf=eps_inf,
-                alpha=alpha,
-                run=run,
-            )
-            for name, alpha, eps_inf in self.grid
-            for run in range(self.n_runs)
-        ]
+        return self._work_items([False] * len(self.grid))
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -517,7 +517,11 @@ class SweepExecutor:
                 flush_state["pending"].append(points[flush_state["cursor"]].as_row())
             flush_state["cursor"] += 1
         if flush_state["pending"] and (final or len(flush_state["pending"]) >= self.flush_every):
-            self.store.append_rows(self.experiment_id, flush_state["pending"])
+            self.store.append_rows(
+                self.experiment_id,
+                flush_state["pending"],
+                header_comment=self.header_comment,
+            )
             flush_state["pending"] = []
 
 
@@ -536,6 +540,7 @@ def run_sweep(
     completed: Optional[Collection[GridKey]] = None,
     resume: bool = False,
     protocol_factories: Optional[Mapping[str, ProtocolFactory]] = None,
+    header_comment: Optional[str] = None,
 ) -> List[Optional[SweepPoint]]:
     """Run the full ``(protocol, eps_inf, alpha)`` grid over one dataset.
 
@@ -559,5 +564,6 @@ def run_sweep(
         completed=completed,
         resume=resume,
         protocol_factories=protocol_factories,
+        header_comment=header_comment,
     )
     return executor.run()

@@ -34,6 +34,7 @@ on-disk format of ``--spec grid.json`` files::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -43,8 +44,10 @@ from ._validation import require_int_at_least, require_positive
 from .exceptions import ParameterError
 
 __all__ = [
+    "CollectionSpec",
     "ProtocolSpec",
     "SweepSpec",
+    "load_collection_spec",
     "load_sweep_spec",
 ]
 
@@ -390,6 +393,23 @@ class SweepSpec:
         path.write_text(self.to_json() + "\n", encoding="utf-8")
         return path
 
+    def fingerprint(self) -> str:
+        """Stable hash of the result-determining fields of this grid.
+
+        The fingerprint is embedded in sweep CSV headers so ``--resume``
+        can refuse to mix rows produced by a different spec.  Fields that
+        never change a dataset's rows are excluded: ``n_workers`` (sweeps
+        are bit-identical for any worker count), ``datasets`` (each
+        dataset's CSV depends only on its own grid — adding a dataset to
+        the spec must not invalidate the finished ones) and ``name`` (it is
+        already the CSV filename).
+        """
+        payload = self.to_dict()
+        for non_determining in ("n_workers", "datasets", "name"):
+            payload.pop(non_determining, None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
 
 def load_sweep_spec(path: Union[str, Path]) -> SweepSpec:
     """Load a :class:`SweepSpec` from a JSON file."""
@@ -401,3 +421,114 @@ def load_sweep_spec(path: Union[str, Path]) -> SweepSpec:
     except json.JSONDecodeError as error:
         raise ParameterError(f"invalid JSON in sweep spec {path}: {error}") from None
     return SweepSpec.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class CollectionSpec:
+    """Declarative description of one distributed sharded collection —
+    the payload of ``repro-ldp serve --spec collection.json`` files.
+
+    Attributes
+    ----------
+    protocol:
+        The protocol template; ``k`` is filled in from the dataset, so the
+        template needs concrete budgets (``eps_inf`` plus ``alpha`` or
+        ``eps_1``) only.
+    dataset:
+        Dataset registry name (see :func:`repro.datasets.make_dataset`).
+    dataset_scale:
+        Fraction of the paper-sized population / horizon to collect.
+    n_shards:
+        Number of contiguous user shards distributed to workers.
+    seed:
+        Root seed: seeds the dataset build *and* the per-shard randomness
+        (derived per shard index), so any worker fleet — and any crash /
+        requeue / duplicate history — reproduces the serial estimates
+        bit for bit.
+    name:
+        Collection id used in logs and output file names.
+    """
+
+    protocol: ProtocolSpec
+    dataset: str = "syn"
+    dataset_scale: float = 1.0
+    n_shards: int = 1
+    seed: int = 20230328
+    name: str = "collection"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.protocol, ProtocolSpec):
+            raise ParameterError(
+                f"protocol must be a ProtocolSpec, got {type(self.protocol).__name__}"
+            )
+        if self.protocol.eps_inf is None:
+            raise ParameterError(
+                "the collection's protocol template needs a concrete eps_inf"
+            )
+        if not isinstance(self.dataset, str) or not self.dataset:
+            raise ParameterError("dataset must be a non-empty registry name")
+        require_positive(self.dataset_scale, "dataset_scale")
+        require_int_at_least(self.n_shards, 1, "n_shards")
+        if not isinstance(self.name, str) or not self.name:
+            raise ParameterError("collection name must be a non-empty string")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "protocol": self.protocol.to_dict(),
+            "dataset": self.dataset,
+            "dataset_scale": self.dataset_scale,
+            "n_shards": self.n_shards,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CollectionSpec":
+        if not isinstance(payload, Mapping):
+            raise ParameterError(
+                f"a collection spec must be a mapping, got {type(payload).__name__}"
+            )
+        known = {"name", "protocol", "dataset", "dataset_scale", "n_shards", "seed"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown collection spec fields: {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        if "protocol" not in payload:
+            raise ParameterError("a collection spec requires a 'protocol' field")
+        kwargs: Dict[str, object] = {
+            "protocol": ProtocolSpec.from_dict(payload["protocol"])
+        }
+        for optional in ("name", "dataset", "dataset_scale", "n_shards", "seed"):
+            if optional in payload:
+                kwargs[optional] = payload[optional]
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CollectionSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec as a JSON file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+
+def load_collection_spec(path: Union[str, Path]) -> CollectionSpec:
+    """Load a :class:`CollectionSpec` from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"collection spec file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ParameterError(
+            f"invalid JSON in collection spec {path}: {error}"
+        ) from None
+    return CollectionSpec.from_dict(payload)

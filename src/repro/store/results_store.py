@@ -4,15 +4,24 @@ Every experiment harness in :mod:`repro.experiments` can hand its output to a
 :class:`ResultsStore`, which writes one JSON document per experiment plus an
 optional flat CSV for spreadsheet-style inspection.  The store never
 overwrites silently: re-saving an experiment requires ``overwrite=True``.
+
+CSV writes are **atomic**: content is staged to a temp file in the same
+directory, fsynced and renamed over the target, so a writer killed mid-flush
+(a crashed sweep worker, a SIGKILLed collector) can never leave a torn row
+that would poison a later ``--resume``.  CSVs may carry a single leading
+``# key=value`` comment line (e.g. the sweep-spec fingerprint); readers skip
+it transparently.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from .._atomicio import atomic_write_text as _atomic_write_text
 from ..exceptions import ExperimentError
 
 __all__ = ["ResultsStore"]
@@ -70,14 +79,18 @@ class ResultsStore:
         for row in rows:
             if list(row.keys()) != fieldnames:
                 raise ExperimentError("all rows must share the same columns")
-        with path.open("w", encoding="utf-8", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=fieldnames)
-            writer.writeheader()
-            writer.writerows(rows)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+        _atomic_write_text(path, buffer.getvalue())
         return path
 
     def append_rows(
-        self, experiment_id: str, rows: Sequence[Dict[str, object]]
+        self,
+        experiment_id: str,
+        rows: Sequence[Dict[str, object]],
+        header_comment: Optional[str] = None,
     ) -> Path:
         """Append flat dictionaries to ``<experiment_id>.csv``, creating it on
         first use.
@@ -86,6 +99,13 @@ class ResultsStore:
         sweeps flush completed grid points as they finish, so a crashed or
         interrupted run leaves every already-computed row on disk.  Appended
         rows must match the columns of the existing file.
+
+        The flush is atomic (temp file + rename): a writer killed mid-flush
+        leaves the previous complete file, never a torn row.
+
+        ``header_comment``, when given, is written as a single ``# <comment>``
+        line above the CSV header of a *newly created* file (existing files
+        keep whatever comment they have); readers skip comment lines.
         """
         if not rows:
             return self._path(experiment_id, "csv")
@@ -95,21 +115,50 @@ class ResultsStore:
         for row in rows:
             if list(row.keys()) != fieldnames:
                 raise ExperimentError("all rows must share the same columns")
-        write_header = not path.exists() or path.stat().st_size == 0
-        if not write_header:
-            with path.open("r", encoding="utf-8", newline="") as handle:
-                existing = next(csv.reader(handle), None)
-            if existing and existing != fieldnames:
+        existing_text = ""
+        if path.exists():
+            existing_text = path.read_text(encoding="utf-8")
+        buffer = io.StringIO()
+        if not existing_text.strip():
+            if header_comment is not None:
+                if "\n" in header_comment or "\r" in header_comment:
+                    raise ExperimentError("header comment must be a single line")
+                buffer.write(f"# {header_comment}\n")
+            writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+            writer.writeheader()
+        else:
+            header_row = next(
+                csv.reader(
+                    line
+                    for line in io.StringIO(existing_text)
+                    if not line.startswith("#")
+                ),
+                None,
+            )
+            if header_row and header_row != fieldnames:
                 raise ExperimentError(
-                    f"cannot append to {path}: existing columns {existing} do not "
-                    f"match {fieldnames}"
+                    f"cannot append to {path}: existing columns {header_row} do "
+                    f"not match {fieldnames}"
                 )
-        with path.open("a", encoding="utf-8", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=fieldnames)
-            if write_header:
-                writer.writeheader()
-            writer.writerows(rows)
+            buffer.write(existing_text)
+            if not existing_text.endswith("\n"):
+                buffer.write("\n")
+            writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writerows(rows)
+        _atomic_write_text(path, buffer.getvalue())
         return path
+
+    def read_header_comment(self, experiment_id: str) -> Optional[str]:
+        """The ``# <comment>`` line of a CSV, without the marker; ``None`` if
+        the file is missing or carries no comment."""
+        path = self._path(experiment_id, "csv")
+        if not path.exists():
+            return None
+        with path.open("r", encoding="utf-8", newline="") as handle:
+            first = handle.readline()
+        if first.startswith("#"):
+            return first[1:].strip()
+        return None
 
     def has_rows(self, experiment_id: str) -> bool:
         """Whether a CSV for ``experiment_id`` already exists on disk."""
@@ -127,12 +176,18 @@ class ResultsStore:
             return json.load(handle)
 
     def load_rows(self, experiment_id: str) -> List[Dict[str, str]]:
-        """Load a previously saved CSV as a list of string-valued dictionaries."""
+        """Load a previously saved CSV as a list of string-valued dictionaries.
+
+        Leading ``#`` comment lines (e.g. the sweep-spec fingerprint) are
+        skipped.
+        """
         path = self._path(experiment_id, "csv")
         if not path.exists():
             raise ExperimentError(f"no saved results found at {path}")
         with path.open("r", encoding="utf-8", newline="") as handle:
-            return list(csv.DictReader(handle))
+            return list(
+                csv.DictReader(line for line in handle if not line.startswith("#"))
+            )
 
     def list_experiments(self) -> List[str]:
         """Identifiers of every experiment with a saved JSON document."""

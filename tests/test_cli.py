@@ -102,7 +102,18 @@ class TestSweepCommand:
         assert "4 grid points" in output and "0 already complete" in output
         csv_path = out / "cli_syn.csv"
         assert csv_path.exists()
-        assert len(csv_path.read_text().strip().splitlines()) == 5  # header + 4
+        lines = csv_path.read_text().strip().splitlines()
+        # fingerprint comment + header + 4 rows
+        assert len(lines) == 6
+        assert lines[0].startswith("# sweep_spec_fingerprint=")
+
+    def test_sweep_csv_fingerprint_matches_spec(self, tmp_path):
+        grid = _write_grid(tmp_path / "grid.json")
+        out = tmp_path / "out"
+        main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+        comment = (out / "cli_syn.csv").read_text().splitlines()[0]
+        spec = load_sweep_spec(grid)
+        assert comment == f"# sweep_spec_fingerprint={spec.fingerprint()}"
 
     def test_sweep_resume_recomputes_only_missing_points(self, capsys, tmp_path):
         grid = _write_grid(tmp_path / "grid.json")
@@ -112,9 +123,10 @@ class TestSweepCommand:
         csv_path = out / "cli_syn.csv"
         full = csv_path.read_text()
 
-        # Simulate an interrupted sweep: drop the last two data rows.
+        # Simulate an interrupted sweep: drop the last two data rows
+        # (keeping the fingerprint comment, the header and two rows).
         lines = full.strip().splitlines()
-        csv_path.write_text("\n".join(lines[:3]) + "\n", encoding="utf-8")
+        csv_path.write_text("\n".join(lines[:4]) + "\n", encoding="utf-8")
 
         code = main(["sweep", "--spec", str(grid), "--output-dir", str(out), "--resume"])
         assert code == 0
@@ -124,12 +136,13 @@ class TestSweepCommand:
         # same derived streams.
         assert csv_path.read_text() == full
 
-    def test_sweep_resume_ignores_rows_from_a_different_grid(self, capsys, tmp_path):
-        """A stale CSV (same name, different grid) must not satisfy the sweep."""
+    def test_sweep_resume_refuses_csv_from_a_different_spec(self, capsys, tmp_path):
+        """A fingerprinted CSV written by a different grid must be refused."""
         grid = _write_grid(tmp_path / "grid.json")
         out = tmp_path / "out"
         main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
         capsys.readouterr()
+        before = (out / "cli_syn.csv").read_text()
 
         # Re-point the spec at a different eps grid under the same name.
         payload = json.loads((tmp_path / "grid.json").read_text())
@@ -137,13 +150,30 @@ class TestSweepCommand:
         (tmp_path / "grid.json").write_text(json.dumps(payload))
 
         code = main(["sweep", "--spec", str(grid), "--output-dir", str(out), "--resume"])
+        assert code == 2
+        assert "refusing to resume" in capsys.readouterr().err
+        # The refusal must leave the old CSV untouched.
+        assert (out / "cli_syn.csv").read_text() == before
+
+    def test_sweep_resume_warns_on_legacy_csv_without_fingerprint(
+        self, capsys, tmp_path
+    ):
+        """Pre-fingerprint CSVs still resume (per-row key intersection only)."""
+        grid = _write_grid(tmp_path / "grid.json")
+        out = tmp_path / "out"
+        main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+        capsys.readouterr()
+        csv_path = out / "cli_syn.csv"
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("#")
+        # Strip the comment (a CSV from before fingerprinting) and a row.
+        csv_path.write_text("\n".join(lines[1:4]) + "\n", encoding="utf-8")
+
+        code = main(["sweep", "--spec", str(grid), "--output-dir", str(out), "--resume"])
         assert code == 0
         output = capsys.readouterr().out
-        # The 4 old rows are foreign to the new grid: everything recomputes.
-        assert "0 already complete, 4 to run" in output
-        assert "not part of this grid" in output
-        csv_rows = (out / "cli_syn.csv").read_text().strip().splitlines()
-        assert len(csv_rows) == 9  # header + 4 old + 4 new
+        assert "no spec fingerprint" in output
+        assert "2 already complete" in output and "2 to run" in output
 
     def test_sweep_resume_noop_when_complete(self, capsys, tmp_path):
         grid = _write_grid(tmp_path / "grid.json")
@@ -155,14 +185,14 @@ class TestSweepCommand:
         ) == 0
         assert "nothing to do" in capsys.readouterr().out
 
-    def test_sweep_without_resume_refuses_existing_csv(self, tmp_path):
-        from repro.exceptions import ExperimentError
-
+    def test_sweep_without_resume_refuses_existing_csv(self, capsys, tmp_path):
         grid = _write_grid(tmp_path / "grid.json")
         out = tmp_path / "out"
         main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
-        with pytest.raises(ExperimentError, match="already exist"):
-            main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+        capsys.readouterr()
+        code = main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
+        assert code == 2
+        assert "already exist" in capsys.readouterr().err
 
     def test_sweep_with_bad_spec_file_fails_cleanly(self, capsys, tmp_path):
         bad = tmp_path / "bad.json"

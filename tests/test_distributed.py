@@ -1,0 +1,702 @@
+"""Tests for the distributed collection subsystem.
+
+Covers the wire codec, the three transports (in-process, file spool, TCP
+broker), the fault-tolerant coordinator — worker crash with lease-expiry
+requeue, duplicate summary delivery, out-of-order arrival, coordinator
+checkpoint/restore — and the end-to-end bit-identity of
+``simulate_protocol_sharded(transport=...)`` against the serial path for a
+one-shot (single-round) and a longitudinal workload.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_uniform_changing
+from repro.distributed import (
+    Coordinator,
+    DatasetRef,
+    FileQueueTransport,
+    FileQueueWorker,
+    InProcessTransport,
+    SocketTransport,
+    SummaryEnvelope,
+    TransportError,
+    decode_summary,
+    decode_task,
+    encode_summary,
+    encode_task,
+    local_worker_threads,
+    run_worker,
+)
+from repro.exceptions import ExperimentError
+from repro.service import CollectorSession
+from repro.simulation.runner import (
+    make_shard_tasks,
+    result_from_summaries,
+    run_shard_task,
+    simulate_protocol_sharded,
+)
+from repro.specs import CollectionSpec, ProtocolSpec
+
+LONGITUDINAL_SPEC = ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5)
+ONESHOT_SPEC = ProtocolSpec(name="L-GRR", eps_inf=1.0, alpha=0.5)
+
+
+@pytest.fixture
+def oneshot_dataset():
+    """A single-round workload: the one-shot collection degenerate case."""
+    return make_uniform_changing(
+        k=16, n_users=200, n_rounds=1, change_probability=0.5, name="oneshot", rng=3
+    )
+
+
+def _file_transport(tmp_path):
+    return FileQueueTransport(tmp_path / "queue")
+
+
+# --------------------------------------------------------------------- #
+# Codec
+# --------------------------------------------------------------------- #
+class TestCodec:
+    def test_task_round_trip(self, tiny_dataset):
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 3, rng=5)
+        ref = DatasetRef(name="syn", scale=0.05, seed=7)
+        payload = encode_task(1, tasks[1], ref)
+        shard_id, decoded, decoded_ref, plan = decode_task(payload)
+        assert shard_id == 1
+        assert decoded.spec == tasks[1].spec
+        assert (decoded.start, decoded.stop) == (tasks[1].start, tasks[1].stop)
+        assert decoded.dataset_name == tiny_dataset.name
+        assert decoded_ref == ref
+        # The reconstructed seed drives a bit-identical stream.
+        a = np.random.default_rng(tasks[1].seed).random(8)
+        b = np.random.default_rng(decoded.seed).random(8)
+        assert np.array_equal(a, b)
+
+    def test_task_without_dataset_ref(self, tiny_dataset):
+        task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
+        _, _, ref, _ = decode_task(encode_task(0, task))
+        assert ref is None
+
+    def test_summary_round_trip(self, tiny_dataset):
+        task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
+        summary = run_shard_task(task, tiny_dataset)
+        shard_id, decoded, _ = decode_summary(encode_summary(0, summary))
+        assert shard_id == 0
+        assert np.array_equal(decoded.support_counts, summary.support_counts)
+        assert np.array_equal(
+            decoded.distinct_memoized_per_user, summary.distinct_memoized_per_user
+        )
+        assert decoded.n_users == summary.n_users
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(TransportError, match="malformed task"):
+            decode_task(b"not json")
+        with pytest.raises(TransportError, match="not a shard task"):
+            decode_task(b'{"kind": "something-else"}')
+        with pytest.raises(TransportError, match="malformed summary"):
+            decode_summary(b"not a zip archive")
+
+
+# --------------------------------------------------------------------- #
+# Transport contract (shared behaviours)
+# --------------------------------------------------------------------- #
+class TestTransportContract:
+    @pytest.fixture(params=["inprocess", "file", "socket"])
+    def transport(self, request, tmp_path):
+        if request.param == "inprocess":
+            transport = InProcessTransport()
+        elif request.param == "file":
+            transport = _file_transport(tmp_path)
+        else:
+            transport = SocketTransport()
+        yield transport
+        transport.close()
+
+    def test_publish_claim_complete_poll(self, transport, tiny_dataset):
+        task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
+        payload = encode_task(0, task)
+        from repro.distributed import TaskEnvelope
+
+        transport.publish(TaskEnvelope(shard_id=0, payload=payload))
+        worker = transport.worker()
+        try:
+            envelope = worker.claim(timeout=5.0)
+            assert envelope is not None and envelope.shard_id == 0
+            assert envelope.payload == payload
+            summary = run_shard_task(decode_task(envelope.payload)[1], tiny_dataset)
+            worker.complete(0, encode_summary(0, summary))
+            received = transport.poll_summary(timeout=5.0)
+            assert received is not None and received.shard_id == 0
+            assert decode_summary(received.payload)[0] == 0
+        finally:
+            worker.close()
+
+    def test_claim_times_out_when_empty(self, transport):
+        worker = transport.worker()
+        try:
+            assert worker.claim(timeout=0.05) is None
+        finally:
+            worker.close()
+
+    def test_abandoned_claim_is_reclaimed(self, transport, tiny_dataset):
+        task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
+        from repro.distributed import TaskEnvelope
+
+        transport.publish(TaskEnvelope(shard_id=0, payload=encode_task(0, task)))
+        doomed = transport.worker()
+        assert doomed.claim(timeout=5.0) is not None
+        # The worker dies without completing; nothing is claimable ...
+        second = transport.worker()
+        try:
+            assert second.claim(timeout=0.05) is None
+            # ... until the lease expires and the shard is requeued.
+            time.sleep(0.05)
+            reclaimed = transport.reclaim_expired(lease_timeout=0.01)
+            assert reclaimed == [0]
+            envelope = second.claim(timeout=5.0)
+            assert envelope is not None and envelope.shard_id == 0
+        finally:
+            doomed.close()
+            second.close()
+
+
+class TestFileQueueDetails:
+    def test_concurrent_workers_claim_distinct_tasks(self, tmp_path, tiny_dataset):
+        transport = _file_transport(tmp_path)
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 4, rng=5)
+        from repro.distributed import TaskEnvelope
+
+        for shard_id, task in enumerate(tasks):
+            transport.publish(
+                TaskEnvelope(shard_id=shard_id, payload=encode_task(shard_id, task))
+            )
+        first = FileQueueWorker(tmp_path / "queue")
+        second = FileQueueWorker(tmp_path / "queue")
+        claimed = {first.claim(0.1).shard_id, second.claim(0.1).shard_id,
+                   first.claim(0.1).shard_id, second.claim(0.1).shard_id}
+        assert claimed == {0, 1, 2, 3}
+
+    def test_staged_files_are_invisible_to_claims(self, tmp_path, tiny_dataset):
+        """A torn (half-written) publish must never be claimable."""
+        transport = _file_transport(tmp_path)
+        queue_dir = tmp_path / "queue"
+        (queue_dir / "tmp" / "task-000000.json.999.deadbeef").write_bytes(b"{half")
+        worker = FileQueueWorker(queue_dir)
+        assert worker.claim(timeout=0.05) is None
+
+    def test_completed_shard_claim_is_dropped_not_requeued(
+        self, tmp_path, tiny_dataset
+    ):
+        """A claim whose summary already landed must not resurrect the task."""
+        transport = _file_transport(tmp_path)
+        task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
+        from repro.distributed import TaskEnvelope
+
+        transport.publish(TaskEnvelope(shard_id=0, payload=encode_task(0, task)))
+        worker = transport.worker()
+        envelope = worker.claim(timeout=5.0)
+        summary = run_shard_task(decode_task(envelope.payload)[1], tiny_dataset)
+        payload = encode_summary(0, summary)
+        # Simulate "summary delivered but claim file survived" (a crash
+        # between the summary rename and the claim unlink).
+        (queue_layout := transport._layout).summaries.joinpath(
+            queue_layout.summary_name(0)
+        ).write_bytes(payload)
+        assert transport.reclaim_expired(lease_timeout=0.0) == []
+        assert worker.claim(timeout=0.05) is None
+
+
+# --------------------------------------------------------------------- #
+# End-to-end bit-identity over every transport
+# --------------------------------------------------------------------- #
+class TestBitIdentity:
+    @pytest.fixture(params=["inprocess", "file", "socket"])
+    def make_transport(self, request, tmp_path):
+        def factory():
+            if request.param == "inprocess":
+                return InProcessTransport()
+            if request.param == "file":
+                return FileQueueTransport(tmp_path / f"queue-{time.monotonic_ns()}")
+            return SocketTransport()
+
+        return factory
+
+    @pytest.mark.parametrize(
+        "spec_name", ["longitudinal", "oneshot"], ids=["L-OSUE", "L-GRR-oneshot"]
+    )
+    def test_transport_reproduces_serial_estimates(
+        self, make_transport, spec_name, tiny_dataset, oneshot_dataset
+    ):
+        if spec_name == "longitudinal":
+            spec, dataset = LONGITUDINAL_SPEC, tiny_dataset
+        else:
+            spec, dataset = ONESHOT_SPEC, oneshot_dataset
+        serial = simulate_protocol_sharded(spec, dataset, n_shards=4, rng=9)
+        transport = make_transport()
+        try:
+            distributed = simulate_protocol_sharded(
+                spec, dataset, n_shards=4, rng=9, n_workers=2, transport=transport
+            )
+        finally:
+            transport.close()
+        assert np.array_equal(distributed.estimates, serial.estimates)
+        assert np.array_equal(
+            distributed.distinct_memoized_per_user, serial.distinct_memoized_per_user
+        )
+        assert distributed.mse_avg == serial.mse_avg
+        assert distributed.eps_avg == serial.eps_avg
+
+    def test_transport_requires_spec(self, tiny_dataset):
+        from repro.registry import build_protocol
+
+        protocol = build_protocol(LONGITUDINAL_SPEC.at(k=tiny_dataset.k))
+        transport = InProcessTransport()
+        try:
+            with pytest.raises(ExperimentError, match="requires a ProtocolSpec"):
+                simulate_protocol_sharded(
+                    protocol, tiny_dataset, n_shards=2, rng=9, transport=transport
+                )
+        finally:
+            transport.close()
+
+
+# --------------------------------------------------------------------- #
+# Failure modes
+# --------------------------------------------------------------------- #
+class TestFailureModes:
+    @pytest.mark.parametrize("kind", ["inprocess", "file", "socket"])
+    def test_worker_crash_lease_expiry_requeue(self, kind, tmp_path, tiny_dataset):
+        """A claimed-then-abandoned shard is requeued and the final estimates
+        are bit-identical to the serial run — on every transport."""
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=4, rng=9
+        )
+        if kind == "inprocess":
+            transport = InProcessTransport()
+        elif kind == "file":
+            transport = _file_transport(tmp_path)
+        else:
+            transport = SocketTransport()
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 4, rng=9)
+        coordinator = Coordinator(tasks, transport, lease_timeout=0.1)
+        coordinator.publish_pending()
+        # A worker claims a shard and dies without completing it.  (Keep the
+        # endpoint open: the socket broker would requeue instantly on
+        # disconnect, and this test exercises the lease-timeout path.)
+        doomed = transport.worker()
+        assert doomed.claim(timeout=5.0) is not None
+        with local_worker_threads(transport, 1, dataset=tiny_dataset):
+            coordinator.run(timeout=30.0)
+        doomed.close()
+        transport.close()
+        assert coordinator.requeued >= 1
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+        assert result.eps_avg == serial.eps_avg
+
+    def test_duplicate_summary_delivery_is_idempotent(self, tiny_dataset):
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=3, rng=9
+        )
+        transport = InProcessTransport()
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 3, rng=9)
+        session = CollectorSession(
+            LONGITUDINAL_SPEC.at(k=tiny_dataset.k), n_rounds=tiny_dataset.n_rounds
+        )
+        coordinator = Coordinator(tasks, transport, session=session)
+        coordinator.publish_pending()
+        worker = transport.worker()
+        for _ in range(3):
+            envelope = worker.claim(timeout=1.0)
+            _, task, _, plan = decode_task(envelope.payload)
+            payload = encode_summary(
+                envelope.shard_id, run_shard_task(task, tiny_dataset)
+            )
+            worker.complete(envelope.shard_id, payload)
+            if envelope.shard_id == 1:
+                # At-least-once transport: the same summary lands twice.
+                transport._summaries.append(
+                    SummaryEnvelope(shard_id=1, payload=payload)
+                )
+        coordinator.run(timeout=30.0)
+        transport.close()
+        assert coordinator.duplicates == 1
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+        # The streamed session saw each shard exactly once: with the full
+        # population credited per round, its estimates equal the batch path.
+        assert np.array_equal(
+            session.estimates(), serial.estimates
+        )
+
+    def test_collector_restart_over_persistent_queue_dedups(
+        self, tmp_path, tiny_dataset
+    ):
+        """A restarted collector re-scans the spool and sees every summary
+        again; the checkpoint + shard-id dedup must absorb none twice."""
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=3, rng=9
+        )
+        checkpoint = tmp_path / "coordinator.npz"
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 3, rng=9)
+
+        first = Coordinator(
+            tasks, _file_transport(tmp_path), checkpoint_path=checkpoint
+        )
+        first.publish_pending()
+        # Workers spool all three summaries, but the collector "crashes"
+        # after absorbing (and checkpointing) only two of them.
+        run_worker(
+            first.transport.worker(), dataset=tiny_dataset,
+            max_tasks=3, idle_timeout=0.5,
+        )
+        assert first.step(timeout=1.0) is True
+        assert first.step(timeout=1.0) is True
+        assert not first.is_complete
+        first.transport.close()
+
+        # Fresh coordinator over the SAME queue directory: every spooled
+        # summary is re-delivered — two are duplicates, one is new.
+        second = Coordinator(
+            tasks, _file_transport(tmp_path), checkpoint_path=checkpoint
+        )
+        assert second.load_checkpoint() == 2
+        assert second.drain(idle_timeout=0.2) == 1
+        second.transport.close()
+        assert second.is_complete
+        assert second.duplicates == 2
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, second.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+
+    def test_stale_summaries_from_another_collection_are_dropped(
+        self, tmp_path, tiny_dataset
+    ):
+        """Reusing a queue dir must not absorb summaries of a previous
+        (different-spec) collection: workers echo the plan fingerprint and
+        the coordinator drops foreign summaries."""
+        # First collection fills queue/summaries with its results.
+        old = Coordinator(
+            make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 3, rng=1),
+            _file_transport(tmp_path),
+        )
+        with local_worker_threads(old.transport, 1, dataset=tiny_dataset):
+            old.run(timeout=30.0)
+        old.transport.close()
+
+        # Second collection, SAME queue dir, different seed (=> different
+        # plan, identical shard layout — the dangerous case).
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=3, rng=2
+        )
+        new = Coordinator(
+            make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 3, rng=2),
+            _file_transport(tmp_path),
+            lease_timeout=5.0,
+        )
+        with local_worker_threads(new.transport, 1, dataset=tiny_dataset):
+            new.run(timeout=30.0)
+        new.transport.close()
+        assert new.foreign == 3  # the old spool re-delivered, all dropped
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, new.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+
+    def test_coordinator_aborts_when_all_local_workers_die(self, tiny_dataset):
+        """A dead worker fleet must abort the run, not hang it forever."""
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=9)
+        transport = InProcessTransport()
+        coordinator = Coordinator(tasks, transport, lease_timeout=0.1)
+
+        def poisoned_run_shard(*args, **kwargs):
+            raise RuntimeError("worker exploded")
+
+        import repro.distributed.worker as worker_module
+
+        original = worker_module.run_shard_task
+        worker_module.run_shard_task = poisoned_run_shard
+        try:
+            with pytest.raises((ExperimentError, RuntimeError), match="exploded|aborted"):
+                with local_worker_threads(transport, 1, dataset=tiny_dataset) as pool:
+                    coordinator.run(timeout=30.0, abort=pool.failure_reason)
+        finally:
+            worker_module.run_shard_task = original
+            transport.close()
+
+    def test_out_of_order_arrival(self, tiny_dataset):
+        """Summaries absorbed in reverse order still merge bit-identically."""
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=4, rng=9
+        )
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 4, rng=9)
+        transport = InProcessTransport()
+        session = CollectorSession(
+            LONGITUDINAL_SPEC.at(k=tiny_dataset.k), n_rounds=tiny_dataset.n_rounds
+        )
+        coordinator = Coordinator(tasks, transport, session=session)
+        for shard_id in reversed(range(4)):
+            coordinator.absorb(shard_id, run_shard_task(tasks[shard_id], tiny_dataset))
+        transport.close()
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+        assert np.array_equal(
+            result.distinct_memoized_per_user, serial.distinct_memoized_per_user
+        )
+        assert np.array_equal(session.estimates(), serial.estimates)
+
+    def test_absorb_rejects_unknown_shard_and_wrong_population(self, tiny_dataset):
+        from repro.simulation.sinks import ShardSummary
+
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=9)
+        transport = InProcessTransport()
+        coordinator = Coordinator(tasks, transport)
+        summary = run_shard_task(tasks[0], tiny_dataset)
+        with pytest.raises(TransportError, match="unknown shard"):
+            coordinator.absorb(7, summary)
+        wrong_population = ShardSummary(
+            support_counts=summary.support_counts,
+            distinct_memoized_per_user=np.zeros(summary.n_users + 1, dtype=np.int64),
+            n_users=summary.n_users + 1,
+        )
+        with pytest.raises(TransportError, match="users, expected"):
+            coordinator.absorb(1, wrong_population)
+        transport.close()
+
+
+# --------------------------------------------------------------------- #
+# Coordinator checkpoint / restore
+# --------------------------------------------------------------------- #
+class TestCoordinatorCheckpoint:
+    def test_killed_collector_resumes_bit_identical(self, tmp_path, tiny_dataset):
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=4, rng=9
+        )
+        checkpoint = tmp_path / "coordinator.npz"
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 4, rng=9)
+
+        # First collector: absorbs two shards, checkpoints, then "dies".
+        first_transport = InProcessTransport()
+        first = Coordinator(
+            tasks, first_transport, checkpoint_path=checkpoint, lease_timeout=5.0
+        )
+        first.publish_pending()
+        worker = first_transport.worker()
+        run_worker(worker, dataset=tiny_dataset, max_tasks=2, idle_timeout=0.1)
+        assert first.drain(idle_timeout=0.2) == 2
+        assert checkpoint.exists() and not first.is_complete
+        first_transport.close()
+
+        # Second collector: restores, publishes only the missing shards.
+        second_transport = InProcessTransport()
+        second = Coordinator(
+            tasks, second_transport, checkpoint_path=checkpoint, lease_timeout=5.0
+        )
+        assert second.load_checkpoint() == 2
+        assert len(second.pending_shards) == 2
+        with local_worker_threads(second_transport, 2, dataset=tiny_dataset):
+            second.run(timeout=30.0)
+        second_transport.close()
+
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, second.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+        assert np.array_equal(
+            result.distinct_memoized_per_user, serial.distinct_memoized_per_user
+        )
+
+    def test_checkpoint_of_other_plan_is_refused(self, tmp_path, tiny_dataset):
+        checkpoint = tmp_path / "coordinator.npz"
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 4, rng=9)
+        transport = InProcessTransport()
+        coordinator = Coordinator(tasks, transport, checkpoint_path=checkpoint)
+        coordinator.absorb(0, run_shard_task(tasks[0], tiny_dataset))
+        transport.close()
+
+        other_tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 4, rng=10)
+        other_transport = InProcessTransport()
+        other = Coordinator(other_tasks, other_transport, checkpoint_path=checkpoint)
+        with pytest.raises(ExperimentError, match="different collection plan"):
+            other.load_checkpoint()
+        other_transport.close()
+
+    def test_missing_checkpoint_restores_nothing(self, tmp_path, tiny_dataset):
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=9)
+        transport = InProcessTransport()
+        coordinator = Coordinator(
+            tasks, transport, checkpoint_path=tmp_path / "absent.npz"
+        )
+        assert coordinator.load_checkpoint() == 0
+        transport.close()
+
+
+# --------------------------------------------------------------------- #
+# Remote workers rebuild datasets from the registry reference
+# --------------------------------------------------------------------- #
+class TestDatasetRef:
+    def test_worker_rebuilds_dataset_from_ref(self):
+        from repro.datasets import make_dataset
+
+        dataset = make_dataset("syn", scale=0.02, rng=21)
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, dataset, n_shards=3, rng=9
+        )
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, dataset, 3, rng=9)
+        transport = InProcessTransport()
+        ref = DatasetRef(name="syn", scale=0.02, seed=21)
+        coordinator = Coordinator(tasks, transport, dataset_ref=ref)
+        coordinator.publish_pending()
+        # dataset=None: the worker must reconstruct the workload itself.
+        run_worker(transport.worker(), dataset=None, max_tasks=3, idle_timeout=0.5)
+        coordinator.drain(idle_timeout=0.5)
+        transport.close()
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+
+    def test_worker_without_dataset_or_ref_fails_loudly(self, tiny_dataset):
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=9)
+        transport = InProcessTransport()
+        coordinator = Coordinator(tasks, transport)  # no dataset_ref
+        coordinator.publish_pending()
+        with pytest.raises(TransportError, match="no dataset reference"):
+            run_worker(transport.worker(), dataset=None, max_tasks=1, idle_timeout=0.5)
+        transport.close()
+
+
+# --------------------------------------------------------------------- #
+# CollectionSpec + serve/work CLI
+# --------------------------------------------------------------------- #
+class TestCollectionSpec:
+    def test_round_trip(self):
+        spec = CollectionSpec(
+            protocol=ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5),
+            dataset="syn",
+            dataset_scale=0.05,
+            n_shards=4,
+            seed=99,
+            name="demo",
+        )
+        assert CollectionSpec.from_json(spec.to_json()) == spec
+
+    def test_rejects_template_without_budget(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError, match="eps_inf"):
+            CollectionSpec(protocol=ProtocolSpec(name="L-OSUE"))
+
+    def test_rejects_unknown_fields(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError, match="unknown collection spec"):
+            CollectionSpec.from_dict({"protocol": {"name": "L-OSUE"}, "zap": 1})
+
+
+class TestServeWorkCli:
+    def test_serve_with_file_queue_and_cli_worker(self, tmp_path, capsys):
+        """serve + work over a spool dir, estimates bit-identical to serial."""
+        from repro.cli import main
+        from repro.datasets import make_dataset
+
+        spec = CollectionSpec(
+            protocol=ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5),
+            dataset="syn",
+            dataset_scale=0.02,
+            n_shards=3,
+            seed=20230328,
+            name="cli-test",
+        )
+        spec_path = spec.save(tmp_path / "collection.json")
+        queue_dir = tmp_path / "queue"
+        estimates_path = tmp_path / "estimates.npz"
+
+        worker = threading.Thread(
+            target=main,
+            args=(
+                ["work", "--queue-dir", str(queue_dir), "--idle-exit", "10"],
+            ),
+            daemon=True,
+        )
+        worker.start()
+        code = main(
+            [
+                "serve",
+                "--spec", str(spec_path),
+                "--transport", "file",
+                "--queue-dir", str(queue_dir),
+                "--lease-timeout", "10",
+                "--save-estimates", str(estimates_path),
+                "--timeout", "60",
+            ]
+        )
+        worker.join(timeout=30)
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "collected 3 shards" in output
+
+        dataset = make_dataset("syn", scale=0.02, rng=20230328)
+        serial = simulate_protocol_sharded(
+            spec.protocol, dataset, n_shards=3, rng=20230328
+        )
+        with np.load(estimates_path) as archive:
+            assert np.array_equal(archive["estimates"], serial.estimates)
+            assert float(archive["mse_avg"]) == serial.mse_avg
+
+    def test_serve_with_local_workers_and_tcp(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.datasets import make_dataset
+
+        spec = CollectionSpec(
+            protocol=ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5),
+            dataset="syn",
+            dataset_scale=0.02,
+            n_shards=2,
+            seed=20230328,
+            name="tcp-test",
+        )
+        spec_path = spec.save(tmp_path / "collection.json")
+        estimates_path = tmp_path / "estimates.npz"
+        code = main(
+            [
+                "serve",
+                "--spec", str(spec_path),
+                "--transport", "tcp",
+                "--bind", "127.0.0.1:0",
+                "--local-workers", "2",
+                "--save-estimates", str(estimates_path),
+                "--timeout", "60",
+            ]
+        )
+        assert code == 0
+        assert "broker listening" in capsys.readouterr().out
+        dataset = make_dataset("syn", scale=0.02, rng=20230328)
+        serial = simulate_protocol_sharded(
+            spec.protocol, dataset, n_shards=2, rng=20230328
+        )
+        with np.load(estimates_path) as archive:
+            assert np.array_equal(archive["estimates"], serial.estimates)
+
+    def test_serve_requires_queue_dir_for_file_transport(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = CollectionSpec(
+            protocol=ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5),
+            dataset="syn",
+        )
+        spec_path = spec.save(tmp_path / "collection.json")
+        code = main(["serve", "--spec", str(spec_path), "--transport", "file"])
+        assert code == 2
+        assert "--queue-dir" in capsys.readouterr().err

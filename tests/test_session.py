@@ -170,3 +170,70 @@ class TestCheckpointRestore:
         path.write_text('{"format": 99}', encoding="utf-8")
         with pytest.raises(ParameterError, match="unsupported checkpoint format"):
             CollectorSession.restore(path)
+
+
+class TestNpzCheckpoint:
+    def test_npz_round_trip_preserves_state_and_estimates(
+        self, tiny_dataset, tmp_path
+    ):
+        spec = _spec(tiny_dataset.k)
+        session = CollectorSession(spec, n_rounds=tiny_dataset.n_rounds)
+        rounds = _collect_reports(session.protocol, tiny_dataset, rng=4)
+        session.submit_reports(0, rounds[0])
+        session.submit_reports(2, rounds[2][:50])
+
+        path = session.checkpoint(tmp_path / "session.npz")
+        restored = CollectorSession.restore(path)
+        assert restored.spec == spec
+        assert restored.n_rounds == session.n_rounds
+        np.testing.assert_array_equal(
+            restored.reports_per_round, session.reports_per_round
+        )
+        # Binary round trip: bit-identical, not merely close.
+        np.testing.assert_array_equal(
+            restored.support_counts(0), session.support_counts(0)
+        )
+        restored.submit_reports(2, rounds[2][50:])
+        session.submit_reports(2, rounds[2][50:])
+        np.testing.assert_array_equal(restored.estimates(), session.estimates())
+
+    def test_restore_auto_detects_format_regardless_of_suffix(
+        self, tiny_dataset, tmp_path
+    ):
+        """Detection is content-based (zip magic), not name-based."""
+        spec = _spec(tiny_dataset.k)
+        session = CollectorSession(spec, n_rounds=tiny_dataset.n_rounds)
+        rounds = _collect_reports(session.protocol, tiny_dataset, rng=4)
+        session.submit_reports(1, rounds[1])
+        npz_path = session.checkpoint(tmp_path / "chk.npz")
+        disguised = tmp_path / "chk.json"
+        disguised.write_bytes(npz_path.read_bytes())
+        restored = CollectorSession.restore(disguised)
+        np.testing.assert_array_equal(
+            restored.reports_per_round, session.reports_per_round
+        )
+
+    def test_npz_checkpoint_is_smaller_than_json_for_wide_state(self, tmp_path):
+        spec = ProtocolSpec(name="L-OSUE", k=128, eps_inf=2.0, eps_1=1.0)
+        session = CollectorSession(spec, n_rounds=64)
+        rng = np.random.default_rng(0)
+        for t in range(64):
+            session.submit_counts(t, rng.integers(0, 500, size=128), n_reports=1000)
+        json_path = session.checkpoint(tmp_path / "big.json")
+        npz_path = session.checkpoint(tmp_path / "big.npz")
+        assert npz_path.stat().st_size < json_path.stat().st_size
+
+    def test_corrupt_npz_rejected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"PK\x03\x04 garbage that is not a real zip")
+        with pytest.raises(ParameterError, match="invalid session checkpoint"):
+            CollectorSession.restore(bad)
+
+    def test_no_temp_files_left_behind(self, tiny_dataset, tmp_path):
+        spec = _spec(tiny_dataset.k)
+        session = CollectorSession(spec, n_rounds=tiny_dataset.n_rounds)
+        rounds = _collect_reports(session.protocol, tiny_dataset, rng=4)
+        session.submit_reports(0, rounds[0])
+        session.checkpoint(tmp_path / "a.json")
+        session.checkpoint(tmp_path / "a.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.json", "a.npz"]

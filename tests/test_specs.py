@@ -285,3 +285,38 @@ class TestShardedSpecSimulation:
                 rng=0,
                 n_workers=2,
             )
+
+
+class TestSweepSpecFingerprint:
+    def _base_spec(self, **overrides):
+        kwargs = dict(
+            name="fp",
+            protocols=(ProtocolSpec(name="L-OSUE"),),
+            eps_inf_values=(0.5, 2.0),
+            alpha_values=(0.5,),
+            datasets=("syn",),
+            n_runs=2,
+            dataset_scale=0.05,
+            seed=11,
+        )
+        kwargs.update(overrides)
+        return SweepSpec(**kwargs)
+
+    def test_fingerprint_is_stable(self):
+        assert self._base_spec().fingerprint() == self._base_spec().fingerprint()
+
+    def test_fingerprint_changes_with_result_determining_fields(self):
+        base = self._base_spec().fingerprint()
+        assert self._base_spec(seed=12).fingerprint() != base
+        assert self._base_spec(n_runs=3).fingerprint() != base
+        assert self._base_spec(eps_inf_values=(0.5,)).fingerprint() != base
+        assert self._base_spec(dataset_scale=0.1).fingerprint() != base
+
+    def test_fingerprint_ignores_non_result_determining_fields(self):
+        # Worker count never changes results (bit-identical sweeps), adding
+        # a dataset does not change the finished datasets' rows, and the
+        # name is already the CSV filename — none may invalidate a resume.
+        base = self._base_spec().fingerprint()
+        assert self._base_spec(n_workers=8).fingerprint() == base
+        assert self._base_spec(datasets=("syn", "adult")).fingerprint() == base
+        assert self._base_spec(name="renamed").fingerprint() == base

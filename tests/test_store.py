@@ -106,3 +106,56 @@ class TestResultsStore:
         store.save_json("b_exp", {})
         store.save_json("a_exp", {})
         assert store.list_experiments() == ["a_exp", "b_exp"]
+
+
+class TestHeaderCommentAndAtomicity:
+    def test_append_rows_writes_header_comment_once(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append_rows("fp", [{"a": 1}], header_comment="spec_fingerprint=abc123")
+        store.append_rows("fp", [{"a": 2}], header_comment="spec_fingerprint=zzz999")
+        text = (tmp_path / "fp.csv").read_text()
+        lines = text.strip().splitlines()
+        # The comment of the file's creation wins; later comments are ignored.
+        assert lines[0] == "# spec_fingerprint=abc123"
+        assert lines[1] == "a"
+        assert store.read_header_comment("fp") == "spec_fingerprint=abc123"
+
+    def test_load_rows_skips_comment_lines(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append_rows("fp2", [{"a": 1}, {"a": 2}], header_comment="k=v")
+        rows = store.load_rows("fp2")
+        assert [row["a"] for row in rows] == ["1", "2"]
+
+    def test_read_header_comment_absent(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.read_header_comment("nothing") is None
+        store.append_rows("plain", [{"a": 1}])
+        assert store.read_header_comment("plain") is None
+
+    def test_multiline_header_comment_rejected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(ExperimentError, match="single line"):
+            store.append_rows("bad", [{"a": 1}], header_comment="two\nlines")
+
+    def test_append_flush_is_atomic_no_temp_left_behind(self, tmp_path):
+        """Flushes go through temp+rename: no partial CSV state is visible."""
+        store = ResultsStore(tmp_path)
+        store.append_rows("atomic", [{"a": 1}])
+        store.append_rows("atomic", [{"a": 2}])
+        # Only the finished CSV remains — no stranded staging files.
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "atomic.csv"]
+        assert leftovers == []
+        assert len(store.load_rows("atomic")) == 2
+
+    def test_append_to_commented_csv_preserves_comment(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append_rows("keep", [{"a": 1}], header_comment="fp=1")
+        store.append_rows("keep", [{"a": 2}])
+        lines = (tmp_path / "keep.csv").read_text().strip().splitlines()
+        assert lines == ["# fp=1", "a", "1", "2"]
+
+    def test_append_to_commented_csv_checks_columns(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append_rows("cols", [{"a": 1}], header_comment="fp=1")
+        with pytest.raises(ExperimentError, match="existing columns"):
+            store.append_rows("cols", [{"b": 1}])
