@@ -1,0 +1,157 @@
+"""Large-domain (k = 2048) round benchmarks: aggregated vs legacy round paths.
+
+The scaling pass made every engine's instantaneous round cost a function of
+the domain size alone: L-GRR and LOLOHA sample support counts per memoized
+symbol (two binomials per value), and the UE round folds the bit-packed memo
+rows straight into column sums — never unpacking the ``(n_users, k)`` bit
+matrix — with an incremental delta-fold that only re-folds users whose
+value changed since the previous round.  This module times the new round
+paths against the *legacy* computations they replaced (per-user GRR reports,
+the unpack-and-sum UE fold, the dense hash-support compare), on the same
+engines and the same memo state, at ``k = 2048`` — the scale where the
+ROADMAP's dense paths stalled.
+
+Two workloads bracket the delta-fold:
+
+* ``steady``  — every user repeats its value (the sticky common case of
+  longitudinal data; the delta-fold touches nothing);
+* ``changing`` — every user redraws its value each round (the worst case;
+  the fold runs over the full population).
+
+``REPRO_BENCH_LARGE_N`` scales the population (default 10 000; CI smokes the
+file at a reduced n with ``--benchmark-disable``).  The acceptance target of
+the scaling pass was a >= 5x steady-round speedup for the UE and LOLOHA
+rounds at ``n = 10^4, k = 2048``; the deterministic O(n)-independence guard
+lives in ``tests/test_engines_and_simulation.py`` (draw counting), so CI
+does not depend on wall-clock ratios.
+"""
+
+import itertools
+import os
+
+import numpy as np
+import pytest
+
+from repro.longitudinal import LGRR, LOSUE, OLOLOHA
+from repro.simulation import engine_for
+from repro.simulation.kernels import (
+    grr_kernel,
+    support_from_hashes_kernel,
+    ue_binomial_counts_kernel,
+)
+
+K = 2_048
+N_USERS = int(os.environ.get("REPRO_BENCH_LARGE_N", "10000"))
+EPS_INF, EPS_1 = 2.0, 1.0
+#: Distinct pre-warmed value rounds cycled by the ``changing`` workload.
+N_CHANGING_ROUNDS = 8
+
+PROTOCOLS = {
+    "L-GRR": lambda: LGRR(K, EPS_INF, EPS_1),
+    "L-OSUE": lambda: LOSUE(K, EPS_INF, EPS_1),
+    "OLOLOHA": lambda: OLOLOHA(K, EPS_INF, EPS_1),
+}
+
+
+def _never_fresh(users, keys):  # pragma: no cover - warm engines never miss
+    raise AssertionError("memoization miss on a warmed-up engine")
+
+
+@pytest.fixture(scope="module")
+def warm():
+    """One warmed-up engine per protocol family plus the value workloads.
+
+    Every value round of both workloads is played once up front, so the
+    benchmarked rounds never hit a memoization miss (steady-state cost).
+    """
+    value_rng = np.random.default_rng(1)
+    rounds = [
+        value_rng.integers(0, K, size=N_USERS) for _ in range(N_CHANGING_ROUNDS)
+    ]
+    engines = {
+        name: engine_for(factory(), N_USERS, rng=0)
+        for name, factory in PROTOCOLS.items()
+    }
+    for engine in engines.values():
+        for values in rounds:
+            engine.run_round(values, np.random.default_rng(2))
+    return engines, rounds
+
+
+def _workload(rounds, workload):
+    if workload == "steady":
+        return itertools.repeat(rounds[0])
+    return itertools.cycle(rounds)
+
+
+@pytest.mark.benchmark(group="large-domain-round")
+@pytest.mark.parametrize("workload", ["steady", "changing"])
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_round_aggregated(benchmark, warm, name, workload):
+    """The shipped round path (aggregated sampling, packed delta-folds)."""
+    engines, rounds = warm
+    engine = engines[name]
+    feed = _workload(rounds, workload)
+
+    counts = benchmark(lambda: engine.run_round(next(feed), np.random.default_rng(3)))
+    assert counts.shape == (K,)
+    benchmark.extra_info.update(n_users=N_USERS, k=K, workload=workload)
+
+
+@pytest.mark.benchmark(group="large-domain-round-legacy")
+@pytest.mark.parametrize("workload", ["steady", "changing"])
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_round_legacy(benchmark, warm, name, workload):
+    """The pre-scaling round computations, on identical engine state."""
+    engines, rounds = warm
+    engine = engines[name]
+    params = engine.protocol.chained_parameters
+    feed = _workload(rounds, workload)
+
+    if name == "L-GRR":
+
+        def legacy_round():
+            memoized = engine._state.resolve(next(feed), _never_fresh)
+            reports = grr_kernel(memoized, K, params.p2, np.random.default_rng(3))
+            return np.bincount(reports, minlength=K).astype(np.float64)
+
+    elif name == "L-OSUE":
+        # The legacy round unpacked the full (n_users, k) bit matrix before
+        # summing columns (the memo layout — dense at reduced n, sparse at
+        # the default scale — serves both paths identically).
+
+        def legacy_round():
+            memo_ones = engine._state.resolve(next(feed), _never_fresh).sum(
+                axis=0, dtype=np.int64
+            )
+            return ue_binomial_counts_kernel(
+                memo_ones, N_USERS, params.p2, params.q2, np.random.default_rng(3)
+            )
+
+    else:  # OLOLOHA: per-user reports + dense hash-support compare fold
+        users = np.arange(N_USERS)
+
+        def legacy_round():
+            hashed = engine.hashed_domain[users, next(feed)].astype(np.int64)
+            memoized = engine._state.resolve(hashed, _never_fresh)
+            reports = grr_kernel(
+                memoized, engine.protocol.g, params.p2, np.random.default_rng(3)
+            )
+            return support_from_hashes_kernel(engine.hashed_domain, reports)
+
+    counts = benchmark(legacy_round)
+    assert counts.shape == (K,)
+    benchmark.extra_info.update(n_users=N_USERS, k=K, workload=workload)
+
+
+def test_packed_column_sums_match_legacy_unpack(warm):
+    """Correctness anchor for the benchmark pair: on the same warm state the
+    packed fold and the legacy unpack-and-sum agree exactly."""
+    engines, rounds = warm
+    engine = engines["L-OSUE"]
+    for values in rounds:
+        packed = engine._column_sums.update(values)
+        unpacked = engine._state.resolve(values, _never_fresh).sum(
+            axis=0, dtype=np.int64
+        )
+        assert np.array_equal(packed, unpacked)

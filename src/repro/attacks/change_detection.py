@@ -101,7 +101,12 @@ def change_detection_rate(
     """
     protocol = DBitFlipPM(k=dataset.k, eps_inf=eps_inf, b=b, d=d)
     generator = as_rng(rng)
-    engine = DBitFlipEngine(protocol, dataset.n_users, generator)
+    # The attack observes the per-round memoization keys, so this is the one
+    # consumer that opts into the engine's key history (off by default — it
+    # grows by one array per round).
+    engine = DBitFlipEngine(
+        protocol, dataset.n_users, generator, record_key_history=True
+    )
     for values_t in dataset.iter_rounds():
         engine.run_round(values_t, generator)
 

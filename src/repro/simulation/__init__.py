@@ -32,10 +32,12 @@ from typing import TYPE_CHECKING
 _EXPORTS = {
     # kernels
     "grr_kernel": ".kernels",
+    "grr_mixing_counts_kernel": ".kernels",
     "one_hot_kernel": ".kernels",
     "ue_flip_kernel": ".kernels",
     "ue_fresh_rows_kernel": ".kernels",
     "ue_binomial_counts_kernel": ".kernels",
+    "packed_column_sums_kernel": ".kernels",
     "dbitflip_fresh_bits_kernel": ".kernels",
     "sample_buckets_kernel": ".kernels",
     "debias_kernel": ".kernels",
@@ -44,6 +46,8 @@ _EXPORTS = {
     # state
     "DenseSymbolMemo": ".state",
     "PackedBitMemo": ".state",
+    "SparsePackedBitMemo": ".state",
+    "make_packed_bit_memo": ".state",
     # sinks
     "SupportCountSink": ".sinks",
     "ShardSummary": ".sinks",
@@ -107,7 +111,9 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         dbitflip_fresh_bits_kernel,
         debias_kernel,
         grr_kernel,
+        grr_mixing_counts_kernel,
         one_hot_kernel,
+        packed_column_sums_kernel,
         sample_buckets_kernel,
         support_from_hashes_kernel,
         ue_binomial_counts_kernel,
@@ -131,7 +137,12 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         simulate_with_clients,
     )
     from .sinks import ShardedSink, ShardSummary, SupportCountSink, estimate_support_counts
-    from .state import DenseSymbolMemo, PackedBitMemo
+    from .state import (
+        DenseSymbolMemo,
+        PackedBitMemo,
+        SparsePackedBitMemo,
+        make_packed_bit_memo,
+    )
     from .sweep import (
         SweepExecutor,
         SweepPoint,

@@ -8,13 +8,17 @@ preserving the same randomized behaviour, by composing exactly two layers:
 
 * a *perturbation kernel* from :mod:`repro.simulation.kernels` — the pure,
   stateless numpy function that realizes the protocol's randomization;
-* a *memoization state* from :mod:`repro.simulation.state` — a dense table
-  holding the permanent randomization of each (user, key) pair, created in
-  batches the first time a pair occurs.
+* a *memoization state* from :mod:`repro.simulation.state` — a dense or
+  row-sparse table holding the permanent randomization of each (user, key)
+  pair, created in batches the first time a pair occurs.
 
-Neither the round loop nor any constructor contains a per-user Python loop;
-the only per-round outputs are the support counts, which the aggregation
-sinks of :mod:`repro.simulation.sinks` fold incrementally.
+Neither the round loop nor any constructor contains a per-user Python loop,
+and — since the aggregated-sampling pass — the *instantaneous* randomization
+of every engine is sampled in aggregate: the per-round randomness cost is a
+function of the (hashed) domain size alone, never of ``n_users``
+(``docs/architecture.md`` tabulates the per-engine round complexity).  The
+only per-round outputs are the support counts, which the aggregation sinks
+of :mod:`repro.simulation.sinks` fold incrementally.
 
 Every engine exposes the same protocol:
 
@@ -30,7 +34,7 @@ Every engine exposes the same protocol:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -45,13 +49,15 @@ from ..rng import RngLike
 from .kernels import (
     dbitflip_fresh_bits_kernel,
     grr_kernel,
+    grr_mixing_counts_kernel,
+    packed_column_sums_kernel,
     sample_buckets_kernel,
     support_from_hashes_kernel,
     ue_binomial_counts_kernel,
     ue_fresh_rows_kernel,
 )
 from .sinks import estimate_support_counts
-from .state import DenseSymbolMemo, PackedBitMemo
+from .state import DenseSymbolMemo, make_packed_bit_memo
 
 __all__ = [
     "PopulationEngine",
@@ -61,6 +67,44 @@ __all__ = [
     "LOLOHAEngine",
     "engine_for",
 ]
+
+#: Byte budget above which :class:`LOLOHAEngine` skips precomputing the
+#: packed per-hash-symbol support planes and falls back to the dense
+#: compare-based fold.
+_SUPPORT_PLANES_MAX_BYTES = 1024**3
+
+
+class _DeltaFoldCache:
+    """Incremental per-round fold of immutable per-(user, key) contributions.
+
+    ``fold(users, keys)`` must return the summed contribution vector of the
+    given users under the given keys.  Contributions never change once a
+    (user, key) pair exists, so between rounds only users whose key changed
+    need refolding: the cache applies ``+ new − old`` for those users, and
+    falls back to a full refold when more than half the population moved
+    (the delta touches 2x the changed rows, so that is the break-even).
+    Longitudinal values are sticky across rounds, making the delta path the
+    common case.
+    """
+
+    def __init__(self, n_users: int, fold) -> None:
+        self._n_users = n_users
+        self._fold = fold
+        self._last_keys: Optional[np.ndarray] = None
+        self._sums: Optional[np.ndarray] = None
+
+    def update(self, keys: np.ndarray) -> np.ndarray:
+        if self._sums is not None:
+            changed = np.flatnonzero(keys != self._last_keys)
+            if changed.size <= self._n_users // 2:
+                if changed.size:
+                    self._sums += self._fold(changed, keys[changed])
+                    self._sums -= self._fold(changed, self._last_keys[changed])
+                    self._last_keys[changed] = keys[changed]
+                return self._sums
+        self._sums = self._fold(np.arange(self._n_users), keys)
+        self._last_keys = keys.copy()
+        return self._sums
 
 
 class PopulationEngine(ABC):
@@ -106,7 +150,10 @@ class GRRChainEngine(PopulationEngine):
     """Vectorized population for :class:`repro.longitudinal.LGRR`.
 
     The memoization key of L-GRR is the value itself, so the state is one
-    memoized symbol per (user, value) pair.
+    memoized symbol per (user, value) pair.  The instantaneous GRR is sampled
+    in aggregate per memoized symbol (:func:`grr_mixing_counts_kernel`):
+    after the O(n) memoization lookup, the round consumes ``O(k)`` randomness
+    regardless of the population size.
     """
 
     def __init__(self, protocol: LGRR, n_users: int, rng: RngLike = None) -> None:
@@ -124,8 +171,8 @@ class GRRChainEngine(PopulationEngine):
         memoized = self._state.resolve(
             values_t, lambda users, keys: grr_kernel(keys, k, params.p1, generator)
         )
-        reports = grr_kernel(memoized, k, params.p2, generator)
-        return np.bincount(reports, minlength=k).astype(np.float64)
+        symbol_counts = np.bincount(memoized, minlength=k)
+        return grr_mixing_counts_kernel(symbol_counts, k, params.p2, generator)
 
     def distinct_memoized_per_user(self) -> np.ndarray:
         return self._state.distinct_per_user()
@@ -134,18 +181,35 @@ class GRRChainEngine(PopulationEngine):
 class UnaryChainEngine(PopulationEngine):
     """Vectorized population for the longitudinal UE protocols.
 
-    The permanently randomized ``k``-bit vectors are held in a dense
-    bit-packed memo tensor indexed by (user, value), materialized lazily in
-    batches — no per-user packing or unpacking on the round path.
+    The permanently randomized ``k``-bit vectors are held in a bit-packed
+    memo table indexed by (user, value), materialized lazily in batches; the
+    layout (dense below ~2 GiB, row-sparse above) is picked by
+    :func:`repro.simulation.state.make_packed_bit_memo` and can be forced
+    with ``memo_layout=``.  The round path folds the packed rows straight
+    into per-column sums — the full ``(n_users, k)`` bit matrix is never
+    unpacked — and samples the instantaneous flips in aggregate (two
+    binomials per column).
     """
 
     def __init__(
-        self, protocol: LongitudinalUnaryEncoding, n_users: int, rng: RngLike = None
+        self,
+        protocol: LongitudinalUnaryEncoding,
+        n_users: int,
+        rng: RngLike = None,
+        memo_layout: str = "auto",
     ) -> None:
         if not isinstance(protocol, LongitudinalUnaryEncoding):
             raise ParameterError("UnaryChainEngine requires a longitudinal UE protocol")
         super().__init__(protocol, n_users, rng)
-        self._state = PackedBitMemo(n_users, protocol.k, protocol.k)
+        self._state = make_packed_bit_memo(
+            n_users, protocol.k, protocol.k, layout=memo_layout
+        )
+        self._column_sums = _DeltaFoldCache(n_users, self._fold_column_sums)
+
+    def _fold_column_sums(self, users: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return packed_column_sums_kernel(
+            self._state.packed_rows(users, keys), self.protocol.k
+        )
 
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         values_t = self._validate_round(values_t)
@@ -153,16 +217,19 @@ class UnaryChainEngine(PopulationEngine):
         params = self.protocol.chained_parameters
         k = self.protocol.k
 
-        memo_matrix = self._state.resolve(
+        self._state.ensure_rows(
             values_t,
             lambda users, keys: ue_fresh_rows_kernel(
                 keys, k, params.p1, params.q1, generator
             ),
         )
+        # Column sums of the memoized rows, folded on the packed bytes (the
+        # full (n_users, k) bit matrix is never unpacked) and updated
+        # incrementally across rounds.
+        memo_ones = self._column_sums.update(values_t)
         # The instantaneous bit flips are independent across users, so the
         # column support counts can be sampled in aggregate (two binomials
         # per column) instead of flipping the full (n_users, k) matrix.
-        memo_ones = memo_matrix.sum(axis=0, dtype=np.int64)
         return ue_binomial_counts_kernel(
             memo_ones, self.n_users, params.p2, params.q2, generator
         )
@@ -174,12 +241,21 @@ class UnaryChainEngine(PopulationEngine):
 class DBitFlipEngine(PopulationEngine):
     """Vectorized population for :class:`repro.longitudinal.DBitFlipPM`.
 
-    Beyond the support counts this engine records, per user, the sequence of
-    memoization keys actually used — which is what the data-change detection
-    attack of Table 2 observes.
+    With ``record_key_history=True`` the engine additionally records, per
+    round, the memoization key used by each user — which is what the
+    data-change detection attack of Table 2 observes.  Recording is opt-in
+    because the history grows by one ``(n_users,)`` array per round forever,
+    which long-horizon monitoring simulations must not pay for.
     """
 
-    def __init__(self, protocol: DBitFlipPM, n_users: int, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        protocol: DBitFlipPM,
+        n_users: int,
+        rng: RngLike = None,
+        memo_layout: str = "auto",
+        record_key_history: bool = False,
+    ) -> None:
         if not isinstance(protocol, DBitFlipPM):
             raise ParameterError("DBitFlipEngine requires a DBitFlipPM protocol")
         super().__init__(protocol, n_users, rng)
@@ -189,10 +265,11 @@ class DBitFlipEngine(PopulationEngine):
         self.sampled_buckets = sample_buckets_kernel(n_users, b, d, self._rng)
         # Memoized bits per (user, indicator key); key d means "no sampled
         # bucket matches".
-        self._state = PackedBitMemo(n_users, d + 1, d)
-        #: Per-round memoization keys used by each user (filled by run_round);
-        #: consumed by the change-detection attack.
-        self.key_history: list = []
+        self._state = make_packed_bit_memo(n_users, d + 1, d, layout=memo_layout)
+        #: Per-round memoization keys used by each user, recorded only when
+        #: ``record_key_history=True`` (``None`` otherwise); consumed by the
+        #: change-detection attack.
+        self.key_history: Optional[List[np.ndarray]] = [] if record_key_history else None
 
     def _indicator_keys(self, buckets: np.ndarray) -> np.ndarray:
         """Position of each user's current bucket among its sampled buckets, or d."""
@@ -210,7 +287,8 @@ class DBitFlipEngine(PopulationEngine):
 
         buckets = self.protocol.bucket_of(values_t)
         keys = self._indicator_keys(buckets)
-        self.key_history.append(keys.copy())
+        if self.key_history is not None:
+            self.key_history.append(keys.copy())
 
         current = self._state.resolve(
             keys, lambda users, kk: dbitflip_fresh_bits_kernel(kk, d, p, q, generator)
@@ -234,9 +312,21 @@ class LOLOHAEngine(PopulationEngine):
 
     The per-user hash tables Algorithm 2 needs are drawn in one batched call
     through :meth:`repro.hashing.UniversalHashFamily.sample_hashed_domains`.
+    The round is fully aggregated: the support fold counts, per candidate
+    value ``v``, the users whose hash of ``v`` equals their *memoized* symbol
+    — regrouped per (memoized symbol, hash bucket) as bit-packed support
+    planes folded by popcount — and the instantaneous GRR is then sampled as
+    two binomials per value on top of those counts, so the per-round
+    randomness is ``O(k)`` draws instead of one GRR report per user.
     """
 
-    def __init__(self, protocol: LOLOHA, n_users: int, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        protocol: LOLOHA,
+        n_users: int,
+        rng: RngLike = None,
+        support_layout: str = "auto",
+    ) -> None:
         if not isinstance(protocol, LOLOHA):
             raise ParameterError("LOLOHAEngine requires a LOLOHA protocol")
         super().__init__(protocol, n_users, rng)
@@ -246,6 +336,40 @@ class LOLOHAEngine(PopulationEngine):
             n_users, protocol.k, self._rng
         ).astype(domain_dtype)
         self._state = DenseSymbolMemo(n_users, protocol.g)
+        if support_layout not in ("auto", "packed", "compare"):
+            raise ParameterError(
+                f"support layout must be 'auto', 'packed' or 'compare', "
+                f"got {support_layout!r}"
+            )
+        planes_bytes = protocol.g * n_users * (-(-protocol.k // 8))
+        use_planes = support_layout == "packed" or (
+            support_layout == "auto" and planes_bytes <= _SUPPORT_PLANES_MAX_BYTES
+        )
+        #: Bit-packed support planes: plane ``h``, row ``u`` packs the k-bit
+        #: indicator row ``H_u(v) == h`` — the (memoized symbol, hash bucket)
+        #: regrouping of the support fold.  ``None`` when the planes would
+        #: exceed the byte budget; the fold then compares per round instead.
+        self._support_planes: Optional[np.ndarray] = None
+        if use_planes:
+            self._support_planes = np.stack(
+                [
+                    np.packbits(self.hashed_domain == h, axis=1)
+                    for h in range(protocol.g)
+                ]
+            )
+        # A user's support row depends only on its memoized symbol (the hash
+        # tables are fixed), so the fold is delta-cached on those symbols.
+        self._memoized_support = _DeltaFoldCache(n_users, self._fold_support)
+
+    def _fold_support(self, users: np.ndarray, symbols: np.ndarray) -> np.ndarray:
+        """Fold the support rows of the given users under the given memoized
+        symbols: ``sum_u [H_u(v) == symbols[u]]`` per value ``v``."""
+        if self._support_planes is not None:
+            rows = self._support_planes[symbols, users]
+            return packed_column_sums_kernel(rows, self.protocol.k)
+        return support_from_hashes_kernel(
+            self.hashed_domain[users], symbols
+        ).astype(np.int64)
 
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         values_t = self._validate_round(values_t)
@@ -258,8 +382,18 @@ class LOLOHAEngine(PopulationEngine):
         memoized = self._state.resolve(
             hashed, lambda u, keys: grr_kernel(keys, g, params.p1, generator)
         )
-        reports = grr_kernel(memoized, g, params.p2, generator)
-        return support_from_hashes_kernel(self.hashed_domain, reports)
+        # A user supports value v iff its report equals H_u(v); the report is
+        # the memoized symbol with probability p2 and any fixed other symbol
+        # with probability q2 = (1 - p2) / (g - 1), independently across
+        # users.  Conditional on the memoized support counts D[v], the round's
+        # support counts therefore marginalize per value to
+        # Binomial(D[v], p2) + Binomial(n - D[v], q2) — the same aggregated
+        # form as the UE round (cross-value covariance through shared reports
+        # is not reproduced; every downstream consumer is per-value).
+        memo_support = self._memoized_support.update(memoized)
+        return ue_binomial_counts_kernel(
+            memo_support, self.n_users, params.p2, params.q2, generator
+        )
 
     def distinct_memoized_per_user(self) -> np.ndarray:
         return self._state.distinct_per_user()

@@ -15,25 +15,41 @@ memoization state and no aggregation logic:
 
 To keep the module importable from every layer (including
 :mod:`repro.freq_oneshot`, which sits below :mod:`repro.longitudinal`), it
-must only depend on numpy — never on other ``repro`` modules.
+must only depend on numpy and :mod:`repro.exceptions` (a dependency-free
+leaf module) — never on any other ``repro`` module.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import ParameterError
+
 __all__ = [
     "grr_kernel",
+    "grr_mixing_counts_kernel",
     "one_hot_kernel",
     "ue_flip_kernel",
     "ue_fresh_rows_kernel",
     "ue_binomial_counts_kernel",
+    "packed_column_sums_kernel",
     "dbitflip_fresh_bits_kernel",
     "sample_buckets_kernel",
     "debias_kernel",
     "chained_debias_kernel",
     "support_from_hashes_kernel",
 ]
+
+
+def _require_grr_domain(domain: int) -> int:
+    """GRR needs at least two symbols: a "kept or replaced by another" response
+    is undefined over a single-symbol domain (and numpy would otherwise die
+    with an opaque ``ValueError: high <= 0`` from the noise draw)."""
+    if domain < 2:
+        raise ParameterError(
+            f"GRR requires a domain of at least 2 symbols, got domain={domain}"
+        )
+    return int(domain)
 
 
 def grr_kernel(
@@ -45,6 +61,7 @@ def grr_kernel(
     replaced by a symbol drawn uniformly from the other ``domain - 1`` values.
     Consumes exactly one uniform array and one integer array from ``rng``.
     """
+    domain = _require_grr_domain(domain)
     values = np.asarray(values, dtype=np.int64)
     keep = rng.random(values.shape) < keep_probability
     # Draw from [0, domain-1) and shift draws >= the true value by one so the
@@ -108,6 +125,100 @@ def ue_binomial_counts_kernel(
     kept = rng.binomial(memo_ones, p)
     flipped = rng.binomial(n_users - memo_ones, q)
     return (kept + flipped).astype(np.float64)
+
+
+def grr_mixing_counts_kernel(
+    symbol_counts: np.ndarray,
+    domain: int,
+    keep_probability: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Support counts of one GRR round, sampled per memoized symbol in aggregate.
+
+    ``symbol_counts[s]`` users hold memoized symbol ``s``; each reports through
+    an independent GRR (keep with probability ``p``, otherwise uniform over the
+    ``domain - 1`` other symbols), so the reports of the group holding ``s``
+    form a multinomial over the domain with mass ``p`` on ``s`` and
+    ``q = (1 - p) / (domain - 1)`` elsewhere.  Summing those per-symbol
+    multinomial mixtures, the support count of symbol ``v`` marginalizes to::
+
+        Binomial(m[v], p) + Binomial(n - m[v], q)
+
+    (the kept mass of group ``v`` plus the stray mass of every other group,
+    which collapses because binomials with equal success probability add).
+    This kernel samples exactly those per-symbol marginals — ``O(domain)``
+    randomness instead of one draw per user.  Cross-symbol covariance within a
+    round is *not* reproduced (true GRR support counts sum to ``n`` exactly;
+    these only do in expectation), but every downstream consumer — the Eq. (3)
+    estimator, per-round MSE in expectation, privacy accounting — depends only
+    on the per-symbol marginals.
+    """
+    domain = _require_grr_domain(domain)
+    symbol_counts = np.asarray(symbol_counts, dtype=np.int64)
+    n_users = int(symbol_counts.sum())
+    stray_probability = (1.0 - keep_probability) / (domain - 1)
+    kept = rng.binomial(symbol_counts, keep_probability)
+    strayed_in = rng.binomial(n_users - symbol_counts, stray_probability)
+    return (kept + strayed_in).astype(np.float64)
+
+
+#: Rows per bit-sliced accumulation batch of
+#: :func:`packed_column_sums_kernel`.  Each uint64 word holds eight one-byte
+#: lanes accumulating one 0/1 bit per row, so a batch must stay <= 255 rows
+#: for the lanes not to carry into each other; 248 keeps batches
+#: word-aligned.
+_SWAR_BATCH_ROWS = 248
+
+_SWAR_LANE_MASK = np.uint64(0x0101010101010101)
+
+
+def packed_column_sums_kernel(packed_rows: np.ndarray, n_bits: int) -> np.ndarray:
+    """Per-bit-position column sums of bit-packed rows, without unpacking.
+
+    ``packed_rows`` has shape ``(n_rows, n_bytes)`` (``np.packbits`` layout,
+    MSB first); the result is the length-``n_bits`` vector of column sums of
+    the unpacked ``(n_rows, 8 * n_bytes)`` bit matrix.  The fold is
+    bit-sliced (SWAR): the bytes are viewed as uint64 words, each of the 8
+    bit positions is masked out across all words at once, and the resulting
+    0/1 byte lanes are accumulated in batches of
+    :data:`_SWAR_BATCH_ROWS` <= 255 rows (the lane width) before widening to
+    int64 — eight masked passes over the packed bytes instead of
+    materializing (and then reducing) the 8x larger unpacked matrix.
+    """
+    packed_rows = np.ascontiguousarray(packed_rows, dtype=np.uint8)
+    if packed_rows.ndim != 2:
+        raise ParameterError(
+            f"packed rows must be a 2-D (n_rows, n_bytes) array, got shape "
+            f"{packed_rows.shape}"
+        )
+    n_rows, n_bytes = packed_rows.shape
+    if n_bits > 8 * n_bytes:
+        raise ParameterError(
+            f"{n_bytes} packed bytes hold at most {8 * n_bytes} bits, "
+            f"got n_bits={n_bits}"
+        )
+    if n_rows == 0 or n_bytes == 0:
+        return np.zeros(n_bits, dtype=np.int64)
+    batch_rows = _SWAR_BATCH_ROWS
+    pad_cols = (-n_bytes) % 8
+    pad_rows = (-n_rows) % batch_rows
+    if pad_cols or pad_rows:
+        # Zero padding contributes nothing to any column sum.
+        packed_rows = np.pad(packed_rows, ((0, pad_rows), (0, pad_cols)))
+    n_words = packed_rows.shape[1] // 8
+    grouped = packed_rows.view(np.uint64).reshape(-1, batch_rows, n_words)
+    #: ``totals[j, c]`` accumulates the column sum of bit ``j`` (MSB first)
+    #: of byte column ``c``.
+    totals = np.zeros((8, n_words * 8), dtype=np.int64)
+    scratch = np.empty_like(grouped)
+    for shift in range(8):
+        np.right_shift(grouped, np.uint64(shift), out=scratch)
+        np.bitwise_and(scratch, _SWAR_LANE_MASK, out=scratch)
+        lanes = scratch.sum(axis=1)  # per-batch byte-lane sums, each <= 255
+        totals[7 - shift] += lanes.view(np.uint8).reshape(lanes.shape[0], -1).sum(
+            axis=0, dtype=np.int64
+        )
+    return totals.T.reshape(-1)[:n_bits]
 
 
 def dbitflip_fresh_bits_kernel(

@@ -1,9 +1,9 @@
-"""Dense per-population memoization state for the vectorized engines.
+"""Per-population memoization state for the vectorized engines.
 
 The longitudinal protocols memoize one *permanent randomization* per
 (user, memoization key) pair.  The reference clients keep that state in
-per-user dictionaries; at population scale the engines instead use the two
-dense table types of this module:
+per-user dictionaries; at population scale the engines instead use the dense
+and sparse table types of this module:
 
 ``DenseSymbolMemo``
     One memoized *symbol* per (user, key) — GRR-style chains (L-GRR, LOLOHA),
@@ -14,26 +14,54 @@ dense table types of this module:
     L-OSUE) and dBitFlipPM, where the permanent randomization is a row of
     ``n_bits`` randomized bits.  Rows are stored bit-packed
     (``ceil(n_bits / 8)`` bytes per row), an 8x saving over the naive
-    ``uint8`` tensor, and unpacked in one vectorized call per round.
+    ``uint8`` tensor.  Dense over (user, key): every possible pair has a
+    pre-allocated row slot.
 
-Both tables are *lazily batch-initialized*: the backing array is allocated on
-first use, and missing entries are created for whole batches of users at once
-through the ``resolve`` callback — the engines' round loop contains no
-per-user Python code.
+``SparsePackedBitMemo``
+    The row-sparse sibling of :class:`PackedBitMemo` for large key domains:
+    a compact ``int32`` row-pointer table over (user, key) plus a chunked,
+    geometrically grown pool holding only the rows that were actually
+    memoized.  At UE scale (``n_keys = n_bits = k``) the per-pair footprint
+    drops from ``ceil(k / 8)`` bytes to 4, a ``k / 32`` saving — the
+    difference between 5 GiB and 80 MiB at ``n = 10^4, k = 2048``.
+
+:func:`make_packed_bit_memo` picks between the two behind one interface:
+dense below the :data:`_DENSE_ALLOCATION_WARN_BYTES` threshold, sparse above
+it, with an explicit ``layout=`` override.  Both variants resolve rows
+bit-identically (misses are created in the same order through the same
+``fresh`` callback), so the switch never changes simulation results.
+
+All tables are *lazily batch-initialized*: the backing arrays are allocated
+on first use, and missing entries are created for whole batches of users at
+once through the ``resolve`` callback — the engines' round loop contains no
+per-user Python code.  The packed tables additionally expose
+:meth:`~_PackedBitMemoBase.column_sums`, which folds the selected rows into
+per-bit-position support counts directly on the packed bytes
+(:func:`~repro.simulation.kernels.packed_column_sums_kernel`) — the UE round
+never materializes the unpacked ``(n_users, n_bits)`` matrix.
 """
 
 from __future__ import annotations
 
 import warnings
+from abc import ABC, abstractmethod
 from typing import Callable, Optional
 
 import numpy as np
 
 from .._validation import require_int_at_least
+from ..exceptions import ParameterError
+from .kernels import packed_column_sums_kernel
 
-__all__ = ["DenseSymbolMemo", "PackedBitMemo"]
+__all__ = [
+    "DenseSymbolMemo",
+    "PackedBitMemo",
+    "SparsePackedBitMemo",
+    "make_packed_bit_memo",
+]
 
-#: Dense-allocation size above which :class:`PackedBitMemo` warns (bytes).
+#: Dense-allocation size above which :func:`make_packed_bit_memo` switches to
+#: the sparse layout (and an explicitly dense :class:`PackedBitMemo` warns).
 _DENSE_ALLOCATION_WARN_BYTES = 2 * 1024**3
 
 #: ``fresh(user_indices, keys) -> symbols`` — batch-create missing entries.
@@ -87,7 +115,77 @@ class DenseSymbolMemo:
         return (self._table >= 0).sum(axis=1, dtype=np.int64)
 
 
-class PackedBitMemo:
+class _PackedBitMemoBase(ABC):
+    """Shared contract of the packed memoization tables.
+
+    Subclasses differ only in how packed rows are stored; the resolve /
+    column-sum logic (and therefore the randomness consumption order) is
+    identical, which is what makes dense and sparse layouts bit-identical.
+    """
+
+    def __init__(self, n_users: int, n_keys: int, n_bits: int) -> None:
+        self.n_users = require_int_at_least(n_users, 1, "n_users")
+        self.n_keys = require_int_at_least(n_keys, 1, "n_keys")
+        self.n_bits = require_int_at_least(n_bits, 1, "n_bits")
+        self._n_bytes = -(-n_bits // 8)
+
+    @property
+    @abstractmethod
+    def nbytes_allocated(self) -> int:
+        """Bytes currently held by the backing arrays (0 before first use)."""
+
+    @abstractmethod
+    def ensure_rows(self, keys: np.ndarray, fresh: FreshRows) -> None:
+        """Create every missing (user, ``keys[user]``) row through ``fresh``.
+
+        Misses are batched exactly as in :meth:`resolve` (one ``fresh`` call
+        in user order), so the randomness consumption is identical whichever
+        entry point triggers creation.
+        """
+
+    @abstractmethod
+    def packed_rows(self, users: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Packed rows of the given (user, key) pairs, which must all have
+        been memoized already (see :meth:`ensure_rows`)."""
+
+    def _resolve_packed(self, keys: np.ndarray, fresh: FreshRows) -> np.ndarray:
+        self.ensure_rows(keys, fresh)
+        return self.packed_rows(np.arange(self.n_users), keys)
+
+    @abstractmethod
+    def distinct_per_user(self) -> np.ndarray:
+        """Number of memoized keys per user."""
+
+    @abstractmethod
+    def get_row(self, user: int, key: int) -> Optional[np.ndarray]:
+        """The memoized bits of one (user, key) pair, or ``None`` if absent."""
+
+    def _pack_fresh(self, fresh: FreshRows, users: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        rows = np.ascontiguousarray(fresh(users, keys), dtype=np.uint8)
+        return np.packbits(rows, axis=1)
+
+    def resolve(self, keys: np.ndarray, fresh: FreshRows) -> np.ndarray:
+        """Memoized ``(n_users, n_bits)`` rows for every user's current key.
+
+        Missing pairs are created in one batch via
+        ``fresh(user_indices, keys[user_indices])`` (shape
+        ``(n_missing, n_bits)``, dtype coercible to uint8), packed and stored.
+        """
+        packed_rows = self._resolve_packed(keys, fresh)
+        return np.unpackbits(packed_rows, axis=1, count=self.n_bits)
+
+    def column_sums(self, keys: np.ndarray, fresh: FreshRows) -> np.ndarray:
+        """Per-bit-position sums of every user's current memoized row.
+
+        Equivalent to ``resolve(keys, fresh).sum(axis=0)`` — including the
+        randomness consumed for missing pairs — but computed on the packed
+        bytes, so the full ``(n_users, n_bits)`` matrix is never unpacked.
+        """
+        packed_rows = self._resolve_packed(keys, fresh)
+        return packed_column_sums_kernel(packed_rows, self.n_bits)
+
+
+class PackedBitMemo(_PackedBitMemoBase):
     """Dense bit-packed ``(n_users, n_keys, n_bits)`` table of memoized rows.
 
     Rows are stored packed along the last axis; a boolean presence mask marks
@@ -96,16 +194,12 @@ class PackedBitMemo:
     """
 
     def __init__(self, n_users: int, n_keys: int, n_bits: int) -> None:
-        self.n_users = require_int_at_least(n_users, 1, "n_users")
-        self.n_keys = require_int_at_least(n_keys, 1, "n_keys")
-        self.n_bits = require_int_at_least(n_bits, 1, "n_bits")
-        self._n_bytes = -(-n_bits // 8)
+        super().__init__(n_users, n_keys, n_bits)
         self._packed: Optional[np.ndarray] = None
         self._present: Optional[np.ndarray] = None
 
     @property
     def nbytes_allocated(self) -> int:
-        """Bytes currently held by the backing arrays (0 before first use)."""
         if self._packed is None:
             return 0
         return self._packed.nbytes + self._present.nbytes
@@ -116,51 +210,145 @@ class PackedBitMemo:
             if projected > _DENSE_ALLOCATION_WARN_BYTES:
                 # The table is dense over (user, key), unlike the reference
                 # clients' per-visited-pair dicts; at very large domains that
-                # is a real footprint.  Sharding bounds the peak: each shard
-                # of ``simulate_protocol_sharded`` allocates only its own
+                # is a real footprint.  make_packed_bit_memo(layout="auto")
+                # switches to SparsePackedBitMemo above this threshold, and
+                # sharding bounds the peak further: each shard of
+                # ``simulate_protocol_sharded`` allocates only its own
                 # sub-population's table and frees it before the next shard.
                 warnings.warn(
                     f"PackedBitMemo is allocating "
                     f"{projected / 1024**3:.1f} GiB for {self.n_users} users x "
                     f"{self.n_keys} keys x {self.n_bits} bits; consider "
+                    f"SparsePackedBitMemo (make_packed_bit_memo) or "
                     f"simulate_protocol_sharded to bound peak memory",
                     ResourceWarning,
-                    stacklevel=3,
+                    stacklevel=4,
                 )
             self._packed = np.zeros(
                 (self.n_users, self.n_keys, self._n_bytes), dtype=np.uint8
             )
             self._present = np.zeros((self.n_users, self.n_keys), dtype=bool)
 
-    def resolve(self, keys: np.ndarray, fresh: FreshRows) -> np.ndarray:
-        """Memoized ``(n_users, n_bits)`` rows for every user's current key.
-
-        Missing pairs are created in one batch via
-        ``fresh(user_indices, keys[user_indices])`` (shape
-        ``(n_missing, n_bits)``, dtype coercible to uint8), packed and stored.
-        """
+    def ensure_rows(self, keys: np.ndarray, fresh: FreshRows) -> None:
         self._ensure_allocated()
         users = np.arange(self.n_users)
         missing = ~self._present[users, keys]
         if missing.any():
             missing_users = users[missing]
             missing_keys = keys[missing]
-            rows = np.ascontiguousarray(
-                fresh(missing_users, missing_keys), dtype=np.uint8
-            )
-            self._packed[missing_users, missing_keys] = np.packbits(rows, axis=1)
+            packed = self._pack_fresh(fresh, missing_users, missing_keys)
+            self._packed[missing_users, missing_keys] = packed
             self._present[missing_users, missing_keys] = True
-        packed_rows = self._packed[users, keys]
-        return np.unpackbits(packed_rows, axis=1, count=self.n_bits)
+
+    def packed_rows(self, users: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return self._packed[users, keys]
 
     def distinct_per_user(self) -> np.ndarray:
-        """Number of memoized keys per user."""
         if self._present is None:
             return np.zeros(self.n_users, dtype=np.int64)
         return self._present.sum(axis=1, dtype=np.int64)
 
     def get_row(self, user: int, key: int) -> Optional[np.ndarray]:
-        """The memoized bits of one (user, key) pair, or ``None`` if absent."""
         if self._present is None or not self._present[user, key]:
             return None
         return np.unpackbits(self._packed[user, key], count=self.n_bits)
+
+
+class SparsePackedBitMemo(_PackedBitMemoBase):
+    """Row-sparse packed memoization table for large key domains.
+
+    Storage is an ``int32`` row-pointer table over (user, key) — ``-1`` marks
+    an unmemoized pair — plus a packed-row pool that only holds rows actually
+    created, grown geometrically in chunks (amortized O(1) per appended row).
+    The per-pair overhead is therefore 4 bytes instead of the dense layout's
+    ``ceil(n_bits / 8)``, while resolve order (and so randomness consumption)
+    stays bit-identical to :class:`PackedBitMemo`.
+    """
+
+    def __init__(self, n_users: int, n_keys: int, n_bits: int) -> None:
+        super().__init__(n_users, n_keys, n_bits)
+        self._index: Optional[np.ndarray] = None
+        self._pool: Optional[np.ndarray] = None
+        self._n_rows = 0
+
+    @property
+    def nbytes_allocated(self) -> int:
+        if self._index is None:
+            return 0
+        return self._index.nbytes + self._pool.nbytes
+
+    @property
+    def n_rows_memoized(self) -> int:
+        """Rows currently held in the pool (distinct memoized pairs)."""
+        return self._n_rows
+
+    def _ensure_allocated(self) -> None:
+        if self._index is None:
+            self._index = np.full((self.n_users, self.n_keys), -1, dtype=np.int32)
+            self._pool = np.empty((max(self.n_users, 1), self._n_bytes), dtype=np.uint8)
+
+    def _append_rows(self, packed: np.ndarray) -> np.ndarray:
+        """Append packed rows to the pool, growing geometrically; returns the
+        new rows' pool indices."""
+        n_new = packed.shape[0]
+        needed = self._n_rows + n_new
+        if needed > self._pool.shape[0]:
+            capacity = max(needed, 2 * self._pool.shape[0])
+            grown = np.empty((capacity, self._n_bytes), dtype=np.uint8)
+            grown[: self._n_rows] = self._pool[: self._n_rows]
+            self._pool = grown
+        indices = np.arange(self._n_rows, needed, dtype=np.int32)
+        self._pool[self._n_rows : needed] = packed
+        self._n_rows = needed
+        return indices
+
+    def ensure_rows(self, keys: np.ndarray, fresh: FreshRows) -> None:
+        self._ensure_allocated()
+        users = np.arange(self.n_users)
+        missing = self._index[users, keys] < 0
+        if missing.any():
+            missing_users = users[missing]
+            missing_keys = keys[missing]
+            packed = self._pack_fresh(fresh, missing_users, missing_keys)
+            self._index[missing_users, missing_keys] = self._append_rows(packed)
+
+    def packed_rows(self, users: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return self._pool[self._index[users, keys]]
+
+    def distinct_per_user(self) -> np.ndarray:
+        if self._index is None:
+            return np.zeros(self.n_users, dtype=np.int64)
+        return (self._index >= 0).sum(axis=1, dtype=np.int64)
+
+    def get_row(self, user: int, key: int) -> Optional[np.ndarray]:
+        if self._index is None or self._index[user, key] < 0:
+            return None
+        return np.unpackbits(self._pool[self._index[user, key]], count=self.n_bits)
+
+
+def make_packed_bit_memo(
+    n_users: int, n_keys: int, n_bits: int, layout: str = "auto"
+) -> _PackedBitMemoBase:
+    """Create a packed memoization table, picking the layout for the scale.
+
+    ``layout="auto"`` (the default, used by the engines) selects
+    :class:`SparsePackedBitMemo` whenever the dense table would exceed the
+    :data:`_DENSE_ALLOCATION_WARN_BYTES` threshold — the same heuristic that
+    previously only *warned* — and the dense :class:`PackedBitMemo`
+    otherwise.  ``layout="dense"`` / ``layout="sparse"`` force a variant.
+    Both layouts resolve bit-identically, so the choice never changes
+    simulation results.
+    """
+    if layout == "dense":
+        return PackedBitMemo(n_users, n_keys, n_bits)
+    if layout == "sparse":
+        return SparsePackedBitMemo(n_users, n_keys, n_bits)
+    if layout != "auto":
+        raise ParameterError(
+            f"memo layout must be 'auto', 'dense' or 'sparse', got {layout!r}"
+        )
+    n_bytes = -(-n_bits // 8)
+    projected = n_users * n_keys * (n_bytes + 1)
+    if projected > _DENSE_ALLOCATION_WARN_BYTES:
+        return SparsePackedBitMemo(n_users, n_keys, n_bits)
+    return PackedBitMemo(n_users, n_keys, n_bits)

@@ -5,12 +5,17 @@ Every experiment harness in :mod:`repro.experiments` can hand its output to a
 optional flat CSV for spreadsheet-style inspection.  The store never
 overwrites silently: re-saving an experiment requires ``overwrite=True``.
 
-CSV writes are **atomic**: content is staged to a temp file in the same
-directory, fsynced and renamed over the target, so a writer killed mid-flush
-(a crashed sweep worker, a SIGKILLed collector) can never leave a torn row
-that would poison a later ``--resume``.  CSVs may carry a single leading
-``# key=value`` comment line (e.g. the sweep-spec fingerprint); readers skip
-it transparently.
+Whole-file CSV writes (:meth:`ResultsStore.save_rows`) are **atomic**:
+content is staged to a temp file in the same directory, fsynced and renamed
+over the target.  Incremental flushes (:meth:`ResultsStore.append_rows`) use
+``O_APPEND`` + fsync — O(batch) I/O per flush instead of re-reading and
+rewriting the whole file, which over a long sweep was O(rows^2).  A writer
+killed mid-flush can leave at most one torn trailing line; readers (and the
+next append) detect it by the missing newline terminator and drop it, so a
+crash can never poison a later ``--resume``.  CSVs may carry leading
+``# key=value`` comment lines (e.g. the sweep-spec fingerprint) above the
+header; readers skip them transparently.  Only lines *before* the header are
+comments — a data row whose first cell happens to start with ``#`` is data.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -100,12 +106,15 @@ class ResultsStore:
         interrupted run leaves every already-computed row on disk.  Appended
         rows must match the columns of the existing file.
 
-        The flush is atomic (temp file + rename): a writer killed mid-flush
-        leaves the previous complete file, never a torn row.
+        Each flush is one ``O_APPEND`` write followed by an fsync — O(batch)
+        I/O, regardless of how many rows the file already holds.  A writer
+        killed mid-write can leave at most one torn (newline-less) trailing
+        line, which both :meth:`load_rows` and the next append drop; complete
+        earlier rows are never touched.
 
         ``header_comment``, when given, is written as a single ``# <comment>``
         line above the CSV header of a *newly created* file (existing files
-        keep whatever comment they have); readers skip comment lines.
+        keep whatever comment they have); readers skip leading comment lines.
         """
         if not rows:
             return self._path(experiment_id, "csv")
@@ -115,37 +124,41 @@ class ResultsStore:
         for row in rows:
             if list(row.keys()) != fieldnames:
                 raise ExperimentError("all rows must share the same columns")
-        existing_text = ""
-        if path.exists():
-            existing_text = path.read_text(encoding="utf-8")
+            for value in row.values():
+                if isinstance(value, str) and ("\n" in value or "\r" in value):
+                    # A quoted multi-line cell would span physical lines, and
+                    # a writer killed between them leaves a torn record that
+                    # ends in a newline — invisible to the torn-tail guard.
+                    raise ExperimentError(
+                        "appended cell values must not contain newlines"
+                    )
         buffer = io.StringIO()
-        if not existing_text.strip():
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        existing_header = None
+        if path.exists() and path.stat().st_size > 0:
+            _truncate_torn_tail(path)
+            existing_header = _read_header_fields(path)
+        if existing_header is None:
             if header_comment is not None:
                 if "\n" in header_comment or "\r" in header_comment:
                     raise ExperimentError("header comment must be a single line")
                 buffer.write(f"# {header_comment}\n")
-            writer = csv.DictWriter(buffer, fieldnames=fieldnames)
             writer.writeheader()
-        else:
-            header_row = next(
-                csv.reader(
-                    line
-                    for line in io.StringIO(existing_text)
-                    if not line.startswith("#")
-                ),
-                None,
+        elif existing_header != fieldnames:
+            raise ExperimentError(
+                f"cannot append to {path}: existing columns {existing_header} do "
+                f"not match {fieldnames}"
             )
-            if header_row and header_row != fieldnames:
-                raise ExperimentError(
-                    f"cannot append to {path}: existing columns {header_row} do "
-                    f"not match {fieldnames}"
-                )
-            buffer.write(existing_text)
-            if not existing_text.endswith("\n"):
-                buffer.write("\n")
-            writer = csv.DictWriter(buffer, fieldnames=fieldnames)
         writer.writerows(rows)
-        _atomic_write_text(path, buffer.getvalue())
+        payload = buffer.getvalue().encode("utf-8")
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o666)
+        try:
+            view = memoryview(payload)
+            while view:
+                view = view[os.write(fd, view) :]
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         return path
 
     def read_header_comment(self, experiment_id: str) -> Optional[str]:
@@ -178,22 +191,78 @@ class ResultsStore:
     def load_rows(self, experiment_id: str) -> List[Dict[str, str]]:
         """Load a previously saved CSV as a list of string-valued dictionaries.
 
-        Leading ``#`` comment lines (e.g. the sweep-spec fingerprint) are
-        skipped.
+        Comment lines (e.g. the sweep-spec fingerprint) are skipped, but only
+        *above* the header row — a data row whose first cell starts with
+        ``#`` is data and survives the round trip.  A torn trailing line
+        (no newline terminator, left by a writer killed mid-append) is
+        dropped.
         """
         path = self._path(experiment_id, "csv")
         if not path.exists():
             raise ExperimentError(f"no saved results found at {path}")
         with path.open("r", encoding="utf-8", newline="") as handle:
-            return list(
-                csv.DictReader(line for line in handle if not line.startswith("#"))
-            )
+            lines = handle.readlines()
+        if lines and not lines[-1].endswith(("\n", "\r")):
+            # Torn trailing line from a crashed O_APPEND flush; every line of
+            # a completely flushed file ends with its newline terminator.
+            del lines[-1]
+        start = 0
+        while start < len(lines) and (
+            lines[start].startswith("#") or not lines[start].strip()
+        ):
+            start += 1
+        return list(csv.DictReader(lines[start:]))
 
     def list_experiments(self) -> List[str]:
         """Identifiers of every experiment with a saved JSON document."""
         if not self.root.exists():
             return []
         return sorted(path.stem for path in self.root.glob("*.json"))
+
+
+def _read_header_fields(path: Path) -> Optional[List[str]]:
+    """The CSV header row of ``path``, skipping leading comment / blank lines.
+
+    Reads only the file's prefix (never the data rows); returns ``None`` when
+    no header line exists yet.
+    """
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        for line in handle:
+            if line.startswith("#") or not line.strip():
+                continue
+            return next(csv.reader([line]), None)
+    return None
+
+
+#: Backward scan granularity of :func:`_truncate_torn_tail` (bytes).
+_TAIL_SCAN_CHUNK = 64 * 1024
+
+
+def _truncate_torn_tail(path: Path) -> None:
+    """Cut a torn (newline-less) trailing line off an append-mode CSV.
+
+    A writer killed mid-``os.write`` can leave a partial last line; appending
+    after it would fuse the next row onto the partial one.  Scanning
+    backwards for the last newline touches O(torn line) bytes, not the file.
+    """
+    with path.open("rb+") as handle:
+        size = handle.seek(0, os.SEEK_END)
+        if size == 0:
+            return
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) in (b"\n", b"\r"):
+            return
+        position = size
+        while position > 0:
+            chunk_start = max(0, position - _TAIL_SCAN_CHUNK)
+            handle.seek(chunk_start)
+            chunk = handle.read(position - chunk_start)
+            newline = max(chunk.rfind(b"\n"), chunk.rfind(b"\r"))
+            if newline >= 0:
+                handle.truncate(chunk_start + newline + 1)
+                return
+            position = chunk_start
+        handle.truncate(0)
 
 
 def _jsonify(value: object) -> object:

@@ -78,13 +78,158 @@ class TestEngineMemoization:
             engine.run_round(rng.integers(0, 40, size=15))
         assert engine.distinct_memoized_per_user().max() <= 3
 
-    def test_dbitflip_key_history_recorded(self):
+    def test_dbitflip_key_history_opt_in(self):
         protocol = DBitFlipPM(40, 2.0, b=10, d=2)
-        engine = DBitFlipEngine(protocol, 15, rng=0)
+        engine = DBitFlipEngine(protocol, 15, rng=0, record_key_history=True)
         engine.run_round(np.zeros(15, dtype=np.int64))
         engine.run_round(np.full(15, 39, dtype=np.int64))
         assert len(engine.key_history) == 2
         assert engine.key_history[0].shape == (15,)
+
+    def test_dbitflip_key_history_off_by_default(self):
+        """Long-horizon simulations must not accumulate one array per round."""
+        protocol = DBitFlipPM(40, 2.0, b=10, d=2)
+        engine = DBitFlipEngine(protocol, 15, rng=0)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            engine.run_round(rng.integers(0, 40, size=15))
+        assert engine.key_history is None
+
+
+class TestAggregatedRounds:
+    """The aggregated instantaneous rounds (per-symbol mixing for L-GRR,
+    the (memoized symbol, hash bucket) support fold for LOLOHA) must match
+    the per-user reference sampling per-value in mean and variance."""
+
+    N_TRIALS = 2_500
+
+    @staticmethod
+    def _moments_close(a, b, n_trials):
+        # Means within ~6 standard errors, variances within 20% + slack.
+        se = np.sqrt((a.var(axis=0) + b.var(axis=0)) / n_trials + 1e-12)
+        assert np.all(np.abs(a.mean(axis=0) - b.mean(axis=0)) < 6 * se + 0.5)
+        assert np.allclose(a.var(axis=0), b.var(axis=0), rtol=0.2, atol=3.0)
+
+    def test_grr_chain_round_matches_per_user_reports(self):
+        from repro.simulation.kernels import grr_kernel
+
+        protocol = LGRR(6, 2.0, 1.0)
+        n_users = 800
+        engine = GRRChainEngine(protocol, n_users, rng=0)
+        values = np.random.default_rng(1).integers(0, 6, size=n_users)
+        engine.run_round(values)  # memoize every (user, value) pair in play
+        memoized = engine._state.resolve(values, _fresh_must_not_run)
+        params = protocol.chained_parameters
+        rng = np.random.default_rng(2)
+        aggregated = np.stack(
+            [engine.run_round(values, rng) for _ in range(self.N_TRIALS)]
+        )
+        reference = np.stack(
+            [
+                np.bincount(grr_kernel(memoized, 6, params.p2, rng), minlength=6)
+                for _ in range(self.N_TRIALS)
+            ]
+        ).astype(np.float64)
+        self._moments_close(aggregated, reference, self.N_TRIALS)
+
+    def test_loloha_round_matches_per_user_reports(self):
+        from repro.simulation.kernels import grr_kernel, support_from_hashes_kernel
+
+        protocol = OLOLOHA(12, 2.0, 1.0)
+        n_users = 600
+        engine = LOLOHAEngine(protocol, n_users, rng=0)
+        values = np.random.default_rng(3).integers(0, 12, size=n_users)
+        engine.run_round(values)  # memoize the hashes in play
+        hashed = engine.hashed_domain[np.arange(n_users), values].astype(np.int64)
+        memoized = engine._state.resolve(hashed, _fresh_must_not_run)
+        params = protocol.chained_parameters
+        rng = np.random.default_rng(4)
+        aggregated = np.stack(
+            [engine.run_round(values, rng) for _ in range(self.N_TRIALS)]
+        )
+        reference = np.stack(
+            [
+                support_from_hashes_kernel(
+                    engine.hashed_domain,
+                    grr_kernel(memoized, protocol.g, params.p2, rng),
+                )
+                for _ in range(self.N_TRIALS)
+            ]
+        )
+        self._moments_close(aggregated, reference, self.N_TRIALS)
+
+    def test_loloha_packed_and_compare_folds_are_bit_identical(self):
+        protocol = OLOLOHA(20, 2.0, 1.0)
+        packed = LOLOHAEngine(protocol, 150, rng=7, support_layout="packed")
+        compare = LOLOHAEngine(protocol, 150, rng=7, support_layout="compare")
+        rng = np.random.default_rng(8)
+        for seed in range(5):
+            values = rng.integers(0, 20, size=150)
+            assert np.array_equal(
+                packed.run_round(values, np.random.default_rng(seed)),
+                compare.run_round(values, np.random.default_rng(seed)),
+            )
+
+    def test_loloha_unknown_support_layout_rejected(self):
+        with pytest.raises(ParameterError, match="support layout"):
+            LOLOHAEngine(OLOLOHA(10, 2.0, 1.0), 5, rng=0, support_layout="fancy")
+
+
+def _fresh_must_not_run(users, keys):  # pragma: no cover - must never run
+    raise AssertionError("memoization miss on an already-warm engine")
+
+
+class _CountingGenerator(np.random.Generator):
+    """A Generator that tallies how many random variates were drawn."""
+
+    def __init__(self, seed=0):
+        super().__init__(np.random.PCG64(seed))
+        self.variates = 0
+
+    def _count(self, out):
+        self.variates += int(np.size(out))
+        return out
+
+    def random(self, *args, **kwargs):
+        return self._count(super().random(*args, **kwargs))
+
+    def integers(self, *args, **kwargs):
+        return self._count(super().integers(*args, **kwargs))
+
+    def binomial(self, *args, **kwargs):
+        return self._count(super().binomial(*args, **kwargs))
+
+    def multinomial(self, *args, **kwargs):
+        return self._count(super().multinomial(*args, **kwargs))
+
+
+class TestRoundRandomnessIndependentOfPopulation:
+    """The steady-state round draws O(domain) variates, never O(n_users) —
+    the deterministic guard behind the large-domain benchmark."""
+
+    K = 32
+
+    @pytest.mark.parametrize(
+        "protocol_factory",
+        [
+            lambda k: LGRR(k, 3.0, 1.5),
+            lambda k: LOSUE(k, 3.0, 1.5),
+            lambda k: OLOLOHA(k, 3.0, 1.5),
+        ],
+        ids=["L-GRR", "L-OSUE", "OLOLOHA"],
+    )
+    def test_steady_state_draws_do_not_scale_with_users(self, protocol_factory):
+        def steady_round_variates(n_users):
+            engine = engine_for(protocol_factory(self.K), n_users, rng=0)
+            values = np.random.default_rng(1).integers(0, self.K, size=n_users)
+            engine.run_round(values)  # memoize every (user, current key) pair
+            counter = _CountingGenerator(2)
+            engine.run_round(values, counter)  # same keys: zero misses
+            return counter.variates
+
+        small, large = steady_round_variates(200), steady_round_variates(2_000)
+        assert small == large
+        assert small <= 4 * self.K  # O(k) draws, nothing per-user
 
 
 class TestEngineVsClients:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.exceptions import ParameterError
 from repro.longitudinal.base import longitudinal_estimate
 from repro.longitudinal.parameters import ChainedParameters
 from repro.simulation.kernels import (
@@ -10,7 +11,9 @@ from repro.simulation.kernels import (
     dbitflip_fresh_bits_kernel,
     debias_kernel,
     grr_kernel,
+    grr_mixing_counts_kernel,
     one_hot_kernel,
+    packed_column_sums_kernel,
     sample_buckets_kernel,
     support_from_hashes_kernel,
     ue_binomial_counts_kernel,
@@ -44,6 +47,105 @@ class TestGRRKernel:
         counts = np.bincount(out, minlength=5)
         assert counts[4] == 0
         assert counts[:4].min() > 0.2 * 90_000 / 4
+
+    def test_single_symbol_domain_rejected_clearly(self):
+        """domain=1 raises a ParameterError, not numpy's 'high <= 0'."""
+        with pytest.raises(ParameterError, match="at least 2 symbols"):
+            grr_kernel(np.zeros(4, dtype=np.int64), 1, 0.5, np.random.default_rng(0))
+        with pytest.raises(ParameterError, match="at least 2 symbols"):
+            grr_mixing_counts_kernel(np.asarray([4]), 1, 0.5, np.random.default_rng(0))
+
+
+class TestGRRMixingCountsKernel:
+    """Aggregated GRR round sampling vs. per-user GRR reports."""
+
+    def test_matches_per_user_grr_distribution(self):
+        """Per-symbol mean and variance agree with bincounted GRR reports."""
+        domain, p = 6, 0.65
+        memoized = np.repeat(np.arange(domain), [0, 50, 100, 200, 400, 250])
+        symbol_counts = np.bincount(memoized, minlength=domain)
+        n_trials = 3_000
+        rng = np.random.default_rng(41)
+        aggregated = np.stack(
+            [
+                grr_mixing_counts_kernel(symbol_counts, domain, p, rng)
+                for _ in range(n_trials)
+            ]
+        )
+        per_user = np.stack(
+            [
+                np.bincount(grr_kernel(memoized, domain, p, rng), minlength=domain)
+                for _ in range(n_trials)
+            ]
+        )
+        assert np.allclose(aggregated.mean(axis=0), per_user.mean(axis=0), rtol=0.05, atol=2.0)
+        assert np.allclose(aggregated.var(axis=0), per_user.var(axis=0), rtol=0.2, atol=4.0)
+
+    def test_matches_closed_form_marginals(self):
+        domain, p = 4, 0.7
+        q = (1 - p) / (domain - 1)
+        symbol_counts = np.asarray([0, 300, 500, 200])
+        n_users = symbol_counts.sum()
+        rng = np.random.default_rng(43)
+        draws = np.stack(
+            [grr_mixing_counts_kernel(symbol_counts, domain, p, rng) for _ in range(4_000)]
+        )
+        expected_mean = symbol_counts * p + (n_users - symbol_counts) * q
+        expected_var = symbol_counts * p * (1 - p) + (n_users - symbol_counts) * q * (1 - q)
+        assert np.allclose(draws.mean(axis=0), expected_mean, rtol=0.03, atol=1.0)
+        assert np.allclose(draws.var(axis=0), expected_var, rtol=0.15, atol=2.0)
+
+    def test_deterministic_given_seed(self):
+        counts = np.asarray([10, 20, 30])
+        a = grr_mixing_counts_kernel(counts, 3, 0.6, np.random.default_rng(5))
+        b = grr_mixing_counts_kernel(counts, 3, 0.6, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestPackedColumnSumsKernel:
+    @pytest.mark.parametrize("n_rows,n_bits", [(1, 1), (7, 8), (40, 11), (513, 64), (200, 130)])
+    def test_matches_unpacked_ground_truth(self, n_rows, n_bits):
+        rng = np.random.default_rng(n_rows + n_bits)
+        bits = (rng.random((n_rows, n_bits)) < 0.4).astype(np.uint8)
+        packed = np.packbits(bits, axis=1)
+        assert np.array_equal(
+            packed_column_sums_kernel(packed, n_bits),
+            bits.sum(axis=0, dtype=np.int64),
+        )
+
+    def test_empty_rows(self):
+        assert np.array_equal(
+            packed_column_sums_kernel(np.zeros((0, 3), dtype=np.uint8), 20),
+            np.zeros(20, dtype=np.int64),
+        )
+
+    def test_batched_accumulation_matches_single_pass(self, monkeypatch):
+        """Row batching is an implementation detail: tiny batches, same sums
+        (and lanes can never be pushed past their 255-row carry limit)."""
+        import repro.simulation.kernels as kernels
+
+        rng = np.random.default_rng(99)
+        bits = (rng.random((1_000, 23)) < 0.9).astype(np.uint8)
+        packed = np.packbits(bits, axis=1)
+        expected = bits.sum(axis=0, dtype=np.int64)
+        monkeypatch.setattr(kernels, "_SWAR_BATCH_ROWS", 8)
+        assert np.array_equal(packed_column_sums_kernel(packed, 23), expected)
+
+    def test_many_rows_exceeding_one_lane_batch(self):
+        """> 255 rows of all-ones exercises the cross-batch widening."""
+        bits = np.ones((1_024, 9), dtype=np.uint8)
+        packed = np.packbits(bits, axis=1)
+        assert np.array_equal(
+            packed_column_sums_kernel(packed, 9), np.full(9, 1_024, dtype=np.int64)
+        )
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ParameterError, match="at most"):
+            packed_column_sums_kernel(np.zeros((2, 1), dtype=np.uint8), 9)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ParameterError, match="2-D"):
+            packed_column_sums_kernel(np.zeros(8, dtype=np.uint8), 8)
 
 
 class TestUEKernels:

@@ -22,6 +22,29 @@ from repro.longitudinal.parameters import (
 UE_DERIVATIONS = [l_sue_parameters, l_osue_parameters, l_oue_parameters, l_soue_parameters]
 
 
+class TestDegenerateDomainsFailFast:
+    """A single-symbol GRR domain must be rejected at construction time with
+    a clear ParameterError, never reach the kernel's numpy draw."""
+
+    def test_l_grr_requires_k_of_at_least_two(self):
+        from repro.longitudinal import LGRR
+
+        with pytest.raises(ParameterError, match="k"):
+            LGRR(k=1, eps_inf=2.0, eps_1=1.0)
+
+    def test_loloha_requires_g_of_at_least_two(self):
+        from repro.longitudinal import LOLOHA
+
+        with pytest.raises(ParameterError, match="g"):
+            LOLOHA(k=10, eps_inf=2.0, eps_1=1.0, g=1)
+
+    def test_parameter_derivations_reject_single_symbol_domains(self):
+        with pytest.raises(ParameterError):
+            l_grr_parameters(2.0, 1.0, 1)
+        with pytest.raises(ParameterError):
+            loloha_parameters(2.0, 1.0, 1)
+
+
 class TestChainedParametersContainer:
     def test_rejects_p_below_q(self):
         with pytest.raises(ParameterError):

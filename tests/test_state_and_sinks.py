@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import AggregationError
+from repro.exceptions import AggregationError, ParameterError
 from repro.longitudinal import DBitFlipPM, LGRR, LSUE, OLOLOHA
 from repro.simulation import simulate_protocol, simulate_protocol_sharded
 from repro.simulation.sinks import (
@@ -12,7 +12,12 @@ from repro.simulation.sinks import (
     SupportCountSink,
     estimate_support_counts,
 )
-from repro.simulation.state import DenseSymbolMemo, PackedBitMemo
+from repro.simulation.state import (
+    DenseSymbolMemo,
+    PackedBitMemo,
+    SparsePackedBitMemo,
+    make_packed_bit_memo,
+)
 
 
 class TestDenseSymbolMemo:
@@ -87,6 +92,101 @@ class TestPackedBitMemo:
         memo.resolve(np.asarray([3, 2]), make)
         # user 0 memoized keys {0, 3}; user 1 memoized keys {1, 2}
         assert list(memo.distinct_per_user()) == [2, 2]
+
+
+def _random_fresh(seed):
+    """A deterministic fresh-row callback shared by layout-equivalence tests."""
+    rng = np.random.default_rng(seed)
+
+    def fresh(users, keys):
+        return (rng.random((users.size, 13)) < 0.5).astype(np.uint8)
+
+    return fresh
+
+
+class TestSparsePackedBitMemo:
+    def test_lazy_allocation(self):
+        memo = SparsePackedBitMemo(10, 4, 12)
+        assert memo.nbytes_allocated == 0
+        assert memo.get_row(0, 0) is None
+        assert list(memo.distinct_per_user()) == [0] * 10
+
+    def test_pool_grows_geometrically_and_preserves_rows(self):
+        n_users, n_keys = 6, 50
+        memo = SparsePackedBitMemo(n_users, n_keys, 13)
+        fresh = _random_fresh(7)
+        rng = np.random.default_rng(8)
+        resolved = {}
+        for _ in range(40):
+            keys = rng.integers(0, n_keys, size=n_users)
+            rows = memo.resolve(keys, fresh)
+            for user in range(n_users):
+                pair = (user, int(keys[user]))
+                if pair in resolved:
+                    assert np.array_equal(rows[user], resolved[pair])
+                else:
+                    resolved[pair] = rows[user].copy()
+        assert memo.n_rows_memoized == len(resolved)
+        for (user, key), row in resolved.items():
+            assert np.array_equal(memo.get_row(user, key), row)
+
+    @pytest.mark.parametrize("layout", ["dense", "sparse"])
+    def test_column_sums_equals_unpacked_ground_truth(self, layout):
+        memo = make_packed_bit_memo(30, 5, 13, layout=layout)
+        shadow = make_packed_bit_memo(30, 5, 13, layout=layout)
+        keys = np.random.default_rng(3).integers(0, 5, size=30)
+        sums = memo.column_sums(keys, _random_fresh(11))
+        unpacked = shadow.resolve(keys, _random_fresh(11))
+        assert np.array_equal(sums, unpacked.sum(axis=0, dtype=np.int64))
+
+    def test_dense_and_sparse_are_bit_identical(self):
+        """Same fresh sequence => identical rows, sums and accounting."""
+        dense = PackedBitMemo(25, 6, 13)
+        sparse = SparsePackedBitMemo(25, 6, 13)
+        dense_fresh, sparse_fresh = _random_fresh(21), _random_fresh(21)
+        rng = np.random.default_rng(22)
+        for _ in range(12):
+            keys = rng.integers(0, 6, size=25)
+            assert np.array_equal(
+                dense.resolve(keys, dense_fresh), sparse.resolve(keys, sparse_fresh)
+            )
+            assert np.array_equal(
+                dense.column_sums(keys, _boom), sparse.column_sums(keys, _boom)
+            )
+        assert np.array_equal(dense.distinct_per_user(), sparse.distinct_per_user())
+        for user in range(25):
+            for key in range(6):
+                dense_row, sparse_row = dense.get_row(user, key), sparse.get_row(user, key)
+                if dense_row is None:
+                    assert sparse_row is None
+                else:
+                    assert np.array_equal(dense_row, sparse_row)
+
+
+def _boom(users, keys):  # pragma: no cover - must never run
+    raise AssertionError("fresh invoked for already-memoized pairs")
+
+
+class TestMakePackedBitMemo:
+    def test_small_tables_stay_dense(self):
+        assert isinstance(make_packed_bit_memo(100, 16, 16), PackedBitMemo)
+
+    def test_huge_tables_switch_to_sparse_without_allocating(self):
+        # Dense would project ~53 GiB here; auto must pick sparse (and stay
+        # lazy, so this test allocates nothing).
+        memo = make_packed_bit_memo(100_000, 2_048, 2_048)
+        assert isinstance(memo, SparsePackedBitMemo)
+        assert memo.nbytes_allocated == 0
+
+    def test_explicit_override(self):
+        assert isinstance(
+            make_packed_bit_memo(100_000, 2_048, 2_048, layout="dense"), PackedBitMemo
+        )
+        assert isinstance(make_packed_bit_memo(4, 2, 2, layout="sparse"), SparsePackedBitMemo)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ParameterError, match="layout"):
+            make_packed_bit_memo(4, 2, 2, layout="compressed")
 
 
 class TestSupportCountSink:

@@ -159,3 +159,81 @@ class TestHeaderCommentAndAtomicity:
         store.append_rows("cols", [{"a": 1}], header_comment="fp=1")
         with pytest.raises(ExperimentError, match="existing columns"):
             store.append_rows("cols", [{"b": 1}])
+
+
+class TestHashPrefixedDataRows:
+    """Only lines *above* the header are comments; '#'-leading cells are data."""
+
+    def test_hash_prefixed_cell_survives_append_load_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        rows = [{"label": "#special"}, {"label": "ok"}]
+        store.append_rows("hashes", rows)
+        loaded = store.load_rows("hashes")
+        assert [row["label"] for row in loaded] == ["#special", "ok"]
+
+    def test_hash_prefixed_cell_survives_with_fingerprint_comment(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append_rows(
+            "hashes_fp",
+            [{"label": "#special", "x": 1}],
+            header_comment="sweep_spec_fingerprint=abc",
+        )
+        store.append_rows("hashes_fp", [{"label": "#another", "x": 2}])
+        assert store.read_header_comment("hashes_fp") == "sweep_spec_fingerprint=abc"
+        loaded = store.load_rows("hashes_fp")
+        assert [row["label"] for row in loaded] == ["#special", "#another"]
+
+    def test_hash_prefixed_cell_survives_save_rows(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.save_rows("saved", [{"label": "#1"}, {"label": "plain"}])
+        assert [row["label"] for row in store.load_rows("saved")] == ["#1", "plain"]
+
+
+class TestAppendModeAndTornTails:
+    def test_append_does_not_rewrite_the_file(self, tmp_path):
+        """Flushes are O(batch): the inode survives, earlier bytes are a
+        stable prefix (the old implementation rewrote the whole CSV)."""
+        store = ResultsStore(tmp_path)
+        path = store.append_rows("incr", [{"a": 1}])
+        inode = path.stat().st_ino
+        before = path.read_bytes()
+        store.append_rows("incr", [{"a": 2}])
+        after = path.read_bytes()
+        assert path.stat().st_ino == inode
+        assert after.startswith(before)
+        assert len(store.load_rows("incr")) == 2
+
+    def test_load_rows_drops_single_torn_trailing_line(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = store.append_rows("torn", [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        with path.open("ab") as handle:
+            handle.write(b"5,")  # a flush killed mid-write
+        rows = store.load_rows("torn")
+        assert [(row["a"], row["b"]) for row in rows] == [("1", "2"), ("3", "4")]
+
+    def test_append_after_torn_tail_repairs_before_appending(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = store.append_rows("repair", [{"a": 1, "b": 2}])
+        with path.open("ab") as handle:
+            handle.write(b"99,")  # torn row from a crashed writer
+        store.append_rows("repair", [{"a": 5, "b": 6}])
+        rows = store.load_rows("repair")
+        assert [(row["a"], row["b"]) for row in rows] == [("1", "2"), ("5", "6")]
+
+    def test_multiline_cell_values_rejected(self, tmp_path):
+        """A quoted multi-line cell could tear between physical lines with
+        the last byte a newline — invisible to the torn-tail guard — so
+        append_rows refuses embedded newlines outright."""
+        store = ResultsStore(tmp_path)
+        with pytest.raises(ExperimentError, match="newlines"):
+            store.append_rows("nl", [{"a": "two\nlines"}])
+
+    def test_torn_header_line_recovers(self, tmp_path):
+        """A writer killed during the very first flush leaves a torn header;
+        the next append rewrites a complete one."""
+        store = ResultsStore(tmp_path)
+        path = tmp_path / "fresh.csv"
+        path.write_bytes(b"a,")  # torn header, no newline
+        store.append_rows("fresh", [{"a": 1, "b": 2}])
+        rows = store.load_rows("fresh")
+        assert [(row["a"], row["b"]) for row in rows] == [("1", "2")]
