@@ -10,9 +10,16 @@ costs on top of the raw shard computation:
   in-memory transport (codec + queue overhead only);
 * ``test_file_queue_transport_collection`` — the same collection through
   the crash-safe spool directory (adds atomic file publishes/claims);
+* ``test_authenticated_file_queue_collection`` — the spool collection with
+  HMAC-SHA256 payload signing/verification on both endpoints;
 * ``test_codec_round_trip`` — pure payload encode/decode cost for one
-  shard summary.
+  shard summary;
+* ``test_socket_idle_chatter`` — claim frames an idle TCP worker sends per
+  second: the before (``--poll`` READY/IDLE loop) versus after (blocking
+  broker-side wait) of the idle-chatter removal.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -22,6 +29,8 @@ from repro.distributed import (
     Coordinator,
     FileQueueTransport,
     InProcessTransport,
+    PayloadAuthenticator,
+    SocketTransport,
     decode_summary,
     encode_summary,
     local_worker_threads,
@@ -96,6 +105,61 @@ def test_file_queue_transport_collection(benchmark, workload, tmp_path_factory):
 
     coordinator = benchmark(run)
     assert coordinator.is_complete
+
+
+@pytest.mark.benchmark(group="transport-throughput")
+def test_authenticated_file_queue_collection(benchmark, workload, tmp_path_factory):
+    """The spool collection with HMAC signing/verifying every payload."""
+    dataset, tasks = workload
+    counter = iter(range(1_000_000))
+    auth = PayloadAuthenticator(b"benchmark-secret")
+
+    def run():
+        queue_dir = tmp_path_factory.mktemp(f"authqueue{next(counter)}")
+        transport = FileQueueTransport(queue_dir, auth=auth)
+        try:
+            return _collect(transport, tasks, dataset)
+        finally:
+            transport.close()
+
+    coordinator = benchmark(run)
+    assert coordinator.is_complete
+
+
+#: How long each idle-chatter measurement lets a worker poll an empty queue.
+_IDLE_WINDOW_SECONDS = 0.25
+
+
+@pytest.mark.benchmark(group="transport-idle-chatter")
+def test_socket_idle_chatter(benchmark):
+    """Claim frames per second from an idle TCP worker, poll vs blocking.
+
+    The poll compatibility mode re-sends READY every 20 ms sleep cycle; the
+    blocking mode parks a single READY at the broker, so an idle worker's
+    frame rate is ~0 however long the queue stays empty.
+    """
+
+    def measure():
+        rates = {}
+        for mode in ("poll", "blocking"):
+            transport = SocketTransport()
+            worker = transport.worker(mode=mode)
+            try:
+                deadline = time.monotonic() + _IDLE_WINDOW_SECONDS
+                while time.monotonic() < deadline:
+                    assert worker.claim(timeout=0.02) is None
+                rates[mode] = worker.claim_frames_sent / _IDLE_WINDOW_SECONDS
+            finally:
+                worker.close()
+                transport.close()
+        return rates
+
+    rates = benchmark(measure)
+    # The blocking worker parked once; the poll worker kept chattering.
+    assert rates["blocking"] <= 1.0 / _IDLE_WINDOW_SECONDS
+    assert rates["poll"] > rates["blocking"]
+    benchmark.extra_info["poll_frames_per_second"] = rates["poll"]
+    benchmark.extra_info["blocking_frames_per_second"] = rates["blocking"]
 
 
 @pytest.mark.benchmark(group="transport-codec")

@@ -7,18 +7,30 @@ Walks through the distributed subsystem (``repro.distributed``) end to end:
    worker crash (a claimed-then-abandoned shard) recovered via lease-expiry
    requeue — final estimates bit-identical to the serial path;
 3. streaming shard summaries into a :class:`repro.service.CollectorSession`
-   as they arrive, out of order, with coordinator checkpointing.
+   as they arrive, out of order, with coordinator checkpointing;
+4. an HMAC-authenticated TCP run over a weighted shard plan: workers park
+   at the broker (no idle polling), advertise capacity hints, every payload
+   is signed with a shared secret from the environment, and a worker
+   holding the wrong key is rejected without disturbing the collection.
 
 The CLI equivalent of step 2, with real separate processes, is::
 
     repro-ldp serve --spec collection.json --transport file --queue-dir q/
     repro-ldp work --queue-dir q/      # in as many shells / hosts as you like
 
+and of step 4 (both sides export the same ``REPRO_AUTH_KEY`` secret)::
+
+    repro-ldp serve --spec collection.json --transport tcp \\
+        --bind 0.0.0.0:7000 --auth-key-env REPRO_AUTH_KEY
+    repro-ldp work --connect collector:7000 \\
+        --auth-key-env REPRO_AUTH_KEY --capacity 4
+
 Run from the repository root::
 
     PYTHONPATH=src python examples/distributed_quickstart.py
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -29,7 +41,11 @@ from repro.distributed import (
     Coordinator,
     FileQueueTransport,
     InProcessTransport,
+    SocketTransport,
+    SocketWorker,
+    authenticator_from_env,
     local_worker_threads,
+    run_worker,
 )
 from repro.service import CollectorSession
 from repro.simulation.runner import (
@@ -106,6 +122,51 @@ def step_3_streaming_session_with_checkpoint(dataset, serial, workdir):
     )
 
 
+def step_4_authenticated_weighted_tcp(dataset):
+    print("== 4. authenticated TCP broker, weighted shards, capacity hints ==")
+    # The shared secret travels through the environment, never through spec
+    # files; a fast host gets twice the users of each slow one.
+    os.environ.setdefault("REPRO_QUICKSTART_KEY", "quickstart-shared-secret")
+    auth = authenticator_from_env("REPRO_QUICKSTART_KEY")
+    weights = (2.0, 1.0, 1.0)
+    serial = simulate_protocol_sharded(
+        SPEC, dataset, n_shards=3, rng=SEED, weights=weights
+    )
+    transport = SocketTransport(auth=auth)
+    coordinator = Coordinator(
+        make_shard_tasks(SPEC, dataset, 3, rng=SEED, weights=weights),
+        transport,
+        lease_timeout=5.0,
+    )
+    coordinator.publish_pending()
+    host, port = transport.address
+
+    # A worker with the WRONG key claims nothing: every task payload fails
+    # verification client-side and is counted, never executed.
+    os.environ["REPRO_WRONG_KEY"] = "not-the-secret"
+    intruder = SocketWorker(
+        host, port, auth=authenticator_from_env("REPRO_WRONG_KEY"), mode="poll"
+    )
+    assert intruder.claim(timeout=0.3) is None
+    print(f"   wrong-key worker rejected {intruder.rejected} task payload(s)")
+    intruder.close()
+
+    # The honest worker parks at the broker (zero idle frames) and
+    # advertises capacity 4, so it is handed the largest shard first.
+    worker = transport.worker(capacity=4)
+    completed = run_worker(worker, dataset=dataset, max_tasks=3, idle_timeout=5.0)
+    worker.close()
+    coordinator.drain(idle_timeout=1.0)
+    transport.close()
+    result = result_from_summaries(SPEC, dataset, coordinator.ordered_summaries())
+    assert np.array_equal(result.estimates, serial.estimates)
+    print(
+        f"   {completed} weighted shards collected over authenticated TCP "
+        f"({worker.claim_frames_sent} claim frames), estimates bit-identical "
+        f"to the serially-run weighted plan\n"
+    )
+
+
 def main():
     dataset = make_dataset("syn", scale=0.02, rng=SEED)
     serial = simulate_protocol_sharded(SPEC, dataset, n_shards=N_SHARDS, rng=SEED)
@@ -119,6 +180,7 @@ def main():
         step_1_in_process(dataset, serial)
         step_2_file_queue_with_crash(dataset, serial, workdir)
         step_3_streaming_session_with_checkpoint(dataset, serial, workdir)
+    step_4_authenticated_weighted_tcp(dataset)
     print("distributed quickstart OK")
 
 

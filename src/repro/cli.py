@@ -61,9 +61,19 @@ duplicate-delivery dedup, optional ``--checkpoint`` for collector restarts).
     repro-ldp work --queue-dir q/          # as many of these as you like
     repro-ldp work --connect 10.0.0.5:7000 # tcp flavour
 
+TCP workers park at the broker until work is pushed (no idle polling;
+``--poll`` restores the READY/IDLE exchange for compatibility) and may
+advertise a ``--capacity`` hint so a mixed fleet's fastest hosts receive
+the largest shards of a weighted plan (``CollectionSpec.shard_weights``).
+On untrusted networks or shared filesystems, ``--auth-key-env SECRET_VAR``
+(or ``auth_key_env`` in the spec) HMAC-signs every task and summary
+payload with the secret held in that environment variable — both sides
+must export it; tampered or unsigned payloads are rejected and counted,
+never absorbed.
+
 Every shard's randomness derives from the collection seed alone, so the
 final estimates are bit-identical to the serial path regardless of worker
-fleet, crashes or retries.
+fleet, sharding weights, crashes or retries.
 """
 
 from __future__ import annotations
@@ -220,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="requeue a claimed shard after this long without a summary",
     )
     serve_parser.add_argument(
+        "--auth-key-env", default=None, metavar="ENV_VAR",
+        help="environment variable holding the shared HMAC secret; task and "
+             "summary payloads are signed/verified and tampered ones rejected "
+             "(overrides the spec's auth_key_env; the key itself never "
+             "appears in files or argv)",
+    )
+    serve_parser.add_argument(
         "--checkpoint", default=None, metavar="PATH.npz",
         help="coordinator checkpoint, rewritten after every summary; an "
              "existing checkpoint of the same plan is restored so a killed "
@@ -261,6 +278,22 @@ def build_parser() -> argparse.ArgumentParser:
     work_parser.add_argument(
         "--idle-exit", type=float, default=60.0, metavar="SECONDS",
         help="exit after this long without claimable work (default: 60)",
+    )
+    work_parser.add_argument(
+        "--auth-key-env", default=None, metavar="ENV_VAR",
+        help="environment variable holding the shared HMAC secret "
+             "(must match the collector's)",
+    )
+    work_parser.add_argument(
+        "--capacity", type=int, default=1, metavar="N",
+        help="relative throughput hint advertised to the tcp broker; the "
+             "fleet's highest hint receives the largest pending shards "
+             "(default: 1)",
+    )
+    work_parser.add_argument(
+        "--poll", action="store_true",
+        help="tcp compatibility mode: poll the broker with READY/IDLE "
+             "round-trips instead of parking until work is pushed",
     )
 
     datasets_parser = subparsers.add_parser(
@@ -405,28 +438,38 @@ def run_serve(args: argparse.Namespace) -> int:
         DatasetRef,
         FileQueueTransport,
         SocketTransport,
+        authenticator_from_env,
         local_worker_threads,
     )
     from .simulation.runner import make_shard_tasks, result_from_summaries
 
     spec = load_collection_spec(args.spec)
+    auth_key_env = args.auth_key_env or spec.auth_key_env
+    auth = authenticator_from_env(auth_key_env)
     dataset = make_dataset(spec.dataset, scale=spec.dataset_scale, rng=spec.seed)
-    tasks = make_shard_tasks(spec.protocol, dataset, spec.n_shards, spec.seed)
+    tasks = make_shard_tasks(
+        spec.protocol, dataset, spec.n_shards, spec.seed,
+        weights=spec.shard_weights,
+    )
     dataset_ref = DatasetRef(
         name=spec.dataset, scale=spec.dataset_scale, seed=spec.seed
     )
+    authenticated = f", HMAC-authenticated via ${auth_key_env}" if auth else ""
     if args.transport == "file":
         if not args.queue_dir:
             raise ReproError("--transport file requires --queue-dir")
-        transport = FileQueueTransport(args.queue_dir)
-        print(f"{spec.name}: spooling {len(tasks)} shard tasks to {args.queue_dir}")
+        transport = FileQueueTransport(args.queue_dir, auth=auth)
+        print(
+            f"{spec.name}: spooling {len(tasks)} shard tasks to "
+            f"{args.queue_dir}{authenticated}"
+        )
     else:
         host, port = _parse_host_port(args.bind, "--bind")
-        transport = SocketTransport(host, port)
+        transport = SocketTransport(host, port, auth=auth)
         print(
             f"{spec.name}: broker listening on "
             f"{transport.address[0]}:{transport.address[1]} "
-            f"({len(tasks)} shard tasks)"
+            f"({len(tasks)} shard tasks{authenticated})"
         )
     try:
         coordinator = Coordinator(
@@ -458,10 +501,13 @@ def run_serve(args: argparse.Namespace) -> int:
         coordinator.ordered_summaries(),
         extra={"transport": type(transport).__name__},
     )
+    rejected = getattr(transport, "rejected", 0)
     print(
         f"{spec.name}: collected {coordinator.n_shards} shards "
-        f"({coordinator.requeued} requeued, {coordinator.duplicates} duplicate "
-        f"and {coordinator.foreign} foreign summaries dropped)"
+        f"({coordinator.requeued} requeued, {coordinator.republished} "
+        f"republished, {coordinator.duplicates} duplicate, "
+        f"{coordinator.foreign} foreign and {rejected} unverified "
+        f"summaries dropped)"
     )
     print(
         f"{spec.name}: protocol={result.protocol_name} dataset={result.dataset_name} "
@@ -486,14 +532,31 @@ def run_serve(args: argparse.Namespace) -> int:
 
 def run_work(args: argparse.Namespace) -> int:
     """Run one worker process against a file or tcp queue."""
-    from .distributed import FileQueueWorker, SocketWorker, run_worker
+    from .distributed import (
+        FileQueueWorker,
+        SocketWorker,
+        authenticator_from_env,
+        run_worker,
+    )
 
+    auth = authenticator_from_env(args.auth_key_env)
     if args.queue_dir:
-        endpoint = FileQueueWorker(args.queue_dir)
+        # Capacity hints and claim modes are TCP broker concepts; silently
+        # ignoring them would let an operator believe a file-queue fleet is
+        # weighted when it is not.
+        if args.capacity != 1:
+            raise ReproError("--capacity only applies to tcp workers (--connect)")
+        if args.poll:
+            raise ReproError("--poll only applies to tcp workers (--connect)")
+        endpoint = FileQueueWorker(args.queue_dir, auth=auth)
         where = args.queue_dir
     else:
         host, port = _parse_host_port(args.connect, "--connect")
-        endpoint = SocketWorker(host, port)
+        endpoint = SocketWorker(
+            host, port, auth=auth,
+            capacity=args.capacity,
+            mode="poll" if args.poll else "blocking",
+        )
         where = args.connect
     print(f"worker attached to {where}")
     try:
@@ -504,7 +567,9 @@ def run_work(args: argparse.Namespace) -> int:
         )
     finally:
         endpoint.close()
-    print(f"worker done: {completed} shards completed")
+    rejected = getattr(endpoint, "rejected", 0)
+    suffix = f" ({rejected} unverified task payloads rejected)" if rejected else ""
+    print(f"worker done: {completed} shards completed{suffix}")
     return 0
 
 

@@ -21,13 +21,23 @@ shards, deduplicates double-delivered summaries by shard id and streams
 accepted summaries into a :class:`~repro.service.session.CollectorSession`
 as they arrive; because every shard's randomness is derived from the root
 seed alone, the final estimates are bit-identical to the serial path no
-matter how the work was distributed, crashed or retried.
+matter how the work was distributed, weighted, crashed or retried.
+
+For untrusted media, both remote transports accept a
+:class:`PayloadAuthenticator` (shared HMAC-SHA256 secret, resolved from an
+environment variable via :func:`authenticator_from_env`): tampered or
+unsigned payloads are rejected and counted, never absorbed or executed.
+TCP workers park at the broker until work is pushed (zero idle frames) and
+may advertise capacity hints so weighted shard plans
+(``make_shard_tasks(weights=...)``) land their biggest shards on the
+fastest hosts.
 
 The ``repro-ldp serve`` / ``repro-ldp work`` CLI subcommands wire these
 pieces into long-running processes; ``simulate_protocol_sharded(transport=...)``
 uses them inline.
 """
 
+from .auth import AuthenticationError, PayloadAuthenticator, authenticator_from_env
 from .codec import (
     DatasetRef,
     TransportError,
@@ -49,9 +59,12 @@ from .transports import (
 from .worker import LocalWorkerPool, local_worker_threads, run_worker
 
 __all__ = [
+    "AuthenticationError",
     "Coordinator",
     "CoordinatorTimeout",
     "DatasetRef",
+    "PayloadAuthenticator",
+    "authenticator_from_env",
     "FileQueueTransport",
     "FileQueueWorker",
     "InProcessTransport",

@@ -1,0 +1,101 @@
+"""Shared-secret payload authentication for untrusted transports.
+
+The file-spool and TCP transports move task and summary payloads through
+media an attacker may be able to write to (a shared filesystem, a network
+segment).  :class:`PayloadAuthenticator` wraps every payload in an
+HMAC-SHA256 envelope::
+
+    b"RHM1" + 32-byte HMAC-SHA256(key, payload) + payload
+
+Both endpoints of an authenticated transport hold the same secret: the
+coordinator signs task payloads and verifies summary payloads, the worker
+verifies task payloads and signs summary payloads.  A payload whose tag does
+not verify — tampered bytes, a signature stripped off, a frame signed with a
+different key — raises :class:`AuthenticationError`, which the transports
+translate into "reject, count, continue" rather than a crash: summaries are
+re-requested through the normal lease-expiry requeue and tampered task files
+are republished from the coordinator's authentic copies.
+
+The secret itself never travels through spec files or the queue: it is
+resolved from an environment variable named by
+:attr:`repro.specs.CollectionSpec.auth_key_env` / ``--auth-key-env`` (see
+:func:`authenticator_from_env`), so a ``collection.json`` can be committed
+or shipped without leaking the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Optional
+
+from .codec import TransportError
+
+__all__ = [
+    "AuthenticationError",
+    "PayloadAuthenticator",
+    "authenticator_from_env",
+]
+
+_MAGIC = b"RHM1"
+_TAG_BYTES = hashlib.sha256().digest_size
+_HEADER_BYTES = len(_MAGIC) + _TAG_BYTES
+
+
+class AuthenticationError(TransportError):
+    """A payload failed HMAC verification (tampered, unsigned or wrong key)."""
+
+
+class PayloadAuthenticator:
+    """Signs and verifies transport payloads with one shared secret."""
+
+    def __init__(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or not key:
+            raise TransportError("the authentication key must be non-empty bytes")
+        self._key = bytes(key)
+
+    def sign(self, payload: bytes) -> bytes:
+        """Wrap ``payload`` in the signed envelope."""
+        tag = hmac.new(self._key, payload, hashlib.sha256).digest()
+        return _MAGIC + tag + payload
+
+    def verify(self, blob: bytes) -> bytes:
+        """Check the envelope and return the bare payload.
+
+        Raises :class:`AuthenticationError` for unsigned blobs (no magic),
+        truncated envelopes and tag mismatches.  Comparison is constant-time
+        (:func:`hmac.compare_digest`).
+        """
+        if len(blob) < _HEADER_BYTES or not blob.startswith(_MAGIC):
+            raise AuthenticationError(
+                "payload is not signed but this endpoint requires authentication"
+            )
+        tag = blob[len(_MAGIC) : _HEADER_BYTES]
+        payload = blob[_HEADER_BYTES:]
+        expected = hmac.new(self._key, payload, hashlib.sha256).digest()
+        if not hmac.compare_digest(tag, expected):
+            raise AuthenticationError(
+                "payload signature does not verify (tampered, or signed with a "
+                "different key)"
+            )
+        return payload
+
+
+def authenticator_from_env(env_name: Optional[str]) -> Optional[PayloadAuthenticator]:
+    """Build an authenticator from the environment variable named ``env_name``.
+
+    ``None`` (authentication off) passes through as ``None``.  Naming a
+    variable that is unset or empty is a configuration error, not a silent
+    downgrade to unauthenticated transport.
+    """
+    if env_name is None:
+        return None
+    value = os.environ.get(env_name)
+    if not value:
+        raise TransportError(
+            f"authentication key environment variable {env_name!r} is not set "
+            f"(export a shared secret in it on both the collector and every "
+            f"worker)"
+        )
+    return PayloadAuthenticator(value.encode("utf-8"))

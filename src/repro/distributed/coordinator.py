@@ -105,6 +105,7 @@ class Coordinator:
         self.duplicates = 0
         self.requeued = 0
         self.foreign = 0
+        self.republished = 0
         self._published = False
         self._restoring = False
         # Fingerprint over the canonical task payloads: a checkpoint or a
@@ -148,11 +149,22 @@ class Coordinator:
         """Publish every shard not yet summarized; returns the count."""
         pending = self.pending_shards
         for shard_id in pending:
-            self.transport.publish(
-                TaskEnvelope(shard_id=shard_id, payload=self._payloads[shard_id])
-            )
+            self.transport.publish(self._envelope(shard_id))
         self._published = True
         return len(pending)
+
+    def _envelope(self, shard_id: int) -> TaskEnvelope:
+        """The authentic task envelope of one shard, costed by its user count.
+
+        The cost lets capacity-aware transports hand the biggest shards of a
+        weighted plan to the workers advertising the most capacity.
+        """
+        task = self.tasks[shard_id]
+        return TaskEnvelope(
+            shard_id=shard_id,
+            payload=self._payloads[shard_id],
+            cost=float(task.stop - task.start),
+        )
 
     def absorb(self, shard_id: int, summary: ShardSummary) -> bool:
         """Accept one summary; returns ``False`` for duplicates.
@@ -219,7 +231,10 @@ class Coordinator:
     ) -> Dict[int, ShardSummary]:
         """Publish pending shards and poll until the collection completes.
 
-        Requeues expired leases as it goes; raises
+        Requeues expired leases as it goes, and republishes the authentic
+        payload of any pending shard the transport has lost track of (a task
+        file deleted, or destroyed by a worker after failing payload
+        verification — see :meth:`Transport.missing_tasks`); raises
         :class:`CoordinatorTimeout` if ``timeout`` (wall-clock seconds)
         elapses first.  ``abort`` is polled every loop iteration; a
         non-``None`` string aborts the run with that reason (the hook for
@@ -241,6 +256,12 @@ class Coordinator:
                 self.requeued += len(
                     self.transport.reclaim_expired(self.lease_timeout)
                 )
+                # A pending shard the transport has lost track of entirely
+                # (e.g. a task file destroyed after failing verification)
+                # would hang the collection; republish the authentic copy.
+                for shard_id in self.transport.missing_tasks(self.pending_shards):
+                    self.transport.publish(self._envelope(shard_id))
+                    self.republished += 1
                 next_reclaim = now + reclaim_interval
             if abort is not None and not self.is_complete:
                 reason = abort()

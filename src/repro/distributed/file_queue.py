@@ -26,6 +26,27 @@ recoverable states: its task still sits in ``claims/`` (requeued after the
 lease expires) or its summary already landed in ``summaries/`` (the shard is
 simply done).  The lease clock is the claim file's mtime, refreshed by the
 claiming worker via :func:`os.utime`.
+
+Scanning is **snapshot-diffed**, not repeated: every rename into (or out
+of) a spool directory bumps that directory's own mtime, so both endpoints
+stat the directory first and skip the listing entirely while the mtime is
+unchanged — the common poll-loop case.  When it has changed, the
+coordinator takes one :func:`os.scandir` snapshot of ``summaries/`` (the
+``DirEntry`` stat results come for free) and diffs it against the
+``(mtime_ns, size)`` signatures it has already delivered or rejected, so a
+collection with thousands of spooled summaries no longer re-stats every
+file on every 20 ms poll.
+
+With ``auth=`` (a :class:`~repro.distributed.auth.PayloadAuthenticator`)
+task files are signed by the coordinator and verified by the claiming
+worker, and summary files are signed by the worker and verified by the
+coordinator's scan — the defense for queue directories on a filesystem
+other parties can write to.  A file that fails verification is rejected and
+counted (:attr:`FileQueueTransport.rejected` /
+:attr:`FileQueueWorker.rejected`), never executed or absorbed: a bad
+summary's shard recovers through the lease-expiry requeue, and a bad task
+file is unlinked by the worker and republished from the coordinator's
+authentic copy (see :meth:`FileQueueTransport.missing_tasks`).
 """
 
 from __future__ import annotations
@@ -33,9 +54,11 @@ from __future__ import annotations
 import os
 import time
 import uuid
+from collections import deque
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from .auth import AuthenticationError, PayloadAuthenticator
 from .codec import TransportError
 from .transports import SummaryEnvelope, TaskEnvelope, Transport, WorkerEndpoint
 
@@ -43,6 +66,30 @@ __all__ = ["FileQueueTransport", "FileQueueWorker"]
 
 _TASK_PREFIX = "task-"
 _SUMMARY_PREFIX = "summary-"
+
+#: ``(mtime_ns, size)`` of one spooled file version.
+_FileSignature = Tuple[int, int]
+
+#: The mtime gates only trust an *unchanged* directory mtime once it is
+#: this much older than the wall clock: on filesystems with coarse
+#: timestamps (1 s on HFS+, jiffies on older Linux kernels) two renames
+#: inside one timestamp tick are indistinguishable, so a recent mtime may
+#: still be hiding a change.
+_DIR_MTIME_TRUST_NS = 2_000_000_000
+
+#: Unconditional rescan interval: even a trusted-looking mtime (e.g. under
+#: NFS clock skew) never suppresses listings for longer than this.
+_FORCED_RESCAN_NS = 5_000_000_000
+
+
+def _skip_scan(cached_mtime_ns: int, dir_mtime_ns: int, last_scan_ns: int) -> bool:
+    """Whether an unchanged directory mtime justifies skipping the listing."""
+    now_ns = time.time_ns()
+    return (
+        dir_mtime_ns == cached_mtime_ns
+        and now_ns - dir_mtime_ns > _DIR_MTIME_TRUST_NS
+        and now_ns - last_scan_ns < _FORCED_RESCAN_NS
+    )
 
 
 def _shard_from_name(name: str, prefix: str, suffix: str) -> Optional[int]:
@@ -85,14 +132,31 @@ class _QueueLayout:
 class FileQueueTransport(Transport):
     """Coordinator endpoint of the file-spool queue."""
 
-    def __init__(self, queue_dir: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        auth: Optional[PayloadAuthenticator] = None,
+    ) -> None:
         self._layout = _QueueLayout(queue_dir)
-        #: shard id -> (mtime_ns, size) of the summary file last delivered.
-        #: Keyed on the file signature, not the shard id alone: a stale
-        #: summary from a previous collection in a reused queue dir gets
+        self._auth = auth
+        #: shard id -> signature of the summary file last delivered.  Keyed
+        #: on the file signature, not the shard id alone: a stale summary
+        #: from a previous collection in a reused queue dir gets
         #: *overwritten* by the fresh worker result, and the replacement
         #: must be delivered again even though the shard id repeats.
-        self._delivered: Dict[int, Tuple[int, int]] = {}
+        self._delivered: Dict[int, _FileSignature] = {}
+        #: shard id -> signature of a summary file version that failed
+        #: verification (counted once, then skipped until the file changes).
+        self._rejected_signatures: Dict[int, _FileSignature] = {}
+        #: Summary files dropped because their payload failed verification.
+        self.rejected = 0
+        #: ``summaries/`` directory mtime at the last snapshot; while it is
+        #: unchanged (and trustworthy — see :func:`_skip_scan`) no rename has
+        #: touched the spool and the scan is skipped.
+        self._summaries_dir_mtime_ns = -1
+        self._last_summary_scan_ns = 0
+        #: Snapshot entries not yet delivered, in shard order.
+        self._deliverable: Deque[Tuple[int, str, _FileSignature]] = deque()
 
     @property
     def queue_dir(self) -> Path:
@@ -100,7 +164,10 @@ class FileQueueTransport(Transport):
 
     def publish(self, envelope: TaskEnvelope) -> None:
         layout = self._layout
-        staged = layout.stage(layout.task_name(envelope.shard_id), envelope.payload)
+        payload = envelope.payload
+        if self._auth is not None:
+            payload = self._auth.sign(payload)
+        staged = layout.stage(layout.task_name(envelope.shard_id), payload)
         os.replace(staged, layout.tasks / layout.task_name(envelope.shard_id))
 
     def poll_summary(self, timeout: float = 0.0) -> Optional[SummaryEnvelope]:
@@ -114,19 +181,63 @@ class FileQueueTransport(Transport):
             time.sleep(0.02)
 
     def _scan_summaries(self) -> Optional[SummaryEnvelope]:
-        for name in sorted(os.listdir(self._layout.summaries)):
-            shard_id = _shard_from_name(name, _SUMMARY_PREFIX, ".npz")
-            if shard_id is None:
-                continue
-            path = self._layout.summaries / name
-            try:
-                stat = os.stat(path)
+        envelope = self._pop_deliverable()
+        if envelope is not None:
+            return envelope
+        layout = self._layout
+        try:
+            dir_stat = os.stat(layout.summaries)
+        except FileNotFoundError:  # pragma: no cover - concurrent cleanup
+            return None
+        if _skip_scan(
+            self._summaries_dir_mtime_ns,
+            dir_stat.st_mtime_ns,
+            self._last_summary_scan_ns,
+        ):
+            return None  # no rename has touched the spool since the snapshot
+        # Record the mtime read *before* the snapshot: a rename landing while
+        # we scan bumps it again, forcing the next poll to re-snapshot, so a
+        # file the scan raced past is never lost.
+        self._summaries_dir_mtime_ns = dir_stat.st_mtime_ns
+        self._last_summary_scan_ns = time.time_ns()
+        fresh: List[Tuple[int, str, _FileSignature]] = []
+        with os.scandir(layout.summaries) as entries:
+            for entry in entries:
+                shard_id = _shard_from_name(entry.name, _SUMMARY_PREFIX, ".npz")
+                if shard_id is None:
+                    continue
+                try:
+                    stat = entry.stat()
+                except FileNotFoundError:  # pragma: no cover - concurrent cleanup
+                    continue
                 signature = (stat.st_mtime_ns, stat.st_size)
                 if self._delivered.get(shard_id) == signature:
                     continue
-                payload = path.read_bytes()
+                if self._rejected_signatures.get(shard_id) == signature:
+                    continue
+                fresh.append((shard_id, entry.name, signature))
+        fresh.sort()
+        self._deliverable.extend(fresh)
+        return self._pop_deliverable()
+
+    def _pop_deliverable(self) -> Optional[SummaryEnvelope]:
+        while self._deliverable:
+            shard_id, name, signature = self._deliverable.popleft()
+            if self._delivered.get(shard_id) == signature:
+                continue
+            try:
+                payload = (self._layout.summaries / name).read_bytes()
             except FileNotFoundError:  # pragma: no cover - concurrent cleanup
                 continue
+            if self._auth is not None:
+                try:
+                    payload = self._auth.verify(payload)
+                except AuthenticationError:
+                    # Reject and count this file version; the shard recovers
+                    # through the lease-expiry requeue / task republish.
+                    self.rejected += 1
+                    self._rejected_signatures[shard_id] = signature
+                    continue
             self._delivered[shard_id] = signature
             return SummaryEnvelope(shard_id=shard_id, payload=payload)
         return None
@@ -172,8 +283,42 @@ class FileQueueTransport(Transport):
             reclaimed.append(shard_id)
         return reclaimed
 
+    def missing_tasks(self, shard_ids: Sequence[int]) -> List[int]:
+        """Shards whose task file vanished from the whole spool.
+
+        A task file can disappear without a summary: an operator deleted it,
+        or a worker destroyed its claim after the payload failed
+        verification.  Such shards would otherwise hang the collection —
+        neither claimable, nor leased, nor done — so the coordinator
+        republishes its authentic copy of each one.  A summary file whose
+        current version failed verification counts as *absent* here: its
+        claim is already gone (the worker delivered before the tampering),
+        so the republish path is the only way the shard can still recover.
+        A shard mid-claim can transiently appear in neither directory; the
+        resulting spurious republish at worst produces a duplicate summary,
+        which the coordinator deduplicates.
+        """
+        layout = self._layout
+        missing: List[int] = []
+        for shard_id in shard_ids:
+            task_name = layout.task_name(shard_id)
+            if (layout.tasks / task_name).exists():
+                continue
+            if (layout.claims / task_name).exists():
+                continue
+            try:
+                stat = os.stat(layout.summaries / layout.summary_name(shard_id))
+            except FileNotFoundError:
+                stat = None
+            if stat is not None:
+                signature = (stat.st_mtime_ns, stat.st_size)
+                if self._rejected_signatures.get(shard_id) != signature:
+                    continue  # a (so far) credible summary is on disk
+            missing.append(shard_id)
+        return missing
+
     def worker(self) -> "FileQueueWorker":
-        return FileQueueWorker(self._layout.root)
+        return FileQueueWorker(self._layout.root, auth=self._auth)
 
 
 class FileQueueWorker(WorkerEndpoint):
@@ -183,8 +328,20 @@ class FileQueueWorker(WorkerEndpoint):
     not need (and must not share) the coordinator object.
     """
 
-    def __init__(self, queue_dir: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        auth: Optional[PayloadAuthenticator] = None,
+    ) -> None:
         self._layout = _QueueLayout(queue_dir)
+        self._auth = auth
+        #: ``tasks/`` directory mtime after the last scan that found nothing
+        #: claimable; while it is unchanged (and trustworthy — see
+        #: :func:`_skip_scan`) the listing is skipped.
+        self._idle_tasks_mtime_ns = -1
+        self._last_task_scan_ns = 0
+        #: Task files destroyed because their payload failed verification.
+        self.rejected = 0
 
     def claim(self, timeout: float = 0.0) -> Optional[TaskEnvelope]:
         deadline = time.monotonic() + max(0.0, timeout)
@@ -198,6 +355,17 @@ class FileQueueWorker(WorkerEndpoint):
 
     def _try_claim(self) -> Optional[TaskEnvelope]:
         layout = self._layout
+        try:
+            dir_stat = os.stat(layout.tasks)
+        except FileNotFoundError:  # pragma: no cover - concurrent cleanup
+            return None
+        if _skip_scan(
+            self._idle_tasks_mtime_ns, dir_stat.st_mtime_ns, self._last_task_scan_ns
+        ):
+            # No rename has touched tasks/ since the last empty scan, so
+            # there is still nothing to claim — skip the listing.
+            return None
+        self._last_task_scan_ns = time.time_ns()
         for name in sorted(os.listdir(layout.tasks)):
             shard_id = _shard_from_name(name, _TASK_PREFIX, ".json")
             if shard_id is None:
@@ -215,11 +383,29 @@ class FileQueueWorker(WorkerEndpoint):
                 # file's pre-claim mtime already exceeded a tiny lease
                 # timeout); treat as not claimed.
                 continue
+            if self._auth is not None:
+                try:
+                    payload = self._auth.verify(payload)
+                except AuthenticationError:
+                    # Never execute a tampered task.  Destroy the claim so it
+                    # cannot loop through requeues; the coordinator notices
+                    # the vanished shard and republishes its authentic copy.
+                    self.rejected += 1
+                    try:
+                        os.unlink(claimed_path)
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+                    continue
             return TaskEnvelope(shard_id=shard_id, payload=payload)
+        # The scan came up empty: remember the pre-scan mtime so idle polls
+        # stop listing the directory until a rename touches it again.
+        self._idle_tasks_mtime_ns = dir_stat.st_mtime_ns
         return None
 
     def complete(self, shard_id: int, payload: bytes) -> None:
         layout = self._layout
+        if self._auth is not None:
+            payload = self._auth.sign(payload)
         name = layout.summary_name(shard_id)
         staged = layout.stage(name, payload)
         os.replace(staged, layout.summaries / name)

@@ -2,17 +2,41 @@
 
 The coordinator side (:class:`SocketTransport`) runs a small asyncio broker
 on a background thread.  Workers (:class:`SocketWorker`) connect with plain
-blocking sockets and speak a four-message pull protocol::
+blocking sockets and speak a pull protocol with two claim flavours::
 
-    worker -> broker   READY                       "give me work"
-    broker -> worker   TASK(shard, payload) |      one claimable task
+    worker -> broker   READY(capacity)             "give me work; I'll wait"
+    broker -> worker   TASK(shard, payload)        pushed when work exists
+    worker -> broker   POLL(capacity)              "give me work right now"
+    broker -> worker   TASK(shard, payload) |
                        IDLE                        nothing right now, retry
     worker -> broker   SUMMARY(shard, payload)     completed result
     broker -> worker   SHUTDOWN                    collection over, disconnect
 
-Frames are ``>IBI`` headers (payload length, message type, shard id)
-followed by the payload bytes — no pickled code on the wire, only the JSON /
-npz payloads of :mod:`repro.distributed.codec`.
+``READY`` is the default: the broker *parks* the connection and pushes a
+``TASK`` the moment one is published (or requeued), so an idle worker sends
+zero frames while the queue is empty — no READY/IDLE chatter, no sleep
+loops.  Parked workers are woken with ``SHUTDOWN`` (or a connection close)
+when the collection ends.  ``POLL`` keeps the old immediate TASK-or-IDLE
+exchange as a compatibility mode (``repro-ldp work --poll``).
+
+Both claim frames carry the worker's *capacity hint* in the header's shard
+field.  The broker hands the largest pending shard (by the coordinator's
+:attr:`~repro.distributed.transports.TaskEnvelope.cost`) to the
+highest-capacity claimant and the smallest to everyone else, so a mixed
+fleet drains a weighted shard plan (see
+:func:`repro.simulation.runner.make_shard_tasks`) without the fast hosts
+idling behind the slow ones.  Which worker runs which shard never changes
+the estimates — shard randomness is derived from the root seed alone.
+
+Frames are ``>IBI`` headers (payload length, message type, shard id /
+capacity) followed by the payload bytes — no pickled code on the wire, only
+the JSON / npz payloads of :mod:`repro.distributed.codec`.  With ``auth=``
+(a :class:`~repro.distributed.auth.PayloadAuthenticator`) every task payload
+is signed by the broker and verified by the worker, and every summary
+payload is signed by the worker and verified by the broker; a frame that
+fails verification is dropped and counted (:attr:`SocketTransport.rejected`,
+:attr:`SocketWorker.rejected`), never absorbed, and the shard recovers
+through the normal lease-expiry requeue.
 
 Fault tolerance mirrors the file queue: a task handed to a connection is
 *outstanding* until its SUMMARY arrives.  If the connection drops, its
@@ -21,22 +45,25 @@ without disconnecting, :meth:`SocketTransport.reclaim_expired` requeues
 tasks whose lease is older than the timeout.  Both paths may produce
 duplicate summaries, which the coordinator deduplicates by shard id.
 
-Broker state (pending deque, outstanding map) is guarded by one lock shared
-between the event-loop thread and the coordinator thread; no handler holds
-it across an ``await``.
+Broker state (pending list, outstanding map, parked waiters) is guarded by
+one lock shared between the event-loop thread and the coordinator thread;
+no handler holds it across an ``await``, and woken waiters are written to
+outside the lock.
 """
 
 from __future__ import annotations
 
 import asyncio
+import bisect
 import queue
 import socket
 import struct
 import threading
 import time
-from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .auth import AuthenticationError, PayloadAuthenticator
 from .codec import TransportError
 from .transports import SummaryEnvelope, TaskEnvelope, Transport, WorkerEndpoint
 
@@ -44,12 +71,14 @@ __all__ = ["SocketTransport", "SocketWorker"]
 
 _HEADER = struct.Struct(">IBI")  # payload length, message type, shard id
 _MAX_FRAME = 1 << 30  # defensive bound against garbage length prefixes
+_MAX_CAPACITY = 1 << 20  # defensive bound against garbage capacity hints
 
 MSG_READY = 1
 MSG_TASK = 2
 MSG_IDLE = 3
 MSG_SUMMARY = 4
 MSG_SHUTDOWN = 5
+MSG_POLL = 6
 
 
 def _pack_frame(msg_type: int, shard_id: int, payload: bytes = b"") -> bytes:
@@ -65,11 +94,36 @@ async def _read_frame_async(reader: asyncio.StreamReader) -> Tuple[int, int, byt
     return msg_type, shard_id, payload
 
 
-def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+class _ReceiveTimeout(Exception):
+    """No frame started arriving before the caller's deadline."""
+
+
+def _recv_exact(
+    sock: socket.socket, n_bytes: int, deadline: Optional[float] = None
+) -> bytes:
+    """Receive exactly ``n_bytes``.
+
+    ``deadline`` bounds the wait for the *first* chunk only: once a frame has
+    started arriving the remainder is read without a deadline, so a timeout
+    can never tear the stream mid-frame (the next read would misparse the
+    leftover bytes as a header).
+    """
     chunks = []
     remaining = n_bytes
     while remaining:
-        chunk = sock.recv(remaining)
+        if not chunks and deadline is not None:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise _ReceiveTimeout
+            sock.settimeout(timeout)
+        else:
+            sock.settimeout(None)
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            raise _ReceiveTimeout from None
+        finally:
+            sock.settimeout(None)
         if not chunk:
             raise TransportError("connection closed mid-frame")
         chunks.append(chunk)
@@ -77,12 +131,26 @@ def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
     return b"".join(chunks)
 
 
-def _read_frame_blocking(sock: socket.socket) -> Tuple[int, int, bytes]:
-    length, msg_type, shard_id = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+def _read_frame_blocking(
+    sock: socket.socket, deadline: Optional[float] = None
+) -> Tuple[int, int, bytes]:
+    length, msg_type, shard_id = _HEADER.unpack(
+        _recv_exact(sock, _HEADER.size, deadline)
+    )
     if length > _MAX_FRAME:
         raise TransportError(f"frame of {length} bytes exceeds the maximum")
     payload = _recv_exact(sock, length) if length else b""
     return msg_type, shard_id, payload
+
+
+@dataclass
+class _Waiter:
+    """One parked READY connection awaiting a task push."""
+
+    order: int
+    connection_id: int
+    capacity: int
+    writer: asyncio.StreamWriter
 
 
 class SocketTransport(Transport):
@@ -93,16 +161,37 @@ class SocketTransport(Transport):
     host, port:
         Bind address.  ``port=0`` (default) binds an ephemeral port; read
         the resolved address from :attr:`address`.
+    auth:
+        Optional :class:`~repro.distributed.auth.PayloadAuthenticator`.
+        When set, published task payloads are signed and incoming summary
+        payloads must verify; failures are counted in :attr:`rejected` and
+        dropped without disturbing the collection.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth: Optional[PayloadAuthenticator] = None,
+    ) -> None:
+        self._auth = auth
         self._state_lock = threading.Lock()
-        self._pending: Deque[TaskEnvelope] = deque()
+        #: Pending tasks kept sorted ascending by (cost, shard id, seq), so a
+        #: claim pops the cheapest from the front or the most expensive from
+        #: the back without scanning the queue under the lock.
+        self._pending: List[Tuple[float, int, int, TaskEnvelope]] = []
+        self._pending_seq = 0
         #: shard id -> (connection id, lease start, envelope)
         self._outstanding: Dict[int, Tuple[int, float, TaskEnvelope]] = {}
         self._summaries: "queue.Queue[SummaryEnvelope]" = queue.Queue()
+        self._waiters: List[_Waiter] = []
+        self._next_waiter_order = 0
+        #: connection id -> most recent capacity hint from its claim frames.
+        self._capacities: Dict[int, int] = {}
         self._writers: set = set()
         self._shutdown = False
+        #: Summary frames dropped because their payload failed verification.
+        self.rejected = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._address: Optional[Tuple[str, int]] = None
         self._started = threading.Event()
@@ -141,8 +230,10 @@ class SocketTransport(Transport):
         finally:
             server.close()
             loop.run_until_complete(server.wait_closed())
-            # Close client connections first so their handlers unwind through
-            # the normal EOF path; cancel only whatever is still left.
+            # Wake parked workers with an orderly SHUTDOWN, then close client
+            # connections so their handlers unwind through the normal EOF
+            # path; cancel only whatever is still left.
+            self._dispatch()
             with self._state_lock:
                 writers = list(self._writers)
             for writer in writers:
@@ -166,16 +257,16 @@ class SocketTransport(Transport):
         try:
             while True:
                 msg_type, shard_id, payload = await _read_frame_async(reader)
-                if msg_type == MSG_READY:
-                    frame = self._next_task_frame(connection_id)
-                    writer.write(frame)
-                    await writer.drain()
-                elif msg_type == MSG_SUMMARY:
-                    with self._state_lock:
-                        self._outstanding.pop(shard_id, None)
-                    self._summaries.put(
-                        SummaryEnvelope(shard_id=shard_id, payload=payload)
+                if msg_type in (MSG_READY, MSG_POLL):
+                    capacity = max(1, min(int(shard_id), _MAX_CAPACITY))
+                    frame = self._claim_frame(
+                        connection_id, capacity, writer, park=msg_type == MSG_READY
                     )
+                    if frame is not None:
+                        writer.write(frame)
+                        await writer.drain()
+                elif msg_type == MSG_SUMMARY:
+                    self._receive_summary(shard_id, payload)
                 else:
                     break  # unknown message: drop the connection
         except (asyncio.IncompleteReadError, ConnectionError, TransportError):
@@ -195,25 +286,117 @@ class SocketTransport(Transport):
             except (ConnectionError, OSError):  # pragma: no cover - platform noise
                 pass
 
-    def _next_task_frame(self, connection_id: int) -> bytes:
+    def _claim_frame(
+        self,
+        connection_id: int,
+        capacity: int,
+        writer: asyncio.StreamWriter,
+        park: bool,
+    ) -> Optional[bytes]:
+        """Answer one claim: a frame to send now, or ``None`` once parked."""
         with self._state_lock:
+            self._capacities[connection_id] = capacity
             if self._shutdown:
                 return _pack_frame(MSG_SHUTDOWN, 0)
-            if not self._pending:
+            if self._pending:
+                envelope = self._pick_task_locked(capacity)
+                self._outstanding[envelope.shard_id] = (
+                    connection_id, time.monotonic(), envelope,
+                )
+                return _pack_frame(MSG_TASK, envelope.shard_id, envelope.payload)
+            if not park:
                 return _pack_frame(MSG_IDLE, 0)
-            envelope = self._pending.popleft()
-            self._outstanding[envelope.shard_id] = (
-                connection_id, time.monotonic(), envelope,
+            self._waiters.append(
+                _Waiter(self._next_waiter_order, connection_id, capacity, writer)
             )
-            return _pack_frame(MSG_TASK, envelope.shard_id, envelope.payload)
+            self._next_waiter_order += 1
+            return None
+
+    def _receive_summary(self, shard_id: int, payload: bytes) -> None:
+        if self._auth is not None:
+            try:
+                payload = self._auth.verify(payload)
+            except AuthenticationError:
+                # Reject and count; the shard stays outstanding, so the
+                # lease-expiry requeue recovers it through another delivery.
+                with self._state_lock:
+                    self.rejected += 1
+                return
+        with self._state_lock:
+            self._outstanding.pop(shard_id, None)
+        self._summaries.put(SummaryEnvelope(shard_id=shard_id, payload=payload))
+
+    def _push_pending_locked(self, envelope: TaskEnvelope) -> None:
+        entry = (envelope.cost, envelope.shard_id, self._pending_seq, envelope)
+        self._pending_seq += 1
+        bisect.insort(self._pending, entry)
+
+    def _pick_task_locked(self, capacity: int) -> TaskEnvelope:
+        """Pop the pending task best matching a claimant's capacity.
+
+        The fleet's fastest claimants (capacity equal to the highest hint
+        currently known) receive the most expensive pending shard; everyone
+        else receives the cheapest.  Ties break on (shard id, publish
+        order), so assignment is deterministic for a given claim order.
+        """
+        fleet_max = max(self._capacities.values(), default=capacity)
+        if capacity >= fleet_max:
+            return self._pending.pop()[3]
+        return self._pending.pop(0)[3]
+
+    def _dispatch(self) -> None:
+        """Match pending tasks to parked waiters (event-loop thread only)."""
+        sends: List[Tuple[asyncio.StreamWriter, bytes]] = []
+        with self._state_lock:
+            if self._shutdown:
+                for waiter in self._waiters:
+                    sends.append((waiter.writer, _pack_frame(MSG_SHUTDOWN, 0)))
+                self._waiters.clear()
+            else:
+                while self._pending and self._waiters:
+                    # Highest capacity first; FIFO among equals.
+                    waiter = max(
+                        self._waiters, key=lambda w: (w.capacity, -w.order)
+                    )
+                    self._waiters.remove(waiter)
+                    envelope = self._pick_task_locked(waiter.capacity)
+                    self._outstanding[envelope.shard_id] = (
+                        waiter.connection_id, time.monotonic(), envelope,
+                    )
+                    sends.append((
+                        waiter.writer,
+                        _pack_frame(MSG_TASK, envelope.shard_id, envelope.payload),
+                    ))
+        for writer, frame in sends:
+            try:
+                writer.write(frame)
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass  # the drop is handled by the connection's own handler
+
+    def _wake_broker(self) -> None:
+        """Schedule a dispatch pass from a non-loop thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                loop.call_soon_threadsafe(self._dispatch)
+            except RuntimeError:  # pragma: no cover - loop shut down mid-call
+                pass
 
     def _requeue_connection(self, connection_id: int) -> None:
         """A connection died: its outstanding tasks become claimable again."""
         with self._state_lock:
+            self._capacities.pop(connection_id, None)
+            self._waiters = [
+                w for w in self._waiters if w.connection_id != connection_id
+            ]
+            requeued = False
             for shard_id, (owner, _, envelope) in list(self._outstanding.items()):
                 if owner == connection_id:
                     del self._outstanding[shard_id]
-                    self._pending.append(envelope)
+                    self._push_pending_locked(envelope)
+                    requeued = True
+        if requeued:
+            self._dispatch()
 
     # ------------------------------------------------------------------ #
     # Coordinator side (called from the coordinator thread)
@@ -225,11 +408,23 @@ class SocketTransport(Transport):
             raise TransportError("broker is not listening")
         return self._address
 
+    def capacity_hints(self) -> Dict[int, int]:
+        """Capacity last advertised by each live connection, by connection id."""
+        with self._state_lock:
+            return dict(self._capacities)
+
     def publish(self, envelope: TaskEnvelope) -> None:
+        if self._auth is not None:
+            envelope = TaskEnvelope(
+                shard_id=envelope.shard_id,
+                payload=self._auth.sign(envelope.payload),
+                cost=envelope.cost,
+            )
         with self._state_lock:
             if self._shutdown:
                 raise TransportError("transport is closed")
-            self._pending.append(envelope)
+            self._push_pending_locked(envelope)
+        self._wake_broker()
 
     def poll_summary(self, timeout: float = 0.0) -> Optional[SummaryEnvelope]:
         try:
@@ -246,13 +441,17 @@ class SocketTransport(Transport):
             for shard_id, (_, leased_at, envelope) in list(self._outstanding.items()):
                 if now - leased_at >= lease_timeout:
                     del self._outstanding[shard_id]
-                    self._pending.append(envelope)
+                    self._push_pending_locked(envelope)
                     reclaimed.append(shard_id)
+        if reclaimed:
+            self._wake_broker()
         return reclaimed
 
-    def worker(self) -> "SocketWorker":
+    def worker(self, capacity: int = 1, mode: str = "blocking") -> "SocketWorker":
         host, port = self.address
-        return SocketWorker(host, port)
+        return SocketWorker(
+            host, port, auth=self._auth, capacity=capacity, mode=mode
+        )
 
     def close(self) -> None:
         with self._state_lock:
@@ -260,20 +459,64 @@ class SocketTransport(Transport):
                 return
             self._shutdown = True
         if self._loop is not None and self._loop.is_running():
+            # Wake parked workers with SHUTDOWN while the loop still runs,
+            # then stop it (call_soon_threadsafe callbacks run in order).
+            self._loop.call_soon_threadsafe(self._dispatch)
             self._loop.call_soon_threadsafe(self._stop_event.set)
         self._thread.join(timeout=5.0)
 
 
 class SocketWorker(WorkerEndpoint):
-    """Worker endpoint: a blocking TCP client of the broker."""
+    """Worker endpoint: a blocking TCP client of the broker.
+
+    Parameters
+    ----------
+    capacity:
+        Relative throughput hint advertised with every claim; the broker
+        hands the largest pending shards to the fleet's highest hint.
+    mode:
+        ``"blocking"`` (default) parks at the broker until work exists —
+        an idle worker sends no frames at all.  ``"poll"`` restores the
+        READY/IDLE request-response exchange per claim attempt.
+    auth:
+        Optional :class:`~repro.distributed.auth.PayloadAuthenticator`
+        matching the broker's; task payloads that fail verification are
+        counted in :attr:`rejected` and skipped, and summary payloads are
+        signed before delivery.
+    """
 
     def __init__(
-        self, host: str, port: int, connect_timeout: float = 10.0
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        auth: Optional[PayloadAuthenticator] = None,
+        capacity: int = 1,
+        mode: str = "blocking",
     ) -> None:
+        if mode not in ("blocking", "poll"):
+            raise TransportError(
+                f"claim mode must be 'blocking' or 'poll', got {mode!r}"
+            )
+        self._auth = auth
+        self._capacity = max(1, min(int(capacity), _MAX_CAPACITY))
+        self._mode = mode
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         self._sock.settimeout(None)
         self._lock = threading.Lock()
         self._shutdown_seen = False
+        #: Whether a blocking READY is parked at the broker without a
+        #: response yet (a timed-out claim leaves it parked; the next claim
+        #: keeps waiting instead of sending another frame).
+        self._ready_outstanding = False
+        #: READY/POLL frames sent so far — the idle-chatter metric.
+        self.claim_frames_sent = 0
+        #: Task payloads dropped because they failed verification.
+        self.rejected = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
     def claim(self, timeout: float = 0.0) -> Optional[TaskEnvelope]:
         deadline = time.monotonic() + max(0.0, timeout)
@@ -282,25 +525,59 @@ class SocketWorker(WorkerEndpoint):
                 return None
             try:
                 with self._lock:
-                    self._sock.sendall(_pack_frame(MSG_READY, 0))
-                    msg_type, shard_id, payload = _read_frame_blocking(self._sock)
+                    if self._mode == "blocking":
+                        received = self._blocking_exchange(deadline)
+                    else:
+                        received = self._poll_exchange()
+            except _ReceiveTimeout:
+                return None
             except (TransportError, ConnectionError, OSError):
                 # The broker went away: for a worker that is between tasks
                 # this is indistinguishable from an orderly SHUTDOWN.
                 self._shutdown_seen = True
                 return None
-            if msg_type == MSG_TASK:
-                return TaskEnvelope(shard_id=shard_id, payload=payload)
-            if msg_type == MSG_SHUTDOWN:
-                self._shutdown_seen = True
-                return None
-            if msg_type != MSG_IDLE:
-                raise TransportError(f"unexpected broker message type {msg_type}")
+            if received is not None:
+                msg_type, shard_id, payload = received
+                if msg_type == MSG_TASK:
+                    if self._auth is not None:
+                        try:
+                            payload = self._auth.verify(payload)
+                        except AuthenticationError:
+                            self.rejected += 1
+                            continue  # ask again; the lease recovers the shard
+                    return TaskEnvelope(shard_id=shard_id, payload=payload)
+                if msg_type == MSG_SHUTDOWN:
+                    self._shutdown_seen = True
+                    return None
+                if msg_type != MSG_IDLE:
+                    raise TransportError(
+                        f"unexpected broker message type {msg_type}"
+                    )
             if time.monotonic() >= deadline:
                 return None
-            time.sleep(0.02)
+            if self._mode == "poll":
+                time.sleep(0.02)
+
+    def _blocking_exchange(
+        self, deadline: float
+    ) -> Optional[Tuple[int, int, bytes]]:
+        """Send READY once, then wait (bounded) for the broker's push."""
+        if not self._ready_outstanding:
+            self._sock.sendall(_pack_frame(MSG_READY, self._capacity))
+            self.claim_frames_sent += 1
+            self._ready_outstanding = True
+        frame = _read_frame_blocking(self._sock, deadline)
+        self._ready_outstanding = False
+        return frame
+
+    def _poll_exchange(self) -> Optional[Tuple[int, int, bytes]]:
+        self._sock.sendall(_pack_frame(MSG_POLL, self._capacity))
+        self.claim_frames_sent += 1
+        return _read_frame_blocking(self._sock)
 
     def complete(self, shard_id: int, payload: bytes) -> None:
+        if self._auth is not None:
+            payload = self._auth.sign(payload)
         with self._lock:
             self._sock.sendall(_pack_frame(MSG_SUMMARY, shard_id, payload))
 

@@ -30,7 +30,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from .codec import TransportError
 
@@ -45,10 +45,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TaskEnvelope:
-    """One task payload in flight, addressed by its shard id."""
+    """One task payload in flight, addressed by its shard id.
+
+    ``cost`` is the coordinator's estimate of how much work the task holds
+    (the shard's user count).  It never crosses the wire — capacity-aware
+    transports use it locally to hand the biggest pending shards to the
+    workers advertising the most capacity; the default of ``1.0`` keeps
+    hand-built envelopes order-neutral.
+    """
 
     shard_id: int
     payload: bytes
+    cost: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -108,6 +116,19 @@ class Transport(abc.ABC):
     @abc.abstractmethod
     def worker(self) -> WorkerEndpoint:
         """Build a worker endpoint attached to this transport's queue."""
+
+    def missing_tasks(self, shard_ids: Sequence[int]) -> List[int]:
+        """Of ``shard_ids``, the shards this transport has *lost track of*.
+
+        A lost shard is neither pending, nor claimed/outstanding, nor already
+        summarized — the state a file-queue shard reaches when its task file
+        vanishes (deleted by an operator, or destroyed by a worker that
+        rejected a tampered payload).  The coordinator republishes its
+        authentic copy of every lost shard.  Transports whose tasks cannot
+        vanish (in-memory queues, the TCP broker) keep the default: nothing
+        is ever lost, so nothing is republished.
+        """
+        return []
 
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release coordinator-side resources (idempotent)."""

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -48,6 +48,7 @@ __all__ = [
     "ShardTask",
     "make_shard_tasks",
     "result_from_summaries",
+    "shard_boundaries",
     "simulate_protocol",
     "simulate_protocol_sharded",
     "simulate_with_clients",
@@ -233,11 +234,57 @@ def _resolve_protocol(
     return protocol_or_spec
 
 
+def shard_boundaries(
+    n_users: int, n_shards: int, weights: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """Population split points for ``n_shards`` contiguous user shards.
+
+    With ``weights`` (one positive number per shard — e.g. per-worker
+    capacity hints) shard ``i`` covers a population slice proportional to
+    ``weights[i]``; ``None`` splits evenly.  The result is a pure function
+    of ``(n_users, n_shards, weights)``: every shard is guaranteed at least
+    one user (rounding never collapses a tiny weight to an empty slice,
+    which no engine could run), and equal inputs yield identical boundaries
+    on every host.
+    """
+    n_shards = require_int_at_least(n_shards, 1, "n_shards")
+    if n_shards > n_users:
+        raise ExperimentError(
+            f"cannot split {n_users} users into {n_shards} shards"
+        )
+    if weights is None:
+        return np.linspace(0, n_users, n_shards + 1).astype(np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (n_shards,):
+        raise ExperimentError(
+            f"expected one weight per shard (shape ({n_shards},)), "
+            f"got shape {weights.shape}"
+        )
+    if not np.all(np.isfinite(weights)) or np.any(weights <= 0.0):
+        raise ExperimentError("shard weights must be positive and finite")
+    cumulative = np.concatenate([[0.0], np.cumsum(weights)]) / weights.sum()
+    boundaries = np.rint(cumulative * n_users).astype(np.int64)
+    boundaries[0] = 0
+    boundaries[-1] = n_users
+    # Restore strict monotonicity after rounding: push collapsed boundaries
+    # right, then pull any overshoot back from the right edge.  Equivalent to
+    # clamping boundary i into [i, n_users - (n_shards - i)].
+    for i in range(1, n_shards + 1):
+        if boundaries[i] <= boundaries[i - 1]:
+            boundaries[i] = boundaries[i - 1] + 1
+    boundaries[-1] = n_users  # the forward pass may have pushed past the end
+    for i in range(n_shards - 1, 0, -1):
+        if boundaries[i] >= boundaries[i + 1]:
+            boundaries[i] = boundaries[i + 1] - 1
+    return boundaries
+
+
 def make_shard_tasks(
     spec: ProtocolSpec,
     dataset: LongitudinalDataset,
     n_shards: int,
     rng: RngLike = None,
+    weights: Optional[Sequence[float]] = None,
 ) -> List[ShardTask]:
     """Split ``dataset`` into ``n_shards`` contiguous shard work units.
 
@@ -245,14 +292,16 @@ def make_shard_tasks(
     seeded by the ``i``-th child of the root seed — a pure function of
     ``(rng, n_shards, i)``, so any executor (process pool, file queue, TCP
     worker, a retry after a crash) reproduces the identical summary.
+
+    ``weights`` sizes the shards proportionally (see :func:`shard_boundaries`)
+    for heterogeneous fleets.  Seed derivation is *full-grid*: the ``i``-th
+    shard always takes the ``i``-th child seed regardless of the weighting,
+    so for a fixed ``(rng, n_shards, weights)`` the resulting estimates are
+    bit-identical whether the tasks run serially, on a process pool or on
+    any distributed worker fleet.
     """
-    n_shards = require_int_at_least(n_shards, 1, "n_shards")
-    if n_shards > dataset.n_users:
-        raise ExperimentError(
-            f"cannot split {dataset.n_users} users into {n_shards} shards"
-        )
-    shard_seeds = derive_seed_sequences(rng, n_shards)
-    boundaries = np.linspace(0, dataset.n_users, n_shards + 1).astype(np.int64)
+    boundaries = shard_boundaries(dataset.n_users, n_shards, weights)
+    shard_seeds = derive_seed_sequences(rng, len(boundaries) - 1)
     return [
         ShardTask(
             spec=spec,
@@ -296,6 +345,7 @@ def simulate_protocol_sharded(
     n_workers: int = 1,
     transport=None,
     lease_timeout: float = 30.0,
+    weights: Optional[Sequence[float]] = None,
 ) -> SimulationResult:
     """Simulate ``protocol`` by splitting the population into user shards.
 
@@ -321,6 +371,12 @@ def simulate_protocol_sharded(
     work`` processes), crashed workers' shards are requeued after
     ``lease_timeout`` seconds, and the estimates remain bit-identical to the
     serial path.
+
+    ``weights`` sizes the shards proportionally for heterogeneous fleets
+    (see :func:`shard_boundaries`); for a fixed weighting the estimates stay
+    bit-identical across every execution mode, because seed derivation is
+    full-grid (shard ``i`` owns child seed ``i`` no matter how large its
+    slice is).
     """
     resolved = _resolve_protocol(protocol, dataset.k)
     _check_domains(resolved, dataset)
@@ -340,7 +396,7 @@ def simulate_protocol_sharded(
         # runtime import: repro.distributed builds on this module
         from ..distributed import Coordinator, local_worker_threads
 
-        tasks = make_shard_tasks(protocol, dataset, n_shards, rng)
+        tasks = make_shard_tasks(protocol, dataset, n_shards, rng, weights=weights)
         coordinator = Coordinator(tasks, transport, lease_timeout=lease_timeout)
         with local_worker_threads(transport, n_workers, dataset=dataset) as pool:
             # Abort (instead of polling forever) if every local worker died;
@@ -356,7 +412,7 @@ def simulate_protocol_sharded(
 
     summaries: List[ShardSummary]
     if isinstance(protocol, ProtocolSpec):
-        tasks = make_shard_tasks(protocol, dataset, n_shards, rng)
+        tasks = make_shard_tasks(protocol, dataset, n_shards, rng, weights=weights)
         if n_workers == 1:
             summaries = [run_shard_task(task, dataset) for task in tasks]
         else:
@@ -370,7 +426,7 @@ def simulate_protocol_sharded(
                 summaries = list(pool.map(run_shard_task, tasks))
     else:
         shard_seeds = derive_seed_sequences(rng, n_shards)
-        boundaries = np.linspace(0, dataset.n_users, n_shards + 1).astype(np.int64)
+        boundaries = shard_boundaries(dataset.n_users, n_shards, weights)
         summaries = []
         for shard, seed in enumerate(shard_seeds):
             generator = np.random.default_rng(seed)

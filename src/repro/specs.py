@@ -447,6 +447,17 @@ class CollectionSpec:
         bit for bit.
     name:
         Collection id used in logs and output file names.
+    shard_weights:
+        Optional per-shard sizing weights (one positive number per shard,
+        e.g. worker capacity hints) for heterogeneous fleets; ``None``
+        splits the population evenly.  See
+        :func:`repro.simulation.runner.shard_boundaries`.
+    auth_key_env:
+        Name of the environment variable holding the shared HMAC secret for
+        payload authentication (see :mod:`repro.distributed.auth`).  Only
+        the *name* is serialized — the key itself is resolved from the
+        environment on each endpoint and never stored in the spec JSON.
+        ``None`` runs unauthenticated.
     """
 
     protocol: ProtocolSpec
@@ -455,6 +466,8 @@ class CollectionSpec:
     n_shards: int = 1
     seed: int = 20230328
     name: str = "collection"
+    shard_weights: Optional[Tuple[float, ...]] = None
+    auth_key_env: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.protocol, ProtocolSpec):
@@ -471,9 +484,26 @@ class CollectionSpec:
         require_int_at_least(self.n_shards, 1, "n_shards")
         if not isinstance(self.name, str) or not self.name:
             raise ParameterError("collection name must be a non-empty string")
+        if self.shard_weights is not None:
+            weights = tuple(float(w) for w in self.shard_weights)
+            if len(weights) != self.n_shards:
+                raise ParameterError(
+                    f"shard_weights needs one weight per shard "
+                    f"({self.n_shards}), got {len(weights)}"
+                )
+            for weight in weights:
+                require_positive(weight, "shard weight")
+            object.__setattr__(self, "shard_weights", weights)
+        if self.auth_key_env is not None and (
+            not isinstance(self.auth_key_env, str) or not self.auth_key_env
+        ):
+            raise ParameterError(
+                "auth_key_env must be a non-empty environment variable name "
+                "or None"
+            )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "protocol": self.protocol.to_dict(),
             "dataset": self.dataset,
@@ -481,6 +511,11 @@ class CollectionSpec:
             "n_shards": self.n_shards,
             "seed": self.seed,
         }
+        if self.shard_weights is not None:
+            payload["shard_weights"] = list(self.shard_weights)
+        if self.auth_key_env is not None:
+            payload["auth_key_env"] = self.auth_key_env
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CollectionSpec":
@@ -488,7 +523,10 @@ class CollectionSpec:
             raise ParameterError(
                 f"a collection spec must be a mapping, got {type(payload).__name__}"
             )
-        known = {"name", "protocol", "dataset", "dataset_scale", "n_shards", "seed"}
+        known = {
+            "name", "protocol", "dataset", "dataset_scale", "n_shards", "seed",
+            "shard_weights", "auth_key_env",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ParameterError(
@@ -500,9 +538,11 @@ class CollectionSpec:
         kwargs: Dict[str, object] = {
             "protocol": ProtocolSpec.from_dict(payload["protocol"])
         }
-        for optional in ("name", "dataset", "dataset_scale", "n_shards", "seed"):
+        for optional in ("name", "dataset", "dataset_scale", "n_shards", "seed", "auth_key_env"):
             if optional in payload:
                 kwargs[optional] = payload[optional]
+        if "shard_weights" in payload and payload["shard_weights"] is not None:
+            kwargs["shard_weights"] = tuple(payload["shard_weights"])
         return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:

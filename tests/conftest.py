@@ -16,6 +16,7 @@ from repro.longitudinal import (
     LSUE,
     OLOLOHA,
 )
+from repro.specs import CollectionSpec, ProtocolSpec, SweepSpec
 
 
 @pytest.fixture
@@ -44,6 +45,72 @@ def tiny_dataset():
 def syn_dataset():
     """A scaled-down version of the paper's Syn dataset."""
     return make_syn(n_users=800, n_rounds=10, k=60, rng=3)
+
+
+@pytest.fixture
+def oneshot_dataset():
+    """A single-round workload: the one-shot collection degenerate case."""
+    return make_uniform_changing(
+        k=16, n_users=200, n_rounds=1, change_probability=0.5, name="oneshot", rng=3
+    )
+
+
+@pytest.fixture
+def queue_dir(tmp_path):
+    """A per-test spool directory for file-queue transports."""
+    return tmp_path / "queue"
+
+
+@pytest.fixture
+def write_collection_spec(tmp_path):
+    """Factory: build a small CollectionSpec and save it as JSON.
+
+    Returns ``(spec, path)``; keyword overrides replace the defaults (a
+    3-shard L-OSUE collection over the scaled-down ``syn`` dataset).
+    """
+
+    def _write(**overrides):
+        fields = dict(
+            protocol=ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5),
+            dataset="syn",
+            dataset_scale=0.02,
+            n_shards=3,
+            seed=20230328,
+            name="test-collection",
+        )
+        fields.update(overrides)
+        spec = CollectionSpec(**fields)
+        return spec, spec.save(tmp_path / f"{spec.name}.json")
+
+    return _write
+
+
+@pytest.fixture
+def write_sweep_grid(tmp_path):
+    """Factory: build a small two-protocol SweepSpec and save it as JSON.
+
+    Returns the saved path; keyword overrides replace the defaults.
+    """
+
+    def _write(**overrides):
+        fields = dict(
+            name="cli",
+            protocols=(
+                ProtocolSpec(name="L-OSUE"),
+                ProtocolSpec(name="dBitFlipPM", label="1BitFlipPM", params={"d": 1}),
+            ),
+            eps_inf_values=(0.5, 2.0),
+            alpha_values=(0.5,),
+            datasets=("syn",),
+            n_runs=1,
+            dataset_scale=0.02,
+            seed=11,
+        )
+        fields.update(overrides)
+        spec = SweepSpec(**fields)
+        return spec.save(tmp_path / "grid.json")
+
+    return _write
 
 
 def _protocol_factories(k: int):

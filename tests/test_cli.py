@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.specs import ProtocolSpec, SweepSpec, load_sweep_spec
+from repro.specs import SweepSpec, load_sweep_spec
 
 
 class TestParser:
@@ -76,26 +76,9 @@ class TestCommands:
         assert "Table 2" in capsys.readouterr().out
 
 
-def _write_grid(path, n_runs=1):
-    spec = SweepSpec(
-        name="cli",
-        protocols=(
-            ProtocolSpec(name="L-OSUE"),
-            ProtocolSpec(name="dBitFlipPM", label="1BitFlipPM", params={"d": 1}),
-        ),
-        eps_inf_values=(0.5, 2.0),
-        alpha_values=(0.5,),
-        datasets=("syn",),
-        n_runs=n_runs,
-        dataset_scale=0.02,
-        seed=11,
-    )
-    return spec.save(path)
-
-
 class TestSweepCommand:
-    def test_sweep_streams_grid_to_csv(self, capsys, tmp_path):
-        grid = _write_grid(tmp_path / "grid.json")
+    def test_sweep_streams_grid_to_csv(self, capsys, tmp_path, write_sweep_grid):
+        grid = write_sweep_grid()
         out = tmp_path / "out"
         assert main(["sweep", "--spec", str(grid), "--output-dir", str(out)]) == 0
         output = capsys.readouterr().out
@@ -107,16 +90,16 @@ class TestSweepCommand:
         assert len(lines) == 6
         assert lines[0].startswith("# sweep_spec_fingerprint=")
 
-    def test_sweep_csv_fingerprint_matches_spec(self, tmp_path):
-        grid = _write_grid(tmp_path / "grid.json")
+    def test_sweep_csv_fingerprint_matches_spec(self, tmp_path, write_sweep_grid):
+        grid = write_sweep_grid()
         out = tmp_path / "out"
         main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
         comment = (out / "cli_syn.csv").read_text().splitlines()[0]
         spec = load_sweep_spec(grid)
         assert comment == f"# sweep_spec_fingerprint={spec.fingerprint()}"
 
-    def test_sweep_resume_recomputes_only_missing_points(self, capsys, tmp_path):
-        grid = _write_grid(tmp_path / "grid.json")
+    def test_sweep_resume_recomputes_only_missing_points(self, capsys, tmp_path, write_sweep_grid):
+        grid = write_sweep_grid()
         out = tmp_path / "out"
         main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
         capsys.readouterr()
@@ -136,9 +119,9 @@ class TestSweepCommand:
         # same derived streams.
         assert csv_path.read_text() == full
 
-    def test_sweep_resume_refuses_csv_from_a_different_spec(self, capsys, tmp_path):
+    def test_sweep_resume_refuses_csv_from_a_different_spec(self, capsys, tmp_path, write_sweep_grid):
         """A fingerprinted CSV written by a different grid must be refused."""
-        grid = _write_grid(tmp_path / "grid.json")
+        grid = write_sweep_grid()
         out = tmp_path / "out"
         main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
         capsys.readouterr()
@@ -156,10 +139,10 @@ class TestSweepCommand:
         assert (out / "cli_syn.csv").read_text() == before
 
     def test_sweep_resume_warns_on_legacy_csv_without_fingerprint(
-        self, capsys, tmp_path
+        self, capsys, tmp_path, write_sweep_grid
     ):
         """Pre-fingerprint CSVs still resume (per-row key intersection only)."""
-        grid = _write_grid(tmp_path / "grid.json")
+        grid = write_sweep_grid()
         out = tmp_path / "out"
         main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
         capsys.readouterr()
@@ -175,8 +158,8 @@ class TestSweepCommand:
         assert "no spec fingerprint" in output
         assert "2 already complete" in output and "2 to run" in output
 
-    def test_sweep_resume_noop_when_complete(self, capsys, tmp_path):
-        grid = _write_grid(tmp_path / "grid.json")
+    def test_sweep_resume_noop_when_complete(self, capsys, tmp_path, write_sweep_grid):
+        grid = write_sweep_grid()
         out = tmp_path / "out"
         main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
         capsys.readouterr()
@@ -185,8 +168,8 @@ class TestSweepCommand:
         ) == 0
         assert "nothing to do" in capsys.readouterr().out
 
-    def test_sweep_without_resume_refuses_existing_csv(self, capsys, tmp_path):
-        grid = _write_grid(tmp_path / "grid.json")
+    def test_sweep_without_resume_refuses_existing_csv(self, capsys, tmp_path, write_sweep_grid):
+        grid = write_sweep_grid()
         out = tmp_path / "out"
         main(["sweep", "--spec", str(grid), "--output-dir", str(out)])
         capsys.readouterr()
@@ -194,7 +177,7 @@ class TestSweepCommand:
         assert code == 2
         assert "already exist" in capsys.readouterr().err
 
-    def test_sweep_with_bad_spec_file_fails_cleanly(self, capsys, tmp_path):
+    def test_sweep_with_bad_spec_file_fails_cleanly(self, capsys, tmp_path, write_sweep_grid):
         bad = tmp_path / "bad.json"
         bad.write_text("{broken", encoding="utf-8")
         code = main(["sweep", "--spec", str(bad), "--output-dir", str(tmp_path / "o")])

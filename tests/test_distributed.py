@@ -1,9 +1,11 @@
 """Tests for the distributed collection subsystem.
 
 Covers the wire codec, the three transports (in-process, file spool, TCP
-broker), the fault-tolerant coordinator — worker crash with lease-expiry
-requeue, duplicate summary delivery, out-of-order arrival, coordinator
-checkpoint/restore — and the end-to-end bit-identity of
+broker) across their modes (blocking vs poll claims, HMAC authentication on
+and off), payload tampering and capacity-aware weighted sharding, the
+fault-tolerant coordinator — worker crash with lease-expiry requeue,
+duplicate summary delivery, out-of-order arrival, vanished-task republish,
+coordinator checkpoint/restore — and the end-to-end bit-identity of
 ``simulate_protocol_sharded(transport=...)`` against the serial path for a
 one-shot (single-round) and a longitudinal workload.
 """
@@ -14,16 +16,19 @@ import time
 import numpy as np
 import pytest
 
-from repro.datasets import make_uniform_changing
 from repro.distributed import (
+    AuthenticationError,
     Coordinator,
     DatasetRef,
     FileQueueTransport,
     FileQueueWorker,
     InProcessTransport,
+    PayloadAuthenticator,
     SocketTransport,
     SummaryEnvelope,
+    TaskEnvelope,
     TransportError,
+    authenticator_from_env,
     decode_summary,
     decode_task,
     encode_summary,
@@ -37,6 +42,7 @@ from repro.simulation.runner import (
     make_shard_tasks,
     result_from_summaries,
     run_shard_task,
+    shard_boundaries,
     simulate_protocol_sharded,
 )
 from repro.specs import CollectionSpec, ProtocolSpec
@@ -44,13 +50,27 @@ from repro.specs import CollectionSpec, ProtocolSpec
 LONGITUDINAL_SPEC = ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5)
 ONESHOT_SPEC = ProtocolSpec(name="L-GRR", eps_inf=1.0, alpha=0.5)
 
+AUTH_KEY = PayloadAuthenticator(b"transport-test-secret")
+OTHER_KEY = PayloadAuthenticator(b"a-different-secret")
 
-@pytest.fixture
-def oneshot_dataset():
-    """A single-round workload: the one-shot collection degenerate case."""
-    return make_uniform_changing(
-        k=16, n_users=200, n_rounds=1, change_probability=0.5, name="oneshot", rng=3
-    )
+#: Transport/worker configurations the contract suite runs over: the three
+#: media, with and without payload authentication, and both socket claim
+#: modes.  Each value is ``(transport factory, worker kwargs)``.
+TRANSPORT_MODES = {
+    "inprocess": (lambda tmp_path: InProcessTransport(), {}),
+    "file": (lambda tmp_path: FileQueueTransport(tmp_path / "queue"), {}),
+    "file-auth": (
+        lambda tmp_path: FileQueueTransport(tmp_path / "queue", auth=AUTH_KEY),
+        {},
+    ),
+    "socket": (lambda tmp_path: SocketTransport(), {}),
+    "socket-poll": (lambda tmp_path: SocketTransport(), {"mode": "poll"}),
+    "socket-auth": (lambda tmp_path: SocketTransport(auth=AUTH_KEY), {}),
+    "socket-auth-poll": (
+        lambda tmp_path: SocketTransport(auth=AUTH_KEY),
+        {"mode": "poll"},
+    ),
+}
 
 
 def _file_transport(tmp_path):
@@ -105,27 +125,24 @@ class TestCodec:
 # Transport contract (shared behaviours)
 # --------------------------------------------------------------------- #
 class TestTransportContract:
-    @pytest.fixture(params=["inprocess", "file", "socket"])
-    def transport(self, request, tmp_path):
-        if request.param == "inprocess":
-            transport = InProcessTransport()
-        elif request.param == "file":
-            transport = _file_transport(tmp_path)
-        else:
-            transport = SocketTransport()
-        yield transport
+    @pytest.fixture(params=sorted(TRANSPORT_MODES))
+    def endpoints(self, request, tmp_path):
+        """One transport plus a matching worker factory, per mode."""
+        factory, worker_kwargs = TRANSPORT_MODES[request.param]
+        transport = factory(tmp_path)
+        yield transport, (lambda: transport.worker(**worker_kwargs))
         transport.close()
 
-    def test_publish_claim_complete_poll(self, transport, tiny_dataset):
+    def test_publish_claim_complete_poll(self, endpoints, tiny_dataset):
+        transport, make_worker = endpoints
         task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
         payload = encode_task(0, task)
-        from repro.distributed import TaskEnvelope
-
         transport.publish(TaskEnvelope(shard_id=0, payload=payload))
-        worker = transport.worker()
+        worker = make_worker()
         try:
             envelope = worker.claim(timeout=5.0)
             assert envelope is not None and envelope.shard_id == 0
+            # Auth wrapping is transparent: endpoints hand out bare payloads.
             assert envelope.payload == payload
             summary = run_shard_task(decode_task(envelope.payload)[1], tiny_dataset)
             worker.complete(0, encode_summary(0, summary))
@@ -135,22 +152,22 @@ class TestTransportContract:
         finally:
             worker.close()
 
-    def test_claim_times_out_when_empty(self, transport):
-        worker = transport.worker()
+    def test_claim_times_out_when_empty(self, endpoints):
+        transport, make_worker = endpoints
+        worker = make_worker()
         try:
             assert worker.claim(timeout=0.05) is None
         finally:
             worker.close()
 
-    def test_abandoned_claim_is_reclaimed(self, transport, tiny_dataset):
+    def test_abandoned_claim_is_reclaimed(self, endpoints, tiny_dataset):
+        transport, make_worker = endpoints
         task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
-        from repro.distributed import TaskEnvelope
-
         transport.publish(TaskEnvelope(shard_id=0, payload=encode_task(0, task)))
-        doomed = transport.worker()
+        doomed = make_worker()
         assert doomed.claim(timeout=5.0) is not None
         # The worker dies without completing; nothing is claimable ...
-        second = transport.worker()
+        second = make_worker()
         try:
             assert second.claim(timeout=0.05) is None
             # ... until the lease expires and the shard is requeued.
@@ -163,13 +180,397 @@ class TestTransportContract:
             doomed.close()
             second.close()
 
+    def test_end_to_end_bit_identity(self, endpoints, tiny_dataset):
+        """Every transport mode reproduces the serial estimates bit for bit."""
+        transport, make_worker = endpoints
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=3, rng=9
+        )
+        coordinator = Coordinator(
+            make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 3, rng=9),
+            transport,
+            lease_timeout=10.0,
+        )
+        coordinator.publish_pending()
+        worker = make_worker()
+        try:
+            run_worker(worker, dataset=tiny_dataset, max_tasks=3, idle_timeout=5.0)
+        finally:
+            worker.close()
+        coordinator.drain(idle_timeout=2.0)
+        assert coordinator.is_complete
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+
+
+# --------------------------------------------------------------------- #
+# Payload authentication
+# --------------------------------------------------------------------- #
+class TestAuthentication:
+    def test_sign_verify_round_trip(self):
+        payload = b'{"shard": 1}'
+        blob = AUTH_KEY.sign(payload)
+        assert blob != payload
+        assert AUTH_KEY.verify(blob) == payload
+
+    def test_every_flipped_byte_is_rejected(self):
+        """Tampering with any byte of a signed frame — magic, tag or payload
+        — must fail verification."""
+        blob = AUTH_KEY.sign(b"payload-bytes")
+        for position in range(len(blob)):
+            tampered = bytearray(blob)
+            tampered[position] ^= 0x01
+            with pytest.raises(AuthenticationError):
+                AUTH_KEY.verify(bytes(tampered))
+
+    def test_unsigned_and_wrong_key_rejected(self):
+        with pytest.raises(AuthenticationError, match="not signed"):
+            AUTH_KEY.verify(b'{"kind": "repro-shard-task"}')
+        with pytest.raises(AuthenticationError, match="does not verify"):
+            AUTH_KEY.verify(OTHER_KEY.sign(b"payload"))
+
+    def test_authenticator_from_env(self, monkeypatch):
+        assert authenticator_from_env(None) is None
+        monkeypatch.delenv("REPRO_TEST_AUTH_KEY", raising=False)
+        with pytest.raises(TransportError, match="is not set"):
+            authenticator_from_env("REPRO_TEST_AUTH_KEY")
+        monkeypatch.setenv("REPRO_TEST_AUTH_KEY", "sekrit")
+        auth = authenticator_from_env("REPRO_TEST_AUTH_KEY")
+        assert auth.verify(auth.sign(b"x")) == b"x"
+
+    def test_tampered_summary_file_rejected_and_counted(
+        self, queue_dir, tiny_dataset
+    ):
+        """Flip one byte of a signed summary on disk: the scan rejects it,
+        counts it and the collection recovers through a clean redelivery."""
+        transport = FileQueueTransport(queue_dir, auth=AUTH_KEY)
+        task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
+        transport.publish(TaskEnvelope(shard_id=0, payload=encode_task(0, task)))
+        worker = transport.worker()
+        envelope = worker.claim(timeout=5.0)
+        summary = run_shard_task(decode_task(envelope.payload)[1], tiny_dataset)
+        worker.complete(0, encode_summary(0, summary))
+
+        summary_path = queue_dir / "summaries" / "summary-000000.npz"
+        tampered = bytearray(summary_path.read_bytes())
+        tampered[len(tampered) // 2] ^= 0xFF
+        summary_path.write_bytes(bytes(tampered))
+
+        assert transport.poll_summary(timeout=0.2) is None
+        assert transport.rejected == 1
+        # Each bad file version is counted once, not once per poll.
+        assert transport.poll_summary(timeout=0.2) is None
+        assert transport.rejected == 1
+
+        # An honest worker redelivers; the replacement file verifies.
+        worker.complete(0, encode_summary(0, summary))
+        received = transport.poll_summary(timeout=5.0)
+        assert received is not None and received.shard_id == 0
+        assert decode_summary(received.payload)[0] == 0
+
+    def test_tampered_task_file_rejected_and_republished(
+        self, queue_dir, tiny_dataset
+    ):
+        """Flip one byte of a signed task file: the worker refuses to execute
+        it, destroys the claim, and the coordinator republishes its authentic
+        copy — the run completes bit-identical, nothing crashes."""
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=3, rng=9
+        )
+        transport = FileQueueTransport(queue_dir, auth=AUTH_KEY)
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 3, rng=9)
+        coordinator = Coordinator(
+            tasks, transport, lease_timeout=0.5, poll_interval=0.02
+        )
+        coordinator.publish_pending()
+        task_path = queue_dir / "tasks" / "task-000001.json"
+        tampered = bytearray(task_path.read_bytes())
+        tampered[40] ^= 0xFF
+        task_path.write_bytes(bytes(tampered))
+
+        with local_worker_threads(transport, 2, dataset=tiny_dataset) as pool:
+            coordinator.run(timeout=60.0, abort=pool.failure_reason)
+        assert coordinator.republished >= 1
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+
+    def test_summary_tampered_after_delivery_is_republished(
+        self, queue_dir, tiny_dataset
+    ):
+        """The nastiest tamper timing: the worker already delivered (its
+        claim is unlinked) and *then* the spooled summary is corrupted.
+        With no claim to lease-expire, only the missing-task republish can
+        recover the shard — the run must still complete bit-identical."""
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=2, rng=9
+        )
+        transport = FileQueueTransport(queue_dir, auth=AUTH_KEY)
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=9)
+        coordinator = Coordinator(
+            tasks, transport, lease_timeout=0.5, poll_interval=0.02
+        )
+        coordinator.publish_pending()
+        worker = transport.worker()
+        envelope = worker.claim(timeout=5.0)
+        summary = run_shard_task(decode_task(envelope.payload)[1], tiny_dataset)
+        worker.complete(envelope.shard_id, encode_summary(envelope.shard_id, summary))
+        summary_path = (
+            queue_dir / "summaries" / f"summary-{envelope.shard_id:06d}.npz"
+        )
+        tampered = bytearray(summary_path.read_bytes())
+        tampered[-1] ^= 0xFF
+        summary_path.write_bytes(bytes(tampered))
+
+        with local_worker_threads(transport, 1, dataset=tiny_dataset) as pool:
+            coordinator.run(timeout=60.0, abort=pool.failure_reason)
+        assert transport.rejected >= 1
+        assert coordinator.republished >= 1
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+
+    def test_socket_rejects_mismatched_key_and_unsigned_summaries(
+        self, tiny_dataset
+    ):
+        """A worker holding the wrong key cannot feed the broker, and an
+        unsigned summary is dropped; the honest fleet still completes."""
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=2, rng=9
+        )
+        transport = SocketTransport(auth=AUTH_KEY)
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=9)
+        coordinator = Coordinator(
+            tasks, transport, lease_timeout=0.5, poll_interval=0.02
+        )
+        coordinator.publish_pending()
+
+        host, port = transport.address
+        from repro.distributed import SocketWorker
+
+        # Wrong key: every task payload fails verification client-side.
+        intruder = SocketWorker(host, port, auth=OTHER_KEY, mode="poll")
+        assert intruder.claim(timeout=0.3) is None
+        assert intruder.rejected >= 1
+        # Unsigned summary (auth=None worker sends bare payloads): dropped.
+        forged = encode_summary(0, run_shard_task(tasks[0], tiny_dataset))
+        unsigned = SocketWorker(host, port, mode="poll")
+        unsigned.complete(0, forged)
+        intruder.close()
+
+        with local_worker_threads(transport, 1, dataset=tiny_dataset) as pool:
+            coordinator.run(timeout=60.0, abort=pool.failure_reason)
+        unsigned.close()
+        transport.close()
+        assert transport.rejected >= 1
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+
+
+# --------------------------------------------------------------------- #
+# Blocking broker waits
+# --------------------------------------------------------------------- #
+class TestBlockingBroker:
+    def test_idle_blocking_worker_sends_zero_frames(self):
+        """After parking, an idle blocking worker sends zero READY frames
+        while the queue is empty — however often claim() times out."""
+        transport = SocketTransport()
+        worker = transport.worker()
+        try:
+            assert worker.claim(timeout=0.05) is None  # parks: one frame
+            parked_frames = worker.claim_frames_sent
+            assert parked_frames == 1
+            for _ in range(20):
+                assert worker.claim(timeout=0.01) is None
+            assert worker.claim_frames_sent - parked_frames == 0
+        finally:
+            worker.close()
+            transport.close()
+
+    def test_poll_worker_keeps_sending_frames(self):
+        """The --poll compatibility mode still does READY/IDLE round-trips."""
+        transport = SocketTransport()
+        worker = transport.worker(mode="poll")
+        try:
+            assert worker.claim(timeout=0.3) is None
+            assert worker.claim_frames_sent > 1
+        finally:
+            worker.close()
+            transport.close()
+
+    def test_parked_worker_is_woken_by_publish(self, tiny_dataset):
+        """A publish pushes the task to a parked worker immediately."""
+        transport = SocketTransport()
+        worker = transport.worker()
+        try:
+            assert worker.claim(timeout=0.05) is None  # park
+            task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
+            claimed = {}
+
+            def wait_for_task():
+                claimed["envelope"] = worker.claim(timeout=10.0)
+
+            thread = threading.Thread(target=wait_for_task)
+            thread.start()
+            time.sleep(0.05)
+            transport.publish(
+                TaskEnvelope(shard_id=0, payload=encode_task(0, task))
+            )
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            envelope = claimed["envelope"]
+            assert envelope is not None and envelope.shard_id == 0
+            # The push consumed the original READY: still exactly one frame.
+            assert worker.claim_frames_sent == 1
+        finally:
+            worker.close()
+            transport.close()
+
+    def test_parked_worker_is_woken_by_shutdown(self):
+        transport = SocketTransport()
+        worker = transport.worker()
+        assert worker.claim(timeout=0.05) is None  # park
+        released = {}
+
+        def wait_for_shutdown():
+            released["claim"] = worker.claim(timeout=10.0)
+
+        thread = threading.Thread(target=wait_for_shutdown)
+        thread.start()
+        time.sleep(0.05)
+        transport.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert released["claim"] is None
+        assert worker.saw_shutdown
+        worker.close()
+
+
+# --------------------------------------------------------------------- #
+# Weighted sharding and capacity hints
+# --------------------------------------------------------------------- #
+class TestWeightedSharding:
+    def test_boundaries_track_weights(self):
+        boundaries = shard_boundaries(100, 4, weights=[1.0, 1.0, 1.0, 1.0])
+        assert np.array_equal(boundaries, [0, 25, 50, 75, 100])
+        boundaries = shard_boundaries(100, 2, weights=[3.0, 1.0])
+        assert np.array_equal(boundaries, [0, 75, 100])
+
+    def test_every_shard_keeps_at_least_one_user(self):
+        """Extreme weight ratios must not round a shard down to empty."""
+        boundaries = shard_boundaries(10, 3, weights=[1e6, 1.0, 1e6])
+        assert np.all(np.diff(boundaries) >= 1)
+        assert boundaries[0] == 0 and boundaries[-1] == 10
+        boundaries = shard_boundaries(5, 5, weights=[1e9, 1.0, 1.0, 1.0, 1e9])
+        assert np.array_equal(np.diff(boundaries), [1, 1, 1, 1, 1])
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ExperimentError, match="one weight per shard"):
+            shard_boundaries(10, 3, weights=[1.0, 2.0])
+        with pytest.raises(ExperimentError, match="positive and finite"):
+            shard_boundaries(10, 2, weights=[1.0, 0.0])
+        with pytest.raises(ExperimentError, match="positive and finite"):
+            shard_boundaries(10, 2, weights=[1.0, float("nan")])
+
+    @pytest.mark.parametrize(
+        "spec_name", ["longitudinal", "oneshot"], ids=["L-OSUE", "L-GRR-oneshot"]
+    )
+    @pytest.mark.parametrize("weights", [(3.0, 1.0, 2.0, 0.5), (1.0, 10.0, 1.0, 1.0)])
+    def test_weighted_split_bit_identical_to_serial(
+        self, spec_name, weights, tiny_dataset, oneshot_dataset
+    ):
+        """Acceptance: any weight vector, distributed == serial, bit for bit."""
+        if spec_name == "longitudinal":
+            spec, dataset = LONGITUDINAL_SPEC, tiny_dataset
+        else:
+            spec, dataset = ONESHOT_SPEC, oneshot_dataset
+        serial = simulate_protocol_sharded(
+            spec, dataset, n_shards=4, rng=9, weights=weights
+        )
+        transport = SocketTransport()
+        try:
+            distributed = simulate_protocol_sharded(
+                spec, dataset, n_shards=4, rng=9, n_workers=2,
+                transport=transport, weights=weights,
+            )
+        finally:
+            transport.close()
+        assert np.array_equal(distributed.estimates, serial.estimates)
+        assert distributed.mse_avg == serial.mse_avg
+        assert distributed.eps_avg == serial.eps_avg
+
+    def test_broker_hands_biggest_shard_to_highest_capacity(self):
+        """Capacity hints steer assignment: the fleet's fastest claimant
+        receives the most expensive pending shard, others the cheapest."""
+        transport = SocketTransport()
+        try:
+            for shard_id, cost in ((0, 10.0), (1, 30.0), (2, 20.0)):
+                transport.publish(
+                    TaskEnvelope(shard_id=shard_id, payload=b"x", cost=cost)
+                )
+            fast = transport.worker(capacity=8)
+            slow = transport.worker(capacity=1)
+            try:
+                assert fast.claim(timeout=5.0).shard_id == 1  # cost 30
+                assert slow.claim(timeout=5.0).shard_id == 0  # cost 10
+                hints = set(transport.capacity_hints().values())
+                assert hints == {8, 1}
+                assert fast.claim(timeout=5.0).shard_id == 2  # the remainder
+            finally:
+                fast.close()
+                slow.close()
+        finally:
+            transport.close()
+
+    def test_heterogeneous_capacity_fleet_bit_identical(self, tiny_dataset):
+        """A weighted plan drained by workers of different capacities still
+        reproduces the serial estimates (assignment never affects results)."""
+        weights = (4.0, 1.0, 1.0, 2.0)
+        serial = simulate_protocol_sharded(
+            LONGITUDINAL_SPEC, tiny_dataset, n_shards=4, rng=9, weights=weights
+        )
+        transport = SocketTransport()
+        tasks = make_shard_tasks(
+            LONGITUDINAL_SPEC, tiny_dataset, 4, rng=9, weights=weights
+        )
+        coordinator = Coordinator(tasks, transport, lease_timeout=10.0)
+        coordinator.publish_pending()
+        threads = []
+        for capacity in (4, 1):
+            endpoint = transport.worker(capacity=capacity)
+
+            def drain(endpoint=endpoint):
+                try:
+                    run_worker(
+                        endpoint, dataset=tiny_dataset,
+                        idle_timeout=2.0, poll_interval=0.05,
+                    )
+                finally:
+                    endpoint.close()
+
+            threads.append(threading.Thread(target=drain))
+        for thread in threads:
+            thread.start()
+        coordinator.run(timeout=60.0)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        transport.close()
+        result = result_from_summaries(
+            LONGITUDINAL_SPEC, tiny_dataset, coordinator.ordered_summaries()
+        )
+        assert np.array_equal(result.estimates, serial.estimates)
+
 
 class TestFileQueueDetails:
     def test_concurrent_workers_claim_distinct_tasks(self, tmp_path, tiny_dataset):
         transport = _file_transport(tmp_path)
         tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 4, rng=5)
-        from repro.distributed import TaskEnvelope
-
         for shard_id, task in enumerate(tasks):
             transport.publish(
                 TaskEnvelope(shard_id=shard_id, payload=encode_task(shard_id, task))
@@ -188,14 +589,72 @@ class TestFileQueueDetails:
         worker = FileQueueWorker(queue_dir)
         assert worker.claim(timeout=0.05) is None
 
+    def test_skip_scan_distrusts_fresh_and_stale_mtimes(self):
+        """The mtime gate only skips listings for an unchanged mtime that is
+        old enough to be past coarse-timestamp ambiguity, and never for
+        longer than the forced-rescan interval."""
+        from repro.distributed.file_queue import (
+            _DIR_MTIME_TRUST_NS,
+            _FORCED_RESCAN_NS,
+            _skip_scan,
+        )
+
+        now = time.time_ns()
+        old = now - 10 * _DIR_MTIME_TRUST_NS
+        assert _skip_scan(old, old, now)  # unchanged, old, recently scanned
+        assert not _skip_scan(old, old + 1, now)  # the directory changed
+        # An unchanged-but-fresh mtime may hide a rename in the same coarse
+        # filesystem timestamp tick: scan anyway.
+        assert not _skip_scan(now, now, now)
+        # Even a trusted-looking mtime never suppresses scans indefinitely.
+        assert not _skip_scan(old, old, now - 2 * _FORCED_RESCAN_NS)
+
+    def test_overwritten_summary_is_redelivered(self, queue_dir, tiny_dataset):
+        """The snapshot diff keys on (mtime, size): rewriting a summary file
+        (fresh result over a stale spool) must deliver the new version."""
+        transport = FileQueueTransport(queue_dir)
+        task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
+        transport.publish(TaskEnvelope(shard_id=0, payload=encode_task(0, task)))
+        worker = transport.worker()
+        envelope = worker.claim(timeout=5.0)
+        summary = run_shard_task(decode_task(envelope.payload)[1], tiny_dataset)
+        worker.complete(0, encode_summary(0, summary, plan="old"))
+        first = transport.poll_summary(timeout=5.0)
+        assert decode_summary(first.payload)[2] == "old"
+        # An idle spool polls to nothing (the mtime gate short-circuits)...
+        assert transport.poll_summary(timeout=0.1) is None
+        # ... until the file is replaced, which must be picked up again.
+        worker.complete(0, encode_summary(0, summary, plan="new"))
+        second = transport.poll_summary(timeout=5.0)
+        assert second is not None and decode_summary(second.payload)[2] == "new"
+
+    def test_missing_tasks_reports_only_vanished_shards(
+        self, queue_dir, tiny_dataset
+    ):
+        """A shard is 'missing' only when it is in none of tasks/, claims/
+        or summaries/ — claimed and completed shards are accounted for."""
+        transport = FileQueueTransport(queue_dir)
+        tasks = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 3, rng=5)
+        for shard_id, task in enumerate(tasks):
+            transport.publish(
+                TaskEnvelope(shard_id=shard_id, payload=encode_task(shard_id, task))
+            )
+        assert transport.missing_tasks([0, 1, 2]) == []
+        worker = transport.worker()
+        claimed = worker.claim(timeout=5.0)  # shard 0 moves to claims/
+        assert claimed.shard_id == 0
+        (queue_dir / "tasks" / "task-000001.json").unlink()  # shard 1 vanishes
+        assert transport.missing_tasks([0, 1, 2]) == [1]
+        summary = run_shard_task(decode_task(claimed.payload)[1], tiny_dataset)
+        worker.complete(0, encode_summary(0, summary))  # shard 0 completes
+        assert transport.missing_tasks([0, 1, 2]) == [1]
+
     def test_completed_shard_claim_is_dropped_not_requeued(
         self, tmp_path, tiny_dataset
     ):
         """A claim whose summary already landed must not resurrect the task."""
         transport = _file_transport(tmp_path)
         task = make_shard_tasks(LONGITUDINAL_SPEC, tiny_dataset, 2, rng=5)[0]
-        from repro.distributed import TaskEnvelope
-
         transport.publish(TaskEnvelope(shard_id=0, payload=encode_task(0, task)))
         worker = transport.worker()
         envelope = worker.claim(timeout=5.0)
@@ -606,21 +1065,14 @@ class TestCollectionSpec:
 
 
 class TestServeWorkCli:
-    def test_serve_with_file_queue_and_cli_worker(self, tmp_path, capsys):
+    def test_serve_with_file_queue_and_cli_worker(
+        self, tmp_path, capsys, write_collection_spec, queue_dir
+    ):
         """serve + work over a spool dir, estimates bit-identical to serial."""
         from repro.cli import main
         from repro.datasets import make_dataset
 
-        spec = CollectionSpec(
-            protocol=ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5),
-            dataset="syn",
-            dataset_scale=0.02,
-            n_shards=3,
-            seed=20230328,
-            name="cli-test",
-        )
-        spec_path = spec.save(tmp_path / "collection.json")
-        queue_dir = tmp_path / "queue"
+        spec, spec_path = write_collection_spec(name="cli-test")
         estimates_path = tmp_path / "estimates.npz"
 
         worker = threading.Thread(
@@ -647,27 +1099,21 @@ class TestServeWorkCli:
         output = capsys.readouterr().out
         assert "collected 3 shards" in output
 
-        dataset = make_dataset("syn", scale=0.02, rng=20230328)
+        dataset = make_dataset("syn", scale=0.02, rng=spec.seed)
         serial = simulate_protocol_sharded(
-            spec.protocol, dataset, n_shards=3, rng=20230328
+            spec.protocol, dataset, n_shards=3, rng=spec.seed
         )
         with np.load(estimates_path) as archive:
             assert np.array_equal(archive["estimates"], serial.estimates)
             assert float(archive["mse_avg"]) == serial.mse_avg
 
-    def test_serve_with_local_workers_and_tcp(self, tmp_path, capsys):
+    def test_serve_with_local_workers_and_tcp(
+        self, tmp_path, capsys, write_collection_spec
+    ):
         from repro.cli import main
         from repro.datasets import make_dataset
 
-        spec = CollectionSpec(
-            protocol=ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5),
-            dataset="syn",
-            dataset_scale=0.02,
-            n_shards=2,
-            seed=20230328,
-            name="tcp-test",
-        )
-        spec_path = spec.save(tmp_path / "collection.json")
+        spec, spec_path = write_collection_spec(name="tcp-test", n_shards=2)
         estimates_path = tmp_path / "estimates.npz"
         code = main(
             [
@@ -682,21 +1128,114 @@ class TestServeWorkCli:
         )
         assert code == 0
         assert "broker listening" in capsys.readouterr().out
-        dataset = make_dataset("syn", scale=0.02, rng=20230328)
+        dataset = make_dataset("syn", scale=0.02, rng=spec.seed)
         serial = simulate_protocol_sharded(
-            spec.protocol, dataset, n_shards=2, rng=20230328
+            spec.protocol, dataset, n_shards=2, rng=spec.seed
         )
         with np.load(estimates_path) as archive:
             assert np.array_equal(archive["estimates"], serial.estimates)
 
-    def test_serve_requires_queue_dir_for_file_transport(self, tmp_path, capsys):
+    def test_authenticated_tcp_serve_and_work(
+        self, tmp_path, capsys, monkeypatch, write_collection_spec
+    ):
+        """An HMAC-authenticated weighted TCP collection: an external-style
+        CLI worker with the matching key drains a broker whose spec names
+        the key's environment variable; estimates stay bit-identical."""
+        import re
+
+        from repro.cli import main, run_serve, build_parser
+        from repro.datasets import make_dataset
+
+        monkeypatch.setenv("REPRO_COLLECTION_KEY", "cli-shared-secret")
+        spec, spec_path = write_collection_spec(
+            name="auth-tcp-test",
+            n_shards=3,
+            shard_weights=(2.0, 1.0, 3.0),
+            auth_key_env="REPRO_COLLECTION_KEY",
+        )
+        estimates_path = tmp_path / "estimates.npz"
+
+        # serve in a thread so a CLI worker can connect to the printed port.
+        serve_args = build_parser().parse_args(
+            [
+                "serve",
+                "--spec", str(spec_path),
+                "--transport", "tcp",
+                "--bind", "127.0.0.1:0",
+                "--lease-timeout", "10",
+                "--save-estimates", str(estimates_path),
+                "--timeout", "60",
+            ]
+        )
+        outcome = {}
+
+        def serve():
+            outcome["code"] = run_serve(serve_args)
+
+        serve_thread = threading.Thread(target=serve, daemon=True)
+        serve_thread.start()
+        address = None
+        deadline = time.monotonic() + 10.0
+        while address is None and time.monotonic() < deadline:
+            match = re.search(
+                r"broker listening on ([\d.]+:\d+)", capsys.readouterr().out
+            )
+            if match:
+                address = match.group(1)
+            else:
+                time.sleep(0.05)
+        assert address is not None, "broker address was never printed"
+        code = main(
+            [
+                "work",
+                "--connect", address,
+                "--auth-key-env", "REPRO_COLLECTION_KEY",
+                "--capacity", "4",
+                "--idle-exit", "5",
+            ]
+        )
+        serve_thread.join(timeout=60.0)
+        assert code == 0 and outcome.get("code") == 0
+
+        dataset = make_dataset("syn", scale=0.02, rng=spec.seed)
+        serial = simulate_protocol_sharded(
+            spec.protocol, dataset, n_shards=3, rng=spec.seed,
+            weights=spec.shard_weights,
+        )
+        with np.load(estimates_path) as archive:
+            assert np.array_equal(archive["estimates"], serial.estimates)
+
+    def test_serve_requires_queue_dir_for_file_transport(
+        self, capsys, write_collection_spec
+    ):
         from repro.cli import main
 
-        spec = CollectionSpec(
-            protocol=ProtocolSpec(name="L-OSUE", eps_inf=2.0, alpha=0.5),
-            dataset="syn",
-        )
-        spec_path = spec.save(tmp_path / "collection.json")
+        spec, spec_path = write_collection_spec(name="no-queue-dir")
         code = main(["serve", "--spec", str(spec_path), "--transport", "file"])
         assert code == 2
         assert "--queue-dir" in capsys.readouterr().err
+
+    def test_work_rejects_tcp_only_flags_with_queue_dir(self, capsys, tmp_path):
+        """--capacity / --poll are broker concepts; a file-queue worker must
+        refuse them instead of silently ignoring them."""
+        from repro.cli import main
+
+        queue = str(tmp_path / "q")
+        assert main(["work", "--queue-dir", queue, "--capacity", "2"]) == 2
+        assert "--capacity" in capsys.readouterr().err
+        assert main(["work", "--queue-dir", queue, "--poll"]) == 2
+        assert "--poll" in capsys.readouterr().err
+
+    def test_work_with_missing_auth_key_env_fails_cleanly(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_MISSING_KEY", raising=False)
+        code = main(
+            [
+                "work",
+                "--connect", "127.0.0.1:1",
+                "--auth-key-env", "REPRO_MISSING_KEY",
+            ]
+        )
+        assert code == 2
+        assert "REPRO_MISSING_KEY" in capsys.readouterr().err
