@@ -1,0 +1,327 @@
+"""Execution-tier benchmarks: batched windows, kernel backends, shared state.
+
+The execution tier collapses a window of ``R`` steady rounds (no user changes
+a value inside the window) into a single :meth:`PopulationEngine.run_rounds`
+call: the memo is resolved once and the instantaneous draws for all ``R``
+rounds come out of one stacked kernel call, bit-identical to ``R`` sequential
+:meth:`run_round` calls.  This module times the batched window against the
+sequential loop it replaces, on the same warmed engines, at ``k = 2048`` —
+and micro-benchmarks the packed column-sum fold under each available kernel
+backend (``numpy`` vs the generated-C ``native`` backend).
+
+Run as a script to emit the machine-readable baseline committed as
+``BENCH_execution_tier.json``::
+
+    PYTHONPATH=src python benchmarks/bench_execution_tier.py --json BENCH_execution_tier.json
+
+The acceptance target of the execution-tier pass is a >= 3x steady-window
+throughput gain at ``n = 10^4, k = 2048`` (window ``R = 64``); the
+deterministic bit-identity guards live in ``tests/test_execution_tier.py``,
+so CI does not depend on wall-clock ratios.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.longitudinal import LGRR, LOSUE, OLOLOHA
+from repro.simulation import engine_for
+from repro.simulation.kernels import (
+    grr_kernel,
+    packed_column_sums_kernel,
+    support_from_hashes_kernel,
+    ue_binomial_counts_kernel,
+)
+from repro.simulation.kernels_backend import (
+    available_backend_names,
+    native_available,
+    resolve_backend,
+)
+
+K = 2_048
+N_USERS = int(os.environ.get("REPRO_BENCH_LARGE_N", "10000"))
+#: Second population for the script report: the batched window hoists the
+#: per-round O(n) memo work out of the loop, so its advantage grows with n.
+N_USERS_LARGE = 10 * N_USERS
+EPS_INF, EPS_1 = 2.0, 1.0
+#: Steady-window length collapsed into one ``run_rounds`` call.
+WINDOW = 64
+
+PROTOCOLS = {
+    "L-GRR": lambda: LGRR(K, EPS_INF, EPS_1),
+    "L-OSUE": lambda: LOSUE(K, EPS_INF, EPS_1),
+    "OLOLOHA": lambda: OLOLOHA(K, EPS_INF, EPS_1),
+}
+
+
+def _never_fresh(users, keys):  # pragma: no cover - warm engines never miss
+    raise AssertionError("memoization miss on a warmed-up engine")
+
+
+def _warm_engines(n_users=N_USERS):
+    """One warmed-up engine per protocol plus the steady value round."""
+    values = np.random.default_rng(1).integers(0, K, size=n_users)
+    engines = {
+        name: engine_for(factory(), n_users, rng=0)
+        for name, factory in PROTOCOLS.items()
+    }
+    for engine in engines.values():
+        engine.run_round(values, np.random.default_rng(2))
+    return engines, values
+
+
+@pytest.fixture(scope="module")
+def warm():
+    return _warm_engines()
+
+
+@pytest.mark.benchmark(group="execution-tier-window")
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_window_batched(benchmark, warm, name):
+    """One ``run_rounds`` call covering a WINDOW-round steady window."""
+    engines, values = warm
+    engine = engines[name]
+
+    counts = benchmark(
+        lambda: engine.run_rounds(values, WINDOW, np.random.default_rng(3))
+    )
+    assert counts.shape == (WINDOW, K)
+    benchmark.extra_info.update(n_users=N_USERS, k=K, rounds=WINDOW)
+
+
+@pytest.mark.benchmark(group="execution-tier-window-sequential")
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_window_sequential(benchmark, warm, name):
+    """The WINDOW sequential ``run_round`` calls the batched path replaces."""
+    engines, values = warm
+    engine = engines[name]
+
+    def sequential():
+        generator = np.random.default_rng(3)
+        return [engine.run_round(values, generator) for _ in range(WINDOW)]
+
+    counts = benchmark(sequential)
+    assert len(counts) == WINDOW
+    benchmark.extra_info.update(n_users=N_USERS, k=K, rounds=WINDOW)
+
+
+@pytest.mark.benchmark(group="execution-tier-fold")
+@pytest.mark.parametrize(
+    "backend_name",
+    [
+        "numpy",
+        pytest.param(
+            "native",
+            marks=pytest.mark.skipif(
+                not native_available(), reason="no C compiler available"
+            ),
+        ),
+    ],
+)
+def test_packed_fold_backend(benchmark, backend_name):
+    """The packed column-sum fold under each kernel backend."""
+    backend = resolve_backend(backend_name)
+    packed = np.random.default_rng(4).integers(
+        0, 256, size=(N_USERS, (K + 7) // 8), dtype=np.uint8
+    )
+
+    sums = benchmark(lambda: backend.packed_column_sums(packed, K))
+    assert np.array_equal(sums, packed_column_sums_kernel(packed, K))
+    benchmark.extra_info.update(n_users=N_USERS, k=K, backend=backend.name)
+
+
+def test_batched_window_bit_identical(warm):
+    """Correctness anchor for the benchmark pair: the batched window equals
+    the sequential loop draw for draw."""
+    engines, values = warm
+    for name, factory in PROTOCOLS.items():
+        batched_engine = engine_for(factory(), N_USERS, rng=11)
+        sequential_engine = engine_for(factory(), N_USERS, rng=11)
+        batched_engine.run_round(values, np.random.default_rng(5))
+        sequential_engine.run_round(values, np.random.default_rng(5))
+        batched = batched_engine.run_rounds(values, 7, np.random.default_rng(6))
+        generator = np.random.default_rng(6)
+        sequential = np.stack(
+            [sequential_engine.run_round(values, generator) for _ in range(7)]
+        )
+        assert np.array_equal(batched, sequential), name
+
+
+# --------------------------------------------------------------------------
+# Script mode: machine-readable baseline (BENCH_execution_tier.json)
+# --------------------------------------------------------------------------
+
+
+def _best_seconds(fn, repeats=3):
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _legacy_round_fn(engine, name, values):
+    """The pre-scaling per-round loop body (``bench_large_domain.py``'s
+    legacy baseline) on the warm engine's own memo state."""
+    params = engine.protocol.chained_parameters
+    n_users = engine.n_users
+
+    if name == "L-GRR":  # per-user reports + bincount
+
+        def legacy_round():
+            memoized = engine._state.resolve(values, _never_fresh)
+            reports = grr_kernel(memoized, K, params.p2, np.random.default_rng(3))
+            return np.bincount(reports, minlength=K).astype(np.float64)
+
+    elif name == "L-OSUE":  # unpack the (n_users, k) bit matrix and sum
+
+        def legacy_round():
+            memo_ones = engine._state.resolve(values, _never_fresh).sum(
+                axis=0, dtype=np.int64
+            )
+            return ue_binomial_counts_kernel(
+                memo_ones, n_users, params.p2, params.q2, np.random.default_rng(3)
+            )
+
+    else:  # OLOLOHA: per-user reports + dense hash-support compare fold
+        users = np.arange(n_users)
+
+        def legacy_round():
+            hashed = engine.hashed_domain[users, values].astype(np.int64)
+            memoized = engine._state.resolve(hashed, _never_fresh)
+            reports = grr_kernel(
+                memoized, engine.protocol.g, params.p2, np.random.default_rng(3)
+            )
+            return support_from_hashes_kernel(engine.hashed_domain, reports)
+
+    return legacy_round
+
+
+def collect_results(repeats=3, populations=(N_USERS, N_USERS_LARGE)):
+    """Time the batched window against the per-round loops it replaces.
+
+    Two baselines per protocol: ``sequential`` is WINDOW calls of the shipped
+    :meth:`run_round` (the aggregated round path), and — at the primary
+    population only — ``legacy`` is WINDOW iterations of the pre-scaling
+    round loop that ``bench_large_domain.py`` benchmarks as its baseline
+    group.  The draws themselves are pinned by the bit-identity contract, so
+    the sequential comparison is bounded by the per-round O(n) memo work the
+    window hoists; the second (10x) population shows that bound relaxing.
+    """
+    results = {}
+    for n_users in populations:
+        engines, values = _warm_engines(n_users)
+        per_protocol = {}
+        for name, engine in engines.items():
+            batched_s = _best_seconds(
+                lambda: engine.run_rounds(values, WINDOW, np.random.default_rng(3)),
+                repeats,
+            )
+
+            def sequential():
+                generator = np.random.default_rng(3)
+                for _ in range(WINDOW):
+                    engine.run_round(values, generator)
+
+            sequential_s = _best_seconds(sequential, repeats)
+            entry = {
+                "batched_s": batched_s,
+                "sequential_s": sequential_s,
+                "speedup_vs_sequential": sequential_s / batched_s,
+                "batched_rounds_per_s": WINDOW / batched_s,
+                "sequential_rounds_per_s": WINDOW / sequential_s,
+            }
+            if n_users == N_USERS:
+                legacy_round = _legacy_round_fn(engine, name, values)
+
+                def legacy_loop():
+                    for _ in range(WINDOW):
+                        legacy_round()
+
+                legacy_s = _best_seconds(legacy_loop, repeats)
+                entry["legacy_s"] = legacy_s
+                entry["speedup_vs_legacy"] = legacy_s / batched_s
+            per_protocol[name] = entry
+        results[str(n_users)] = per_protocol
+
+    folds = {}
+    packed = np.random.default_rng(4).integers(
+        0, 256, size=(N_USERS, (K + 7) // 8), dtype=np.uint8
+    )
+    for backend_name in available_backend_names():
+        backend = resolve_backend(backend_name)
+        folds[backend.name] = {
+            "packed_column_sums_s": _best_seconds(
+                lambda: backend.packed_column_sums(packed, K), repeats
+            )
+        }
+    return results, folds
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="-",
+        help="write the machine-readable report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    args = parser.parse_args(argv)
+
+    results, folds = collect_results(repeats=args.repeats)
+    primary = results[str(N_USERS)]
+    report = {
+        "benchmark": "execution_tier",
+        "config": {
+            "k": K,
+            "n_users": N_USERS,
+            "n_users_large": N_USERS_LARGE,
+            "window_rounds": WINDOW,
+            "repeats": args.repeats,
+            "eps_inf": EPS_INF,
+            "eps_1": EPS_1,
+        },
+        "backends": {
+            "available": available_backend_names(),
+            "native_available": native_available(),
+        },
+        "window": results,
+        "packed_fold": folds,
+        "min_speedup_vs_legacy": min(
+            entry["speedup_vs_legacy"] for entry in primary.values()
+        ),
+        "min_speedup_vs_sequential": {
+            n_users: min(
+                entry["speedup_vs_sequential"] for entry in per_protocol.values()
+            )
+            for n_users, per_protocol in results.items()
+        },
+    }
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.json == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(
+            f"wrote {args.json}: steady window >= "
+            f"{report['min_speedup_vs_legacy']:.1f}x over the legacy loop at "
+            f"n={N_USERS}, >= "
+            f"{report['min_speedup_vs_sequential'][str(N_USERS_LARGE)]:.1f}x over "
+            f"sequential run_round at n={N_USERS_LARGE}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

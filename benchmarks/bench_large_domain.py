@@ -24,10 +24,18 @@ the scaling pass was a >= 5x steady-round speedup for the UE and LOLOHA
 rounds at ``n = 10^4, k = 2048``; the deterministic O(n)-independence guard
 lives in ``tests/test_engines_and_simulation.py`` (draw counting), so CI
 does not depend on wall-clock ratios.
+
+Run as a script to emit a machine-readable timing report::
+
+    PYTHONPATH=src python benchmarks/bench_large_domain.py --json report.json
 """
 
+import argparse
 import itertools
+import json
 import os
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -57,8 +65,7 @@ def _never_fresh(users, keys):  # pragma: no cover - warm engines never miss
     raise AssertionError("memoization miss on a warmed-up engine")
 
 
-@pytest.fixture(scope="module")
-def warm():
+def _warm_state():
     """One warmed-up engine per protocol family plus the value workloads.
 
     Every value round of both workloads is played once up front, so the
@@ -78,35 +85,14 @@ def warm():
     return engines, rounds
 
 
-def _workload(rounds, workload):
-    if workload == "steady":
-        return itertools.repeat(rounds[0])
-    return itertools.cycle(rounds)
+@pytest.fixture(scope="module")
+def warm():
+    return _warm_state()
 
 
-@pytest.mark.benchmark(group="large-domain-round")
-@pytest.mark.parametrize("workload", ["steady", "changing"])
-@pytest.mark.parametrize("name", list(PROTOCOLS))
-def test_round_aggregated(benchmark, warm, name, workload):
-    """The shipped round path (aggregated sampling, packed delta-folds)."""
-    engines, rounds = warm
-    engine = engines[name]
-    feed = _workload(rounds, workload)
-
-    counts = benchmark(lambda: engine.run_round(next(feed), np.random.default_rng(3)))
-    assert counts.shape == (K,)
-    benchmark.extra_info.update(n_users=N_USERS, k=K, workload=workload)
-
-
-@pytest.mark.benchmark(group="large-domain-round-legacy")
-@pytest.mark.parametrize("workload", ["steady", "changing"])
-@pytest.mark.parametrize("name", list(PROTOCOLS))
-def test_round_legacy(benchmark, warm, name, workload):
-    """The pre-scaling round computations, on identical engine state."""
-    engines, rounds = warm
-    engine = engines[name]
+def _legacy_round_fn(engine, name, feed):
+    """The pre-scaling round computation for one protocol, as a thunk."""
     params = engine.protocol.chained_parameters
-    feed = _workload(rounds, workload)
 
     if name == "L-GRR":
 
@@ -139,7 +125,39 @@ def test_round_legacy(benchmark, warm, name, workload):
             )
             return support_from_hashes_kernel(engine.hashed_domain, reports)
 
-    counts = benchmark(legacy_round)
+    return legacy_round
+
+
+def _workload(rounds, workload):
+    if workload == "steady":
+        return itertools.repeat(rounds[0])
+    return itertools.cycle(rounds)
+
+
+@pytest.mark.benchmark(group="large-domain-round")
+@pytest.mark.parametrize("workload", ["steady", "changing"])
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_round_aggregated(benchmark, warm, name, workload):
+    """The shipped round path (aggregated sampling, packed delta-folds)."""
+    engines, rounds = warm
+    engine = engines[name]
+    feed = _workload(rounds, workload)
+
+    counts = benchmark(lambda: engine.run_round(next(feed), np.random.default_rng(3)))
+    assert counts.shape == (K,)
+    benchmark.extra_info.update(n_users=N_USERS, k=K, workload=workload)
+
+
+@pytest.mark.benchmark(group="large-domain-round-legacy")
+@pytest.mark.parametrize("workload", ["steady", "changing"])
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_round_legacy(benchmark, warm, name, workload):
+    """The pre-scaling round computations, on identical engine state."""
+    engines, rounds = warm
+    engine = engines[name]
+    feed = _workload(rounds, workload)
+
+    counts = benchmark(_legacy_round_fn(engine, name, feed))
     assert counts.shape == (K,)
     benchmark.extra_info.update(n_users=N_USERS, k=K, workload=workload)
 
@@ -155,3 +173,77 @@ def test_packed_column_sums_match_legacy_unpack(warm):
             axis=0, dtype=np.int64
         )
         assert np.array_equal(packed, unpacked)
+
+
+# --------------------------------------------------------------------------
+# Script mode: machine-readable timing report
+# --------------------------------------------------------------------------
+
+
+def _best_seconds(fn, repeats=3):
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def collect_results(repeats=3):
+    """Time the shipped round path against the legacy one per protocol."""
+    engines, rounds = _warm_state()
+    results = {}
+    for name, engine in engines.items():
+        results[name] = {}
+        for workload in ("steady", "changing"):
+            feed = _workload(rounds, workload)
+            aggregated_s = _best_seconds(
+                lambda: engine.run_round(next(feed), np.random.default_rng(3)),
+                repeats,
+            )
+            legacy_s = _best_seconds(_legacy_round_fn(engine, name, feed), repeats)
+            results[name][workload] = {
+                "aggregated_s": aggregated_s,
+                "legacy_s": legacy_s,
+                "speedup": legacy_s / aggregated_s,
+            }
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="-",
+        help="write the machine-readable report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "large_domain_round",
+        "config": {
+            "k": K,
+            "n_users": N_USERS,
+            "repeats": args.repeats,
+            "eps_inf": EPS_INF,
+            "eps_1": EPS_1,
+        },
+        "rounds": collect_results(repeats=args.repeats),
+    }
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.json == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,35 @@ __all__ = ["build_parser", "main", "run_spec_sweep", "run_serve", "run_work"]
 _FINGERPRINT_KEY = "sweep_spec_fingerprint"
 
 
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel-backend", choices=["auto", "numpy", "native"], default=None,
+        help="kernel backend for the hot simulation folds: 'numpy' forces "
+             "the reference implementation, 'native' requires the compiled "
+             "one, 'auto' (the default) compiles when possible and falls "
+             "back to numpy; applies to this process and its worker pool",
+    )
+
+
+def _apply_backend_option(args: argparse.Namespace) -> None:
+    """Install ``--kernel-backend`` as the process-wide backend default.
+
+    Resolving eagerly fails fast (with a build-failure reason) when
+    ``native`` was requested on a host that cannot compile it, instead of
+    erroring mid-sweep inside a worker.
+    """
+    choice = getattr(args, "kernel_backend", None)
+    if choice is None:
+        return
+    import os
+
+    from .simulation.kernels_backend import BACKEND_ENV_VAR, resolve_backend
+
+    os.environ[BACKEND_ENV_VAR] = choice
+    backend = resolve_backend(choice)
+    print(f"kernel backend: {backend.name}")
+
+
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     """Translate CLI options into an :class:`ExperimentConfig`."""
     datasets = tuple(args.dataset) if getattr(args, "dataset", None) else ("syn",)
@@ -202,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="override the spec's worker-process count",
     )
+    sweep_parser.add_argument(
+        "--shared-dataset", action="store_true",
+        help="publish each dataset once in shared memory and let the "
+             "worker processes attach zero-copy views instead of shipping "
+             "each a pickled copy (results are identical)",
+    )
+    _add_backend_option(sweep_parser)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -255,6 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final estimate matrix (plus ground truth and "
              "metrics) as an .npz archive",
     )
+    serve_parser.add_argument(
+        "--publish-dataset", action="store_true",
+        help="additionally publish the collection's dataset as a shared-"
+             "memory block and print its name, so co-located 'work' "
+             "processes can attach with --attach-dataset instead of "
+             "rebuilding the dataset themselves",
+    )
+    _add_backend_option(serve_parser)
 
     work_parser = subparsers.add_parser(
         "work",
@@ -295,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="tcp compatibility mode: poll the broker with READY/IDLE "
              "round-trips instead of parking until work is pushed",
     )
+    work_parser.add_argument(
+        "--attach-dataset", default=None, metavar="BLOCK",
+        help="attach the dataset from a shared-memory block published by a "
+             "co-located 'serve --publish-dataset' instead of rebuilding it "
+             "from the task's registry reference",
+    )
+    _add_backend_option(work_parser)
 
     datasets_parser = subparsers.add_parser(
         "datasets", help="summarize the evaluation workloads"
@@ -331,6 +382,7 @@ def run_spec_sweep(
     output_dir: str,
     resume: bool = False,
     n_workers: Optional[int] = None,
+    shared_dataset: bool = False,
 ) -> int:
     """Execute a :class:`~repro.specs.SweepSpec`, one CSV per dataset.
 
@@ -411,6 +463,7 @@ def run_spec_sweep(
             completed=completed,
             resume=resume,
             header_comment=f"{_FINGERPRINT_KEY}={fingerprint}",
+            shared_dataset=shared_dataset,
         )
         rows = store.load_rows(experiment_id)
         print(f"{dataset_name}: {len(rows)} rows in {store.root / (experiment_id + '.csv')}")
@@ -443,10 +496,21 @@ def run_serve(args: argparse.Namespace) -> int:
     )
     from .simulation.runner import make_shard_tasks, result_from_summaries
 
+    _apply_backend_option(args)
     spec = load_collection_spec(args.spec)
     auth_key_env = args.auth_key_env or spec.auth_key_env
     auth = authenticator_from_env(auth_key_env)
     dataset = make_dataset(spec.dataset, scale=spec.dataset_scale, rng=spec.seed)
+    dataset_buffer = None
+    if args.publish_dataset:
+        from .simulation.shm import SharedDatasetBuffer
+
+        dataset_buffer = SharedDatasetBuffer.publish(dataset)
+        print(
+            f"{spec.name}: dataset published as shared block "
+            f"{dataset_buffer.name} (workers: --attach-dataset "
+            f"{dataset_buffer.name})"
+        )
     tasks = make_shard_tasks(
         spec.protocol, dataset, spec.n_shards, spec.seed,
         weights=spec.shard_weights,
@@ -495,6 +559,8 @@ def run_serve(args: argparse.Namespace) -> int:
             coordinator.run(timeout=args.timeout)
     finally:
         transport.close()
+        if dataset_buffer is not None:
+            dataset_buffer.unlink()
     result = result_from_summaries(
         spec.protocol,
         dataset,
@@ -539,7 +605,14 @@ def run_work(args: argparse.Namespace) -> int:
         run_worker,
     )
 
+    _apply_backend_option(args)
     auth = authenticator_from_env(args.auth_key_env)
+    dataset = None
+    if args.attach_dataset:
+        from .simulation.shm import SharedDatasetBuffer
+
+        dataset = SharedDatasetBuffer.attach(args.attach_dataset)
+        print(f"dataset attached from shared block {args.attach_dataset}")
     if args.queue_dir:
         # Capacity hints and claim modes are TCP broker concepts; silently
         # ignoring them would let an operator believe a file-queue fleet is
@@ -562,6 +635,7 @@ def run_work(args: argparse.Namespace) -> int:
     try:
         completed = run_worker(
             endpoint,
+            dataset=dataset,
             max_tasks=args.max_tasks,
             idle_timeout=args.idle_exit,
         )
@@ -584,9 +658,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "sweep":
         try:
+            _apply_backend_option(args)
             spec = load_sweep_spec(args.spec)
             return run_spec_sweep(
-                spec, args.output_dir, resume=args.resume, n_workers=args.workers
+                spec,
+                args.output_dir,
+                resume=args.resume,
+                n_workers=args.workers,
+                shared_dataset=args.shared_dataset,
             )
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)

@@ -36,6 +36,7 @@ def run_worker(
     idle_timeout: Optional[float] = 5.0,
     poll_interval: float = 0.1,
     stop: Optional[threading.Event] = None,
+    memo_pool=None,
 ) -> int:
     """Claim-and-execute loop; returns the number of completed shards.
 
@@ -57,6 +58,12 @@ def run_worker(
         Claim poll granularity.
     stop:
         Cooperative cancellation for worker threads.
+    memo_pool:
+        Optional :class:`~repro.simulation.shm.SharedMemoPool` shared by
+        every co-located worker on this host; each claimed shard's engine
+        then uses a view over the pooled memo table (its own disjoint user
+        slice) instead of a private allocation.  Summaries are bit-identical
+        either way.
     """
     completed = 0
     cache: Dict[Tuple[str, float, int], LongitudinalDataset] = {}
@@ -86,7 +93,7 @@ def run_worker(
             if key not in cache:
                 cache[key] = dataset_ref.build()
             workload = cache[key]
-        summary = run_shard_task(task, workload)
+        summary = run_shard_task(task, workload, memo_pool=memo_pool)
         # Echo the coordinator's plan fingerprint so stale summaries in a
         # reused queue are recognizable as belonging to another collection.
         endpoint.complete(shard_id, encode_summary(shard_id, summary, plan=plan))
@@ -127,13 +134,16 @@ def local_worker_threads(
     transport: Transport,
     n_workers: int,
     dataset: Optional[LongitudinalDataset] = None,
+    memo_pool=None,
 ) -> Iterator[LocalWorkerPool]:
     """Run ``n_workers`` worker threads against ``transport`` for a block.
 
     The workers poll until the block exits (they have no idle timeout); on
     exit they are signalled to stop and joined.  A worker exception is
     re-raised in the caller after the block (and is visible earlier through
-    :meth:`LocalWorkerPool.failure_reason`).
+    :meth:`LocalWorkerPool.failure_reason`).  ``memo_pool`` is handed to
+    every worker (see :func:`run_worker`); the threads share the pool's
+    address space, so no attach step is needed.
     """
     stop = threading.Event()
     pool: LocalWorkerPool
@@ -147,6 +157,7 @@ def local_worker_threads(
                 idle_timeout=None,
                 poll_interval=0.02,
                 stop=stop,
+                memo_pool=memo_pool,
             )
         except BaseException as error:  # surfaced via failure_reason / below
             pool.errors.append(error)

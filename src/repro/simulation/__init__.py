@@ -33,21 +33,35 @@ _EXPORTS = {
     # kernels
     "grr_kernel": ".kernels",
     "grr_mixing_counts_kernel": ".kernels",
+    "grr_mixing_counts_batch_kernel": ".kernels",
     "one_hot_kernel": ".kernels",
+    "symbol_bincount_kernel": ".kernels",
     "ue_flip_kernel": ".kernels",
     "ue_fresh_rows_kernel": ".kernels",
     "ue_binomial_counts_kernel": ".kernels",
+    "ue_binomial_counts_batch_kernel": ".kernels",
     "packed_column_sums_kernel": ".kernels",
     "dbitflip_fresh_bits_kernel": ".kernels",
     "sample_buckets_kernel": ".kernels",
     "debias_kernel": ".kernels",
     "chained_debias_kernel": ".kernels",
     "support_from_hashes_kernel": ".kernels",
+    # kernel backend dispatch
+    "KernelBackend": ".kernels_backend",
+    "available_backend_names": ".kernels_backend",
+    "default_backend": ".kernels_backend",
+    "native_available": ".kernels_backend",
+    "resolve_backend": ".kernels_backend",
     # state
     "DenseSymbolMemo": ".state",
     "PackedBitMemo": ".state",
     "SparsePackedBitMemo": ".state",
     "make_packed_bit_memo": ".state",
+    # shared-memory execution tier
+    "SharedArray": ".shm",
+    "SharedDatasetBuffer": ".shm",
+    "SharedMemoPool": ".shm",
+    "SharedPoolHandle": ".shm",
     # sinks
     "SupportCountSink": ".sinks",
     "ShardSummary": ".sinks",
@@ -70,6 +84,7 @@ _EXPORTS = {
     "ShardTask": ".runner",
     "make_shard_tasks": ".runner",
     "result_from_summaries": ".runner",
+    "round_windows": ".runner",
     "run_shard_task": ".runner",
     "simulate_protocol": ".runner",
     "simulate_protocol_sharded": ".runner",
@@ -111,14 +126,24 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         dbitflip_fresh_bits_kernel,
         debias_kernel,
         grr_kernel,
+        grr_mixing_counts_batch_kernel,
         grr_mixing_counts_kernel,
         one_hot_kernel,
         packed_column_sums_kernel,
         sample_buckets_kernel,
         support_from_hashes_kernel,
+        symbol_bincount_kernel,
+        ue_binomial_counts_batch_kernel,
         ue_binomial_counts_kernel,
         ue_flip_kernel,
         ue_fresh_rows_kernel,
+    )
+    from .kernels_backend import (
+        KernelBackend,
+        available_backend_names,
+        default_backend,
+        native_available,
+        resolve_backend,
     )
     from .metrics import (
         averaged_longitudinal_privacy_loss,
@@ -131,10 +156,17 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         SimulationResult,
         make_shard_tasks,
         result_from_summaries,
+        round_windows,
         run_shard_task,
         simulate_protocol,
         simulate_protocol_sharded,
         simulate_with_clients,
+    )
+    from .shm import (
+        SharedArray,
+        SharedDatasetBuffer,
+        SharedMemoPool,
+        SharedPoolHandle,
     )
     from .sinks import ShardedSink, ShardSummary, SupportCountSink, estimate_support_counts
     from .state import (

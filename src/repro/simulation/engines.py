@@ -26,15 +26,30 @@ Every engine exposes the same protocol:
     Process one collection round for all users and return the support counts
     the server aggregates for that round.
 
+``run_rounds(values_t, n_rounds, rng) -> (n_rounds, m) support counts``
+    Process ``n_rounds`` consecutive rounds in which every user holds the
+    same value, collapsing the per-round kernel calls into one batched
+    draw.  **Bit-identical** to calling :meth:`run_round` ``n_rounds``
+    times with the same generator: the batched binomial kernels consume the
+    underlying bit stream in exactly the sequential order (see
+    :func:`repro.simulation.kernels.ue_binomial_counts_batch_kernel`), so
+    callers — the window-batching runner above all — can mix the two freely.
+
 ``distinct_memoized_per_user() -> np.ndarray``
     Per-user count of permanently randomized keys so far (the input of the
     ``eps_avg`` metric).
+
+The deterministic hot folds (packed column sums, the LOLOHA support fold,
+the GRR symbol bincount) are routed through a
+:class:`~repro.simulation.kernels_backend.KernelBackend`; the optional
+compiled backend changes wall-clock time only, never results, and the
+randomness-consuming kernels always stay on the numpy ``Generator``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -49,15 +64,16 @@ from ..rng import RngLike
 from .kernels import (
     dbitflip_fresh_bits_kernel,
     grr_kernel,
+    grr_mixing_counts_batch_kernel,
     grr_mixing_counts_kernel,
-    packed_column_sums_kernel,
     sample_buckets_kernel,
-    support_from_hashes_kernel,
+    ue_binomial_counts_batch_kernel,
     ue_binomial_counts_kernel,
     ue_fresh_rows_kernel,
 )
+from .kernels_backend import KernelBackend, resolve_backend
 from .sinks import estimate_support_counts
-from .state import DenseSymbolMemo, make_packed_bit_memo
+from .state import DenseSymbolMemo, _PackedBitMemoBase, make_packed_bit_memo
 
 __all__ = [
     "PopulationEngine",
@@ -80,44 +96,132 @@ class _DeltaFoldCache:
     ``fold(users, keys)`` must return the summed contribution vector of the
     given users under the given keys.  Contributions never change once a
     (user, key) pair exists, so between rounds only users whose key changed
-    need refolding: the cache applies ``+ new − old`` for those users, and
-    falls back to a full refold when more than half the population moved
-    (the delta touches 2x the changed rows, so that is the break-even).
+    need refolding.  Two refinements keep the delta path cheap and stable:
+
+    * ``fold_delta(users, new_keys, old_keys)``, when given, computes the
+      ``+ new − old`` adjustment in **one fused pass** instead of two folds
+      (the packed engines fold ``[new_rows, ~old_rows]`` together and
+      subtract the row count, using ``colsum(~r) = 1 − colsum(r)``
+      per column);
+    * the full-refold cutover has *hysteresis*: the cache enters the delta
+      path when at most half the population moved (the naive break-even for
+      the two-fold delta) but, once in it, tolerates up to 5/8 before
+      falling back.  Workloads hovering around the 50 % churn mark
+      previously flip-flopped between the two costs every round; the band
+      keeps them on one side.
+
     Longitudinal values are sticky across rounds, making the delta path the
     common case.
     """
 
-    def __init__(self, n_users: int, fold) -> None:
+    def __init__(
+        self,
+        n_users: int,
+        fold: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        fold_delta: Optional[Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]] = None,
+    ) -> None:
         self._n_users = n_users
         self._fold = fold
+        self._fold_delta = fold_delta
         self._last_keys: Optional[np.ndarray] = None
         self._sums: Optional[np.ndarray] = None
+        self._delta_mode = False
 
     def update(self, keys: np.ndarray) -> np.ndarray:
         if self._sums is not None:
             changed = np.flatnonzero(keys != self._last_keys)
-            if changed.size <= self._n_users // 2:
+            threshold = (
+                (5 * self._n_users) // 8 if self._delta_mode else self._n_users // 2
+            )
+            if changed.size <= threshold:
                 if changed.size:
-                    self._sums += self._fold(changed, keys[changed])
-                    self._sums -= self._fold(changed, self._last_keys[changed])
+                    if self._fold_delta is not None:
+                        self._sums += self._fold_delta(
+                            changed, keys[changed], self._last_keys[changed]
+                        )
+                    else:
+                        self._sums += self._fold(changed, keys[changed])
+                        self._sums -= self._fold(changed, self._last_keys[changed])
                     self._last_keys[changed] = keys[changed]
+                self._delta_mode = True
                 return self._sums
         self._sums = self._fold(np.arange(self._n_users), keys)
         self._last_keys = keys.copy()
+        self._delta_mode = False
         return self._sums
 
 
-class PopulationEngine(ABC):
-    """Base class: a vectorized population of clients for one protocol."""
+def _validated_memo(memo, memo_type, expected, engine_name: str):
+    """Check an injected memo table against the engine's required geometry."""
+    if not isinstance(memo, memo_type):
+        raise ParameterError(
+            f"{engine_name} requires a {memo_type.__name__} memo table, "
+            f"got {type(memo).__name__}"
+        )
+    actual = tuple(getattr(memo, name) for name in expected)
+    wanted = tuple(expected.values())
+    if actual != wanted:
+        described = ", ".join(
+            f"{name}={value}" for name, value in zip(expected, actual)
+        )
+        needed = ", ".join(f"{name}={value}" for name, value in expected.items())
+        raise ParameterError(
+            f"injected memo table geometry ({described}) does not match what "
+            f"{engine_name} needs ({needed})"
+        )
+    return memo
 
-    def __init__(self, protocol: LongitudinalProtocol, n_users: int, rng: RngLike = None) -> None:
+
+class PopulationEngine(ABC):
+    """Base class: a vectorized population of clients for one protocol.
+
+    ``backend`` selects the :class:`~repro.simulation.kernels_backend
+    .KernelBackend` for the deterministic hot folds — ``None`` defers to the
+    process default (``REPRO_KERNEL_BACKEND``), a name or a backend object
+    overrides it for this engine alone.  Backends never touch the
+    randomness stream, so simulations are bit-identical across them.
+    """
+
+    def __init__(
+        self,
+        protocol: LongitudinalProtocol,
+        n_users: int,
+        rng: RngLike = None,
+        backend: Union[str, KernelBackend, None] = None,
+    ) -> None:
         self.protocol = protocol
         self.n_users = require_int_at_least(n_users, 1, "n_users")
         self._rng = as_rng(rng)
+        self._backend = resolve_backend(backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the kernel backend serving this engine's hot folds."""
+        return self._backend.name
 
     @abstractmethod
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Process one round of values (one per user) and return support counts."""
+
+    def run_rounds(
+        self,
+        values_t: np.ndarray,
+        n_rounds: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Process ``n_rounds`` consecutive rounds of identical values.
+
+        Returns the stacked support counts, shape ``(n_rounds, m)``; row
+        ``r`` is exactly what the ``r``-th sequential :meth:`run_round` call
+        would have returned with the same generator.  The base implementation
+        is that sequential loop; engines whose steady-round randomness can be
+        drawn in one batch override it.
+        """
+        n_rounds = require_int_at_least(n_rounds, 1, "n_rounds")
+        generator = self._round_rng(rng)
+        return np.stack(
+            [self.run_round(values_t, generator) for _ in range(n_rounds)]
+        )
 
     @abstractmethod
     def distinct_memoized_per_user(self) -> np.ndarray:
@@ -156,23 +260,63 @@ class GRRChainEngine(PopulationEngine):
     regardless of the population size.
     """
 
-    def __init__(self, protocol: LGRR, n_users: int, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        protocol: LGRR,
+        n_users: int,
+        rng: RngLike = None,
+        backend: Union[str, KernelBackend, None] = None,
+        memo: Optional[DenseSymbolMemo] = None,
+    ) -> None:
         if not isinstance(protocol, LGRR):
             raise ParameterError("GRRChainEngine requires an LGRR protocol")
-        super().__init__(protocol, n_users, rng)
-        self._state = DenseSymbolMemo(n_users, protocol.k)
+        super().__init__(protocol, n_users, rng, backend=backend)
+        if memo is None:
+            memo = DenseSymbolMemo(n_users, protocol.k)
+        self._state = _validated_memo(
+            memo,
+            DenseSymbolMemo,
+            {"n_users": n_users, "n_keys": protocol.k},
+            "GRRChainEngine",
+        )
+
+    def _memoized_symbol_counts(
+        self, values_t: np.ndarray, generator: np.random.Generator
+    ) -> np.ndarray:
+        params = self.protocol.chained_parameters
+        k = self.protocol.k
+        memoized = self._state.resolve(
+            values_t, lambda users, keys: grr_kernel(keys, k, params.p1, generator)
+        )
+        return self._backend.symbol_bincount(memoized, k)
 
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         values_t = self._validate_round(values_t)
         generator = self._round_rng(rng)
-        params = self.protocol.chained_parameters
-        k = self.protocol.k
-
-        memoized = self._state.resolve(
-            values_t, lambda users, keys: grr_kernel(keys, k, params.p1, generator)
+        symbol_counts = self._memoized_symbol_counts(values_t, generator)
+        return grr_mixing_counts_kernel(
+            symbol_counts, self.protocol.k, self.protocol.chained_parameters.p2, generator
         )
-        symbol_counts = np.bincount(memoized, minlength=k)
-        return grr_mixing_counts_kernel(symbol_counts, k, params.p2, generator)
+
+    def run_rounds(
+        self,
+        values_t: np.ndarray,
+        n_rounds: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        n_rounds = require_int_at_least(n_rounds, 1, "n_rounds")
+        values_t = self._validate_round(values_t)
+        generator = self._round_rng(rng)
+        # With unchanged values only the first round can memoize fresh pairs;
+        # the remaining rounds' GRR mixing collapses into one batched draw.
+        symbol_counts = self._memoized_symbol_counts(values_t, generator)
+        return grr_mixing_counts_batch_kernel(
+            symbol_counts,
+            self.protocol.k,
+            self.protocol.chained_parameters.p2,
+            n_rounds,
+            generator,
+        )
 
     def distinct_memoized_per_user(self) -> np.ndarray:
         return self._state.distinct_per_user()
@@ -185,10 +329,12 @@ class UnaryChainEngine(PopulationEngine):
     memo table indexed by (user, value), materialized lazily in batches; the
     layout (dense below ~2 GiB, row-sparse above) is picked by
     :func:`repro.simulation.state.make_packed_bit_memo` and can be forced
-    with ``memo_layout=``.  The round path folds the packed rows straight
-    into per-column sums — the full ``(n_users, k)`` bit matrix is never
-    unpacked — and samples the instantaneous flips in aggregate (two
-    binomials per column).
+    with ``memo_layout=``, or the table itself injected with ``memo=`` (the
+    shared-memory pool of :mod:`repro.simulation.shm` does this to let
+    co-located shards share one allocation).  The round path folds the
+    packed rows straight into per-column sums — the full ``(n_users, k)``
+    bit matrix is never unpacked — and samples the instantaneous flips in
+    aggregate (two binomials per column).
     """
 
     def __init__(
@@ -197,26 +343,56 @@ class UnaryChainEngine(PopulationEngine):
         n_users: int,
         rng: RngLike = None,
         memo_layout: str = "auto",
+        backend: Union[str, KernelBackend, None] = None,
+        memo: Optional[_PackedBitMemoBase] = None,
     ) -> None:
         if not isinstance(protocol, LongitudinalUnaryEncoding):
             raise ParameterError("UnaryChainEngine requires a longitudinal UE protocol")
-        super().__init__(protocol, n_users, rng)
-        self._state = make_packed_bit_memo(
-            n_users, protocol.k, protocol.k, layout=memo_layout
+        super().__init__(protocol, n_users, rng, backend=backend)
+        if memo is not None:
+            if memo_layout != "auto":
+                raise ParameterError(
+                    "memo_layout cannot be combined with an injected memo table"
+                )
+            self._state = _validated_memo(
+                memo,
+                _PackedBitMemoBase,
+                {"n_users": n_users, "n_keys": protocol.k, "n_bits": protocol.k},
+                "UnaryChainEngine",
+            )
+        else:
+            self._state = make_packed_bit_memo(
+                n_users, protocol.k, protocol.k, layout=memo_layout
+            )
+        self._column_sums = _DeltaFoldCache(
+            n_users, self._fold_column_sums, self._fold_column_sums_delta
         )
-        self._column_sums = _DeltaFoldCache(n_users, self._fold_column_sums)
 
     def _fold_column_sums(self, users: np.ndarray, keys: np.ndarray) -> np.ndarray:
-        return packed_column_sums_kernel(
+        return self._backend.packed_column_sums(
             self._state.packed_rows(users, keys), self.protocol.k
         )
 
-    def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        values_t = self._validate_round(values_t)
-        generator = self._round_rng(rng)
+    def _fold_column_sums_delta(
+        self, users: np.ndarray, new_keys: np.ndarray, old_keys: np.ndarray
+    ) -> np.ndarray:
+        # colsum(new) − colsum(old) == colsum([new, ~old]) − n_changed per
+        # column: inverting the packed bytes turns each old row into its
+        # complement (the byte tail pad lands in truncated columns >= k), so
+        # one fused fold replaces the two-pass add/subtract.
+        fused = np.concatenate(
+            [
+                self._state.packed_rows(users, new_keys),
+                np.invert(self._state.packed_rows(users, old_keys)),
+            ]
+        )
+        return self._backend.packed_column_sums(fused, self.protocol.k) - users.size
+
+    def _memoized_column_sums(
+        self, values_t: np.ndarray, generator: np.random.Generator
+    ) -> np.ndarray:
         params = self.protocol.chained_parameters
         k = self.protocol.k
-
         self._state.ensure_rows(
             values_t,
             lambda users, keys: ue_fresh_rows_kernel(
@@ -226,12 +402,33 @@ class UnaryChainEngine(PopulationEngine):
         # Column sums of the memoized rows, folded on the packed bytes (the
         # full (n_users, k) bit matrix is never unpacked) and updated
         # incrementally across rounds.
-        memo_ones = self._column_sums.update(values_t)
+        return self._column_sums.update(values_t)
+
+    def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        values_t = self._validate_round(values_t)
+        generator = self._round_rng(rng)
+        params = self.protocol.chained_parameters
+        memo_ones = self._memoized_column_sums(values_t, generator)
         # The instantaneous bit flips are independent across users, so the
         # column support counts can be sampled in aggregate (two binomials
         # per column) instead of flipping the full (n_users, k) matrix.
         return ue_binomial_counts_kernel(
             memo_ones, self.n_users, params.p2, params.q2, generator
+        )
+
+    def run_rounds(
+        self,
+        values_t: np.ndarray,
+        n_rounds: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        n_rounds = require_int_at_least(n_rounds, 1, "n_rounds")
+        values_t = self._validate_round(values_t)
+        generator = self._round_rng(rng)
+        params = self.protocol.chained_parameters
+        memo_ones = self._memoized_column_sums(values_t, generator)
+        return ue_binomial_counts_batch_kernel(
+            memo_ones, self.n_users, params.p2, params.q2, n_rounds, generator
         )
 
     def distinct_memoized_per_user(self) -> np.ndarray:
@@ -255,17 +452,31 @@ class DBitFlipEngine(PopulationEngine):
         rng: RngLike = None,
         memo_layout: str = "auto",
         record_key_history: bool = False,
+        backend: Union[str, KernelBackend, None] = None,
+        memo: Optional[_PackedBitMemoBase] = None,
     ) -> None:
         if not isinstance(protocol, DBitFlipPM):
             raise ParameterError("DBitFlipEngine requires a DBitFlipPM protocol")
-        super().__init__(protocol, n_users, rng)
+        super().__init__(protocol, n_users, rng, backend=backend)
         d, b = protocol.d, protocol.b
         #: Sampled buckets, fixed per user (without replacement) — one batched
         #: draw for the whole population.
         self.sampled_buckets = sample_buckets_kernel(n_users, b, d, self._rng)
         # Memoized bits per (user, indicator key); key d means "no sampled
         # bucket matches".
-        self._state = make_packed_bit_memo(n_users, d + 1, d, layout=memo_layout)
+        if memo is not None:
+            if memo_layout != "auto":
+                raise ParameterError(
+                    "memo_layout cannot be combined with an injected memo table"
+                )
+            self._state = _validated_memo(
+                memo,
+                _PackedBitMemoBase,
+                {"n_users": n_users, "n_keys": d + 1, "n_bits": d},
+                "DBitFlipEngine",
+            )
+        else:
+            self._state = make_packed_bit_memo(n_users, d + 1, d, layout=memo_layout)
         #: Per-round memoization keys used by each user, recorded only when
         #: ``record_key_history=True`` (``None`` otherwise); consumed by the
         #: change-detection attack.
@@ -299,6 +510,22 @@ class DBitFlipEngine(PopulationEngine):
             minlength=self.protocol.b,
         )
 
+    def run_rounds(
+        self,
+        values_t: np.ndarray,
+        n_rounds: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        n_rounds = require_int_at_least(n_rounds, 1, "n_rounds")
+        # dBitFlipPM has no instantaneous randomization: with unchanged
+        # values, rounds after the first replay the identical memoized
+        # counts and consume no randomness — one round computed, R emitted.
+        counts = self.run_round(values_t, rng)
+        if self.key_history is not None:
+            for _ in range(n_rounds - 1):
+                self.key_history.append(self.key_history[-1].copy())
+        return np.repeat(counts[None, :], n_rounds, axis=0)
+
     def distinct_memoized_per_user(self) -> np.ndarray:
         return self._state.distinct_per_user()
 
@@ -326,16 +553,28 @@ class LOLOHAEngine(PopulationEngine):
         n_users: int,
         rng: RngLike = None,
         support_layout: str = "auto",
+        backend: Union[str, KernelBackend, None] = None,
+        memo: Optional[DenseSymbolMemo] = None,
     ) -> None:
         if not isinstance(protocol, LOLOHA):
             raise ParameterError("LOLOHAEngine requires a LOLOHA protocol")
-        super().__init__(protocol, n_users, rng)
+        super().__init__(protocol, n_users, rng, backend=backend)
         domain_dtype = np.int16 if protocol.g < 2**15 else np.int32
         #: Pre-hashed domain per user: ``hashed_domain[u, v] = H_u(v)``.
+        #: Always drawn from this engine's own stream — never shared state —
+        #: so shard engines reproduce the identical tables in every
+        #: execution mode.
         self.hashed_domain = protocol.family.sample_hashed_domains(
             n_users, protocol.k, self._rng
         ).astype(domain_dtype)
-        self._state = DenseSymbolMemo(n_users, protocol.g)
+        if memo is None:
+            memo = DenseSymbolMemo(n_users, protocol.g)
+        self._state = _validated_memo(
+            memo,
+            DenseSymbolMemo,
+            {"n_users": n_users, "n_keys": protocol.g},
+            "LOLOHAEngine",
+        )
         if support_layout not in ("auto", "packed", "compare"):
             raise ParameterError(
                 f"support layout must be 'auto', 'packed' or 'compare', "
@@ -358,30 +597,51 @@ class LOLOHAEngine(PopulationEngine):
                 ]
             )
         # A user's support row depends only on its memoized symbol (the hash
-        # tables are fixed), so the fold is delta-cached on those symbols.
-        self._memoized_support = _DeltaFoldCache(n_users, self._fold_support)
+        # tables are fixed), so the fold is delta-cached on those symbols;
+        # the packed-plane layout additionally gets the fused delta pass.
+        self._memoized_support = _DeltaFoldCache(
+            n_users,
+            self._fold_support,
+            self._fold_support_delta if use_planes else None,
+        )
 
     def _fold_support(self, users: np.ndarray, symbols: np.ndarray) -> np.ndarray:
         """Fold the support rows of the given users under the given memoized
         symbols: ``sum_u [H_u(v) == symbols[u]]`` per value ``v``."""
         if self._support_planes is not None:
             rows = self._support_planes[symbols, users]
-            return packed_column_sums_kernel(rows, self.protocol.k)
-        return support_from_hashes_kernel(
-            self.hashed_domain[users], symbols
-        ).astype(np.int64)
+            return self._backend.packed_column_sums(rows, self.protocol.k)
+        return self._backend.support_fold(self.hashed_domain[users], symbols)
+
+    def _fold_support_delta(
+        self, users: np.ndarray, new_symbols: np.ndarray, old_symbols: np.ndarray
+    ) -> np.ndarray:
+        # Same fused add/remove identity as the UE column-sum delta: the
+        # complement of an old support row contributes 1 − old per column.
+        fused = np.concatenate(
+            [
+                self._support_planes[new_symbols, users],
+                np.invert(self._support_planes[old_symbols, users]),
+            ]
+        )
+        return self._backend.packed_column_sums(fused, self.protocol.k) - users.size
+
+    def _memoized_support_counts(
+        self, values_t: np.ndarray, generator: np.random.Generator
+    ) -> np.ndarray:
+        params = self.protocol.chained_parameters
+        g = self.protocol.g
+        users = np.arange(self.n_users)
+        hashed = self.hashed_domain[users, values_t].astype(np.int64)
+        memoized = self._state.resolve(
+            hashed, lambda u, keys: grr_kernel(keys, g, params.p1, generator)
+        )
+        return self._memoized_support.update(memoized)
 
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         values_t = self._validate_round(values_t)
         generator = self._round_rng(rng)
         params = self.protocol.chained_parameters
-        g = self.protocol.g
-        users = np.arange(self.n_users)
-
-        hashed = self.hashed_domain[users, values_t].astype(np.int64)
-        memoized = self._state.resolve(
-            hashed, lambda u, keys: grr_kernel(keys, g, params.p1, generator)
-        )
         # A user supports value v iff its report equals H_u(v); the report is
         # the memoized symbol with probability p2 and any fixed other symbol
         # with probability q2 = (1 - p2) / (g - 1), independently across
@@ -390,27 +650,72 @@ class LOLOHAEngine(PopulationEngine):
         # Binomial(D[v], p2) + Binomial(n - D[v], q2) — the same aggregated
         # form as the UE round (cross-value covariance through shared reports
         # is not reproduced; every downstream consumer is per-value).
-        memo_support = self._memoized_support.update(memoized)
+        memo_support = self._memoized_support_counts(values_t, generator)
         return ue_binomial_counts_kernel(
             memo_support, self.n_users, params.p2, params.q2, generator
+        )
+
+    def run_rounds(
+        self,
+        values_t: np.ndarray,
+        n_rounds: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        n_rounds = require_int_at_least(n_rounds, 1, "n_rounds")
+        values_t = self._validate_round(values_t)
+        generator = self._round_rng(rng)
+        params = self.protocol.chained_parameters
+        memo_support = self._memoized_support_counts(values_t, generator)
+        return ue_binomial_counts_batch_kernel(
+            memo_support, self.n_users, params.p2, params.q2, n_rounds, generator
         )
 
     def distinct_memoized_per_user(self) -> np.ndarray:
         return self._state.distinct_per_user()
 
 
+#: Options each engine constructor accepts beyond ``(protocol, n_users,
+#: rng)``.  ``engine_for`` validates against this so an override that an
+#: engine would silently ignore (for instance ``memo_layout`` on the
+#: symbol-memo engines) is an explicit error instead.
+_ENGINE_OPTIONS = {
+    GRRChainEngine: ("backend", "memo"),
+    UnaryChainEngine: ("backend", "memo", "memo_layout"),
+    DBitFlipEngine: ("backend", "memo", "memo_layout", "record_key_history"),
+    LOLOHAEngine: ("backend", "memo", "support_layout"),
+}
+
+
 def engine_for(
-    protocol: LongitudinalProtocol, n_users: int, rng: RngLike = None
+    protocol: LongitudinalProtocol, n_users: int, rng: RngLike = None, **options
 ) -> PopulationEngine:
-    """Instantiate the vectorized engine matching ``protocol``'s family."""
-    if isinstance(protocol, LOLOHA):
-        return LOLOHAEngine(protocol, n_users, rng)
-    if isinstance(protocol, LGRR):
-        return GRRChainEngine(protocol, n_users, rng)
-    if isinstance(protocol, LongitudinalUnaryEncoding):
-        return UnaryChainEngine(protocol, n_users, rng)
-    if isinstance(protocol, DBitFlipPM):
-        return DBitFlipEngine(protocol, n_users, rng)
+    """Instantiate the vectorized engine matching ``protocol``'s family.
+
+    Keyword ``options`` are forwarded to the engine constructor after being
+    validated against the engine's accepted set (see the per-engine
+    signatures): passing an option the selected engine does not understand
+    — e.g. ``memo_layout`` for :class:`GRRChainEngine`, whose memo is a
+    symbol table with no packed layout to choose — raises a
+    :class:`~repro.exceptions.ParameterError` naming the valid options
+    instead of being silently ignored.
+    """
+    for protocol_type, engine_type in (
+        (LOLOHA, LOLOHAEngine),
+        (LGRR, GRRChainEngine),
+        (LongitudinalUnaryEncoding, UnaryChainEngine),
+        (DBitFlipPM, DBitFlipEngine),
+    ):
+        if isinstance(protocol, protocol_type):
+            allowed = _ENGINE_OPTIONS[engine_type]
+            unknown = sorted(set(options) - set(allowed))
+            if unknown:
+                raise ParameterError(
+                    f"{engine_type.__name__} (for {type(protocol).__name__}) "
+                    f"does not accept engine option(s) "
+                    f"{', '.join(repr(name) for name in unknown)}; "
+                    f"valid options: {', '.join(sorted(allowed))}"
+                )
+            return engine_type(protocol, n_users, rng, **options)
     raise ParameterError(
         f"no vectorized engine is registered for protocol type {type(protocol).__name__}"
     )

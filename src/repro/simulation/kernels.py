@@ -28,10 +28,13 @@ from ..exceptions import ParameterError
 __all__ = [
     "grr_kernel",
     "grr_mixing_counts_kernel",
+    "grr_mixing_counts_batch_kernel",
     "one_hot_kernel",
+    "symbol_bincount_kernel",
     "ue_flip_kernel",
     "ue_fresh_rows_kernel",
     "ue_binomial_counts_kernel",
+    "ue_binomial_counts_batch_kernel",
     "packed_column_sums_kernel",
     "dbitflip_fresh_bits_kernel",
     "sample_buckets_kernel",
@@ -108,6 +111,45 @@ def ue_fresh_rows_kernel(
     return (rng.random((values.size, k)) < threshold).astype(np.uint8)
 
 
+def _chained_binomial_batch(
+    ones: np.ndarray,
+    totals: int,
+    p: float,
+    q: float,
+    n_rounds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``n_rounds`` repetitions of the two-binomial support-count draw.
+
+    Both aggregated instantaneous rounds (UE flips, GRR mixing) reduce to the
+    same pair of draws per round: ``Binomial(ones, p) + Binomial(totals -
+    ones, q)`` per column.  This helper collapses ``n_rounds`` such rounds
+    into ONE numpy call by stacking the per-round parameter pairs as an
+    ``(n_rounds, 2, k)`` array: numpy fills element-wise binomial draws in C
+    order, so round ``r`` consumes its ``p``-draws then its ``q``-draws
+    before round ``r + 1`` touches the stream — exactly the order of
+    ``n_rounds`` sequential kernel calls.  The result is therefore
+    *bit-identical* to the one-round-at-a-time path (asserted by the
+    execution-tier tests), while the Python-level per-round loop disappears.
+    """
+    ones = np.asarray(ones, dtype=np.int64)
+    pair = np.stack([ones, totals - ones])
+    trials = np.broadcast_to(pair, (n_rounds,) + pair.shape)
+    probabilities = np.array([p, q])[None, :, None]
+    draws = rng.binomial(trials, probabilities)
+    return draws.sum(axis=1, dtype=np.int64).astype(np.float64)
+
+
+def symbol_bincount_kernel(values: np.ndarray, minlength: int) -> np.ndarray:
+    """Counts of each symbol in an int64 value array (``np.bincount``).
+
+    The deterministic half of the aggregated GRR round: the per-symbol
+    population sizes that parameterize :func:`grr_mixing_counts_kernel`.
+    Split out as a kernel so the compiled backend can replace it.
+    """
+    return np.bincount(values, minlength=minlength)
+
+
 def ue_binomial_counts_kernel(
     memo_ones: np.ndarray, n_users: int, p: float, q: float, rng: np.random.Generator
 ) -> np.ndarray:
@@ -125,6 +167,26 @@ def ue_binomial_counts_kernel(
     kept = rng.binomial(memo_ones, p)
     flipped = rng.binomial(n_users - memo_ones, q)
     return (kept + flipped).astype(np.float64)
+
+
+def ue_binomial_counts_batch_kernel(
+    memo_ones: np.ndarray,
+    n_users: int,
+    p: float,
+    q: float,
+    n_rounds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``n_rounds`` steady UE rounds in one draw: ``(n_rounds, k)`` counts.
+
+    Bit-identical to ``n_rounds`` sequential calls of
+    :func:`ue_binomial_counts_kernel` with the same generator (see
+    :func:`_chained_binomial_batch` for why the stream order matches), at one
+    numpy dispatch instead of a Python-level round loop.  Only valid while
+    the memoized column sums are unchanged across the window — the engines
+    guarantee that by batching only windows of identical value rounds.
+    """
+    return _chained_binomial_batch(memo_ones, n_users, p, q, n_rounds, rng)
 
 
 def grr_mixing_counts_kernel(
@@ -160,6 +222,29 @@ def grr_mixing_counts_kernel(
     kept = rng.binomial(symbol_counts, keep_probability)
     strayed_in = rng.binomial(n_users - symbol_counts, stray_probability)
     return (kept + strayed_in).astype(np.float64)
+
+
+def grr_mixing_counts_batch_kernel(
+    symbol_counts: np.ndarray,
+    domain: int,
+    keep_probability: float,
+    n_rounds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``n_rounds`` steady GRR rounds in one draw: ``(n_rounds, k)`` counts.
+
+    Bit-identical to ``n_rounds`` sequential calls of
+    :func:`grr_mixing_counts_kernel` with the same generator (see
+    :func:`_chained_binomial_batch`).  Only valid while the memoized symbol
+    counts are unchanged across the window.
+    """
+    domain = _require_grr_domain(domain)
+    symbol_counts = np.asarray(symbol_counts, dtype=np.int64)
+    n_users = int(symbol_counts.sum())
+    stray_probability = (1.0 - keep_probability) / (domain - 1)
+    return _chained_binomial_batch(
+        symbol_counts, n_users, keep_probability, stray_probability, n_rounds, rng
+    )
 
 
 #: Rows per bit-sliced accumulation batch of

@@ -1,0 +1,140 @@
+"""Backend dispatch for the hottest simulation kernels.
+
+The numpy kernels in :mod:`repro.simulation.kernels` are the *oracle*: pure,
+dependency-free and always available.  This module lets the engines route the
+three hottest calls — the packed column-sum fold, the LOLOHA support fold and
+the GRR symbol bincount — through an optional compiled backend
+(:mod:`repro.simulation._native`, a generated-C library built with the system
+compiler) while keeping the numpy path as the verification reference.  All
+dispatched kernels are exact integer computations, so backends are
+*exactly* interchangeable: the property tests assert equality, not
+closeness, and the randomness-consuming kernels are never dispatched — the
+binomial/uniform draws always come from the numpy ``Generator``, which keeps
+simulation streams bit-identical across backends.
+
+Selection has two levels:
+
+* the ``REPRO_KERNEL_BACKEND`` environment variable sets the process-wide
+  default: ``auto`` (compiled when buildable, numpy otherwise — the
+  default), ``numpy`` (force the oracle) or ``native`` (require the
+  compiled library, raising if it cannot be built);
+* any engine accepts a ``backend=`` override (plumbed through
+  :func:`repro.simulation.engines.engine_for`) that takes precedence for
+  that engine alone.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from . import _native
+from .kernels import packed_column_sums_kernel, symbol_bincount_kernel
+
+__all__ = [
+    "KernelBackend",
+    "available_backend_names",
+    "default_backend",
+    "native_available",
+    "resolve_backend",
+]
+
+#: Environment variable holding the process-wide backend default.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+_BACKEND_CHOICES = ("auto", "numpy", "native")
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One interchangeable implementation set of the dispatched hot kernels.
+
+    ``packed_column_sums(packed_rows, n_bits) -> int64[n_bits]`` folds
+    bit-packed rows into column sums; ``support_fold(hashed_domain, reports)
+    -> int64[k]`` counts hash-report matches per value; ``symbol_bincount
+    (values, minlength) -> int64`` counts symbol occurrences.  Every
+    implementation must be exactly equal to the numpy oracle on valid
+    inputs — backends change wall-clock time, never results.
+    """
+
+    name: str
+    packed_column_sums: Callable[[np.ndarray, int], np.ndarray]
+    support_fold: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    symbol_bincount: Callable[[np.ndarray, int], np.ndarray]
+
+
+def _numpy_support_fold(hashed_domain: np.ndarray, reports: np.ndarray) -> np.ndarray:
+    matches = hashed_domain == reports[:, None].astype(hashed_domain.dtype)
+    return matches.sum(axis=0, dtype=np.int64)
+
+
+NUMPY_BACKEND = KernelBackend(
+    name="numpy",
+    packed_column_sums=packed_column_sums_kernel,
+    support_fold=_numpy_support_fold,
+    symbol_bincount=symbol_bincount_kernel,
+)
+
+
+def native_available() -> bool:
+    """Whether the compiled backend can be built and loaded on this host."""
+    return _native.load()[0] is not None
+
+
+def _native_backend() -> Optional[KernelBackend]:
+    kernels, _ = _native.load()
+    if kernels is None:
+        return None
+    return KernelBackend(
+        name="native",
+        packed_column_sums=kernels.packed_column_sums,
+        support_fold=kernels.support_fold,
+        symbol_bincount=kernels.symbol_bincount,
+    )
+
+
+def available_backend_names() -> tuple:
+    """The backend names valid on this host (``numpy`` is always present)."""
+    names = ["numpy"]
+    if native_available():
+        names.append("native")
+    return tuple(names)
+
+
+def resolve_backend(spec: Union[str, KernelBackend, None]) -> KernelBackend:
+    """Resolve a backend request into a concrete :class:`KernelBackend`.
+
+    ``None`` defers to the :data:`BACKEND_ENV_VAR` environment variable
+    (itself defaulting to ``auto``).  ``auto`` prefers the compiled backend
+    and silently falls back to numpy when it is unavailable; ``native``
+    *requires* it and raises a :class:`~repro.exceptions.ParameterError`
+    naming the build failure otherwise.
+    """
+    if isinstance(spec, KernelBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or "auto"
+    if spec not in _BACKEND_CHOICES:
+        raise ParameterError(
+            f"kernel backend must be one of {_BACKEND_CHOICES}, got {spec!r}"
+        )
+    if spec == "numpy":
+        return NUMPY_BACKEND
+    native = _native_backend()
+    if native is not None:
+        return native
+    if spec == "native":
+        raise ParameterError(
+            f"the compiled kernel backend is unavailable on this host: "
+            f"{_native.unavailable_reason()}"
+        )
+    return NUMPY_BACKEND
+
+
+def default_backend() -> KernelBackend:
+    """The backend the engines use when no override is given."""
+    return resolve_backend(None)

@@ -1,0 +1,395 @@
+"""Shared-memory state for co-located simulation workers.
+
+``simulate_protocol_sharded`` historically shipped a pickled copy of the
+dataset into every worker process and let each shard allocate its own memo
+table on its private heap.  On one host that is pure duplication: the
+dataset is immutable, and the shards' memo rows partition the user axis, so
+one population-sized block serves every worker.  This module provides that
+block layer on top of :mod:`multiprocessing.shared_memory`:
+
+``SharedArray``
+    A self-describing shared block: an 8-byte header length, a JSON header
+    (dtype, shape, free-form extra metadata) and the raw array bytes.  A
+    block can therefore be attached *by name alone* — the attaching process
+    needs no side channel to learn the geometry, which is what lets
+    ``repro-ldp work --attach-dataset NAME`` join from a separate process.
+
+``SharedDatasetBuffer``
+    Publishes a :class:`~repro.datasets.base.LongitudinalDataset`'s value
+    matrix once; attachers get a read-only dataset view backed by the block
+    instead of a per-process copy.
+
+``SharedMemoPool``
+    One population-wide memoization table for a protocol family (packed-bit
+    rows for the UE chains and dBitFlipPM, symbol tables for L-GRR and
+    LOLOHA), created by the pool owner and sliced per shard.  Shards own
+    disjoint user ranges, so workers write without locks, and the slice
+    views resolve through exactly the dense-table code paths — shared runs
+    stay bit-identical to serial ones.
+
+Lifecycle rule (see ``docs/architecture.md``): the *creator* owns the block
+and is the only party that may ``unlink``; attachers only ever ``close``.
+Owners are context managers and additionally register an ``atexit`` hook, so
+an exception anywhere in the owning process still releases the segments
+(``unlink`` of an already-removed block is silently ignored).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import secrets
+import struct
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.base import LongitudinalDataset
+from ..exceptions import ExperimentError, ParameterError
+from ..longitudinal.base import LongitudinalProtocol
+from ..longitudinal.dbitflip import DBitFlipPM
+from ..longitudinal.l_grr import LGRR
+from ..longitudinal.l_ue import LongitudinalUnaryEncoding
+from ..longitudinal.loloha import LOLOHA
+from .state import DenseSymbolMemo, PackedBitMemo
+
+__all__ = [
+    "SharedArray",
+    "SharedDatasetBuffer",
+    "SharedMemoPool",
+    "SharedPoolHandle",
+]
+
+_HEADER_LENGTH_FORMAT = "<Q"
+_HEADER_PAD = 64
+
+
+def _block_name(prefix: str) -> str:
+    return f"{prefix}-{secrets.token_hex(6)}"
+
+
+class SharedArray:
+    """One self-describing shared-memory numpy array.
+
+    Create with :meth:`create` (the owner) or :meth:`attach` (a reader /
+    co-writer).  The numpy view is exposed as :attr:`array`; ``extra`` holds
+    the free-form JSON metadata embedded at creation.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        array: np.ndarray,
+        extra: Dict[str, object],
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self.array = array
+        self.extra = extra
+        self._owner = owner
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """The attachable segment name."""
+        return self._segment.name
+
+    @classmethod
+    def create(
+        cls,
+        values: np.ndarray,
+        extra: Optional[Dict[str, object]] = None,
+        prefix: str = "repro",
+    ) -> "SharedArray":
+        values = np.ascontiguousarray(values)
+        header = json.dumps(
+            {
+                "dtype": values.dtype.str,
+                "shape": list(values.shape),
+                "extra": extra or {},
+            }
+        ).encode()
+        offset = struct.calcsize(_HEADER_LENGTH_FORMAT) + len(header)
+        offset += (-offset) % _HEADER_PAD
+        segment = shared_memory.SharedMemory(
+            name=_block_name(prefix), create=True, size=max(offset + values.nbytes, 1)
+        )
+        segment.buf[: struct.calcsize(_HEADER_LENGTH_FORMAT)] = struct.pack(
+            _HEADER_LENGTH_FORMAT, len(header)
+        )
+        start = struct.calcsize(_HEADER_LENGTH_FORMAT)
+        segment.buf[start : start + len(header)] = header
+        array = np.ndarray(values.shape, dtype=values.dtype, buffer=segment.buf[offset:])
+        array[...] = values
+        return cls(segment, array, extra or {}, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, writable: bool = False) -> "SharedArray":
+        segment = shared_memory.SharedMemory(name=name)
+        length_size = struct.calcsize(_HEADER_LENGTH_FORMAT)
+        (header_length,) = struct.unpack(
+            _HEADER_LENGTH_FORMAT, bytes(segment.buf[:length_size])
+        )
+        header = json.loads(bytes(segment.buf[length_size : length_size + header_length]))
+        offset = length_size + header_length
+        offset += (-offset) % _HEADER_PAD
+        array = np.ndarray(
+            tuple(header["shape"]), dtype=np.dtype(header["dtype"]), buffer=segment.buf[offset:]
+        )
+        if not writable:
+            array = array.view()
+            array.flags.writeable = False
+        return cls(segment, array, header.get("extra", {}), owner=False)
+
+    def close(self) -> None:
+        """Detach this process's mapping (attachers' only cleanup step)."""
+        if not self._closed:
+            # Drop the numpy views first: SharedMemory.close() raises while
+            # any exported buffer is still alive.
+            self.array = None
+            self._closed = True
+            self._segment.close()
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only); safe to call more than once."""
+        if not self._owner:
+            raise ExperimentError(
+                f"shared block {self.name!r} was attached, not created, by this "
+                f"process; only the creating owner may unlink it"
+            )
+        self.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass  # already removed (double cleanup after a crash path)
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+class SharedDatasetBuffer:
+    """A dataset value matrix published once per host instead of per process.
+
+    The owner calls :meth:`publish`; co-located workers call :meth:`attach`
+    with the block name and receive a read-only
+    :class:`~repro.datasets.base.LongitudinalDataset` view whose backing
+    bytes live in the shared segment.
+    """
+
+    def __init__(self, block: SharedArray) -> None:
+        self._block = block
+
+    @property
+    def name(self) -> str:
+        return self._block.name
+
+    @classmethod
+    def publish(cls, dataset: LongitudinalDataset) -> "SharedDatasetBuffer":
+        block = SharedArray.create(
+            dataset.values,
+            extra={"name": dataset.name, "k": dataset.k},
+            prefix="repro-ds",
+        )
+        buffer = cls(block)
+        atexit.register(buffer.unlink)
+        return buffer
+
+    @classmethod
+    def attach(cls, name: str) -> LongitudinalDataset:
+        block = SharedArray.attach(name)
+        dataset = LongitudinalDataset(
+            name=str(block.extra["name"]),
+            values=block.array,
+            k=int(block.extra["k"]),
+            metadata={"shared_block": block.name},
+        )
+        # The view keeps the mapping alive for the dataset's lifetime; the
+        # attacher-side close happens when the process exits (or when the
+        # caller closes explicitly through the handle below).
+        dataset.metadata["_shared_array"] = block
+        return dataset
+
+    def view(self) -> LongitudinalDataset:
+        """The owner's own zero-copy dataset view."""
+        return LongitudinalDataset(
+            name=str(self._block.extra["name"]),
+            values=self._block.array,
+            k=int(self._block.extra["k"]),
+            metadata={"shared_block": self._block.name},
+        )
+
+    def close(self) -> None:
+        self._block.close()
+
+    def unlink(self) -> None:
+        if self._block._owner:
+            self._block.unlink()
+
+    def __enter__(self) -> "SharedDatasetBuffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+class _SharedPackedSlice(PackedBitMemo):
+    """A shard's user-slice view over the population packed-bit block.
+
+    Reuses the dense :class:`~repro.simulation.state.PackedBitMemo` logic
+    verbatim on pre-bound array views, so resolve order — and therefore
+    randomness consumption — is bit-identical to a private dense memo.
+    """
+
+    def __init__(self, packed: np.ndarray, present: np.ndarray, n_bits: int) -> None:
+        super().__init__(packed.shape[0], packed.shape[1], n_bits)
+        self._packed = packed
+        self._present = present
+
+    def reset(self) -> None:
+        """Clear the slice to the all-absent state (fresh-engine semantics)."""
+        self._packed[...] = 0
+        self._present[...] = False
+
+
+class _SharedSymbolSlice(DenseSymbolMemo):
+    """A shard's user-slice view over the population symbol block."""
+
+    def __init__(self, table: np.ndarray) -> None:
+        super().__init__(table.shape[0], table.shape[1], dtype=table.dtype)
+        self._table = table
+
+    def reset(self) -> None:
+        """Clear the slice to the all-absent state (fresh-engine semantics)."""
+        self._table[...] = -1
+
+
+class SharedPoolHandle:
+    """Picklable description of a :class:`SharedMemoPool` for worker attach."""
+
+    def __init__(self, kind: str, block_names: Tuple[str, ...], n_bits: int) -> None:
+        self.kind = kind
+        self.block_names = tuple(block_names)
+        self.n_bits = n_bits
+
+    def __reduce__(self):
+        return (SharedPoolHandle, (self.kind, self.block_names, self.n_bits))
+
+
+def _memo_geometry(protocol: LongitudinalProtocol) -> Tuple[str, int, int]:
+    """(kind, n_keys, n_bits) of the protocol family's memo table."""
+    if isinstance(protocol, LOLOHA):
+        return "symbol", protocol.g, 0
+    if isinstance(protocol, LGRR):
+        return "symbol", protocol.k, 0
+    if isinstance(protocol, LongitudinalUnaryEncoding):
+        return "packed", protocol.k, protocol.k
+    if isinstance(protocol, DBitFlipPM):
+        return "packed", protocol.d + 1, protocol.d
+    raise ParameterError(
+        f"no shared memo layout is defined for protocol type "
+        f"{type(protocol).__name__}"
+    )
+
+
+class SharedMemoPool:
+    """Owner of one population-wide shared memoization table.
+
+    ``create`` allocates the blocks for the protocol's family (zeroed /
+    all-absent) sized for the *full* population; :meth:`memo_for_slice`
+    hands each shard the view over its own user range.  Shard ranges are
+    disjoint, so concurrent workers never write the same rows and no locking
+    is needed.  The shared layout is dense over (user, key): at key domains
+    where the sparse memo is the only tractable layout the pool refuses to
+    allocate (``max_bytes``) rather than silently exhausting ``/dev/shm``.
+    """
+
+    def __init__(self, blocks: List[SharedArray], kind: str, n_bits: int, owner: bool) -> None:
+        self._blocks = blocks
+        self.kind = kind
+        self.n_bits = n_bits
+        self._owner = owner
+        if owner:
+            atexit.register(self.unlink)
+
+    @classmethod
+    def create(
+        cls,
+        protocol: LongitudinalProtocol,
+        n_users: int,
+        max_bytes: int = 8 * 1024**3,
+    ) -> "SharedMemoPool":
+        kind, n_keys, n_bits = _memo_geometry(protocol)
+        if kind == "symbol":
+            projected = 4 * n_users * n_keys
+        else:
+            projected = n_users * n_keys * (-(-n_bits // 8) + 1)
+        if projected > max_bytes:
+            raise ExperimentError(
+                f"a shared memo pool for {n_users} users x {n_keys} keys would "
+                f"need ~{projected / 1024**3:.1f} GiB of shared memory "
+                f"(> {max_bytes / 1024**3:.1f} GiB); run without shared memory "
+                f"so the row-sparse memo layout applies"
+            )
+        if kind == "symbol":
+            table = np.full((n_users, n_keys), -1, dtype=np.int32)
+            blocks = [SharedArray.create(table, prefix="repro-memo")]
+        else:
+            n_bytes = -(-n_bits // 8)
+            blocks = [
+                SharedArray.create(
+                    np.zeros((n_users, n_keys, n_bytes), dtype=np.uint8),
+                    prefix="repro-memo",
+                ),
+                SharedArray.create(
+                    np.zeros((n_users, n_keys), dtype=bool), prefix="repro-memo"
+                ),
+            ]
+        return cls(blocks, kind, n_bits, owner=True)
+
+    @property
+    def handle(self) -> SharedPoolHandle:
+        return SharedPoolHandle(
+            self.kind, tuple(block.name for block in self._blocks), self.n_bits
+        )
+
+    @classmethod
+    def attach(cls, handle: SharedPoolHandle) -> "SharedMemoPool":
+        blocks = [SharedArray.attach(name, writable=True) for name in handle.block_names]
+        return cls(blocks, handle.kind, handle.n_bits, owner=False)
+
+    def memo_for_slice(self, start: int, stop: int):
+        """The memo view for shard users ``[start, stop)``."""
+        if self.kind == "symbol":
+            return _SharedSymbolSlice(self._blocks[0].array[start:stop])
+        return _SharedPackedSlice(
+            self._blocks[0].array[start:stop],
+            self._blocks[1].array[start:stop],
+            self.n_bits,
+        )
+
+    def close(self) -> None:
+        for block in self._blocks:
+            block.close()
+
+    def unlink(self) -> None:
+        for block in self._blocks:
+            if block._owner:
+                block.unlink()
+            else:
+                block.close()
+
+    def __enter__(self) -> "SharedMemoPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()

@@ -19,11 +19,12 @@ and sparse table types of this module:
 
 ``SparsePackedBitMemo``
     The row-sparse sibling of :class:`PackedBitMemo` for large key domains:
-    a compact ``int32`` row-pointer table over (user, key) plus a chunked,
-    geometrically grown pool holding only the rows that were actually
-    memoized.  At UE scale (``n_keys = n_bits = k``) the per-pair footprint
-    drops from ``ceil(k / 8)`` bytes to 4, a ``k / 32`` saving — the
-    difference between 5 GiB and 80 MiB at ``n = 10^4, k = 2048``.
+    a hashed (user, key) index over only the pairs actually memoized plus a
+    chunked, geometrically grown pool holding their rows.  At UE scale
+    (``n_keys = n_bits = k``) the footprint is ~``12`` bytes per *memoized*
+    pair instead of ``ceil(k / 8)`` bytes per *possible* pair — and, unlike
+    the earlier dense int32 pointer table (``4 n k`` bytes, 80 MiB at
+    ``n = 10^4, k = 2048``), it no longer scales with the key domain at all.
 
 :func:`make_packed_bit_memo` picks between the two behind one interface:
 dense below the :data:`_DENSE_ALLOCATION_WARN_BYTES` threshold, sparse above
@@ -254,38 +255,141 @@ class PackedBitMemo(_PackedBitMemoBase):
         return np.unpackbits(self._packed[user, key], count=self.n_bits)
 
 
+class _PairHashIndex:
+    """Vectorized open-addressing map from int64 pair ids to int32 row slots.
+
+    The sparse memo previously kept a dense ``int32`` pointer table over
+    every possible (user, key) pair — ``4 n k`` bytes even when almost no
+    pair is memoized (80 MiB at ``n = 10^4, k = 2048``).  This index stores
+    only the pairs that exist: linear-probed open addressing over two flat
+    arrays (int64 key, int32 value), grown at 2/3 load, with batched lookups
+    and inserts that stay fully vectorized — the probe loop iterates over
+    *probe distance*, not over entries, so a whole round's worth of keys is
+    resolved in a handful of gathers.
+    """
+
+    _EMPTY = np.int64(-1)
+
+    def __init__(self, min_capacity: int = 1024) -> None:
+        capacity = 1 << max(int(min_capacity) - 1, 1).bit_length()
+        self._keys = np.full(capacity, self._EMPTY, dtype=np.int64)
+        self._values = np.empty(capacity, dtype=np.int32)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def nbytes(self) -> int:
+        return self._keys.nbytes + self._values.nbytes
+
+    @staticmethod
+    def _hash(pair_ids: np.ndarray) -> np.ndarray:
+        """SplitMix64-style avalanche so consecutive pair ids spread out."""
+        h = pair_ids.astype(np.uint64)
+        h = (h ^ (h >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        h = (h ^ (h >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return h ^ (h >> np.uint64(31))
+
+    def lookup(self, pair_ids: np.ndarray) -> np.ndarray:
+        """Row slot of each pair id, ``-1`` where the pair is absent."""
+        pair_ids = np.asarray(pair_ids, dtype=np.int64)
+        mask = np.uint64(self._keys.size - 1)
+        slots = (self._hash(pair_ids) & mask).astype(np.int64)
+        result = np.full(pair_ids.shape, -1, dtype=np.int32)
+        pending = np.arange(pair_ids.size)
+        while pending.size:
+            stored = self._keys[slots[pending]]
+            hits = stored == pair_ids[pending]
+            empty = stored == self._EMPTY
+            if hits.any():
+                found = pending[hits]
+                result[found] = self._values[slots[found]]
+            pending = pending[~(hits | empty)]
+            if pending.size:
+                slots[pending] = (slots[pending] + 1) & np.int64(mask)
+        return result
+
+    def insert(self, pair_ids: np.ndarray, rows: np.ndarray) -> None:
+        """Insert distinct, currently-absent pair ids mapping to row slots."""
+        pair_ids = np.asarray(pair_ids, dtype=np.int64)
+        if not pair_ids.size:
+            return
+        if 3 * (self._n + pair_ids.size) >= 2 * self._keys.size:
+            self._grow(self._n + pair_ids.size)
+        mask = np.uint64(self._keys.size - 1)
+        slots = (self._hash(pair_ids) & mask).astype(np.int64)
+        pending = np.arange(pair_ids.size)
+        while pending.size:
+            stored = self._keys[slots[pending]]
+            empty = stored == self._EMPTY
+            if empty.any():
+                claimants = pending[empty]
+                targets = slots[claimants]
+                # Several claimants may race for one slot within the batch;
+                # the write below keeps the last one, the read-back keeps the
+                # rest probing.
+                self._keys[targets] = pair_ids[claimants]
+                self._values[targets] = rows[claimants]
+                won = self._keys[targets] == pair_ids[claimants]
+                pending = np.concatenate([pending[~empty], claimants[~won]])
+            else:
+                pending = pending[~empty]
+            if pending.size:
+                slots[pending] = (slots[pending] + 1) & np.int64(mask)
+        self._n += pair_ids.size
+
+    def _grow(self, needed: int) -> None:
+        present = self._keys != self._EMPTY
+        old_keys, old_values = self._keys[present], self._values[present]
+        capacity = self._keys.size
+        while 3 * needed >= 2 * capacity:
+            capacity *= 2
+        self._keys = np.full(capacity, self._EMPTY, dtype=np.int64)
+        self._values = np.empty(capacity, dtype=np.int32)
+        self._n = 0
+        self.insert(old_keys, old_values)
+
+
 class SparsePackedBitMemo(_PackedBitMemoBase):
     """Row-sparse packed memoization table for large key domains.
 
-    Storage is an ``int32`` row-pointer table over (user, key) — ``-1`` marks
-    an unmemoized pair — plus a packed-row pool that only holds rows actually
-    created, grown geometrically in chunks (amortized O(1) per appended row).
-    The per-pair overhead is therefore 4 bytes instead of the dense layout's
-    ``ceil(n_bits / 8)``, while resolve order (and so randomness consumption)
-    stays bit-identical to :class:`PackedBitMemo`.
+    Storage is a hashed (user, key) index (:class:`_PairHashIndex` — ~12
+    bytes per *memoized* pair instead of the previous dense ``4 n k``-byte
+    int32 pointer table spanning every possible pair) plus a packed-row pool
+    that only holds rows actually created, grown geometrically in chunks
+    (amortized O(1) per appended row).  Resolve order (and so randomness
+    consumption) stays bit-identical to :class:`PackedBitMemo`.
     """
 
     def __init__(self, n_users: int, n_keys: int, n_bits: int) -> None:
         super().__init__(n_users, n_keys, n_bits)
-        self._index: Optional[np.ndarray] = None
+        self._index: Optional[_PairHashIndex] = None
         self._pool: Optional[np.ndarray] = None
+        self._per_user: Optional[np.ndarray] = None
         self._n_rows = 0
 
     @property
     def nbytes_allocated(self) -> int:
         if self._index is None:
             return 0
-        return self._index.nbytes + self._pool.nbytes
+        return self._index.nbytes + self._pool.nbytes + self._per_user.nbytes
 
     @property
     def n_rows_memoized(self) -> int:
         """Rows currently held in the pool (distinct memoized pairs)."""
         return self._n_rows
 
+    def _pair_ids(self, users: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return np.asarray(users, dtype=np.int64) * self.n_keys + np.asarray(
+            keys, dtype=np.int64
+        )
+
     def _ensure_allocated(self) -> None:
         if self._index is None:
-            self._index = np.full((self.n_users, self.n_keys), -1, dtype=np.int32)
+            self._index = _PairHashIndex(min_capacity=2 * self.n_users)
             self._pool = np.empty((max(self.n_users, 1), self._n_bytes), dtype=np.uint8)
+            self._per_user = np.zeros(self.n_users, dtype=np.int64)
 
     def _append_rows(self, packed: np.ndarray) -> np.ndarray:
         """Append packed rows to the pool, growing geometrically; returns the
@@ -305,25 +409,31 @@ class SparsePackedBitMemo(_PackedBitMemoBase):
     def ensure_rows(self, keys: np.ndarray, fresh: FreshRows) -> None:
         self._ensure_allocated()
         users = np.arange(self.n_users)
-        missing = self._index[users, keys] < 0
+        missing = self._index.lookup(self._pair_ids(users, keys)) < 0
         if missing.any():
             missing_users = users[missing]
             missing_keys = keys[missing]
             packed = self._pack_fresh(fresh, missing_users, missing_keys)
-            self._index[missing_users, missing_keys] = self._append_rows(packed)
+            self._index.insert(
+                self._pair_ids(missing_users, missing_keys), self._append_rows(packed)
+            )
+            self._per_user[missing_users] += 1
 
     def packed_rows(self, users: np.ndarray, keys: np.ndarray) -> np.ndarray:
-        return self._pool[self._index[users, keys]]
+        return self._pool[self._index.lookup(self._pair_ids(users, keys))]
 
     def distinct_per_user(self) -> np.ndarray:
-        if self._index is None:
+        if self._per_user is None:
             return np.zeros(self.n_users, dtype=np.int64)
-        return (self._index >= 0).sum(axis=1, dtype=np.int64)
+        return self._per_user.copy()
 
     def get_row(self, user: int, key: int) -> Optional[np.ndarray]:
-        if self._index is None or self._index[user, key] < 0:
+        if self._index is None:
             return None
-        return np.unpackbits(self._pool[self._index[user, key]], count=self.n_bits)
+        slot = int(self._index.lookup(np.asarray([user * self.n_keys + key]))[0])
+        if slot < 0:
+            return None
+        return np.unpackbits(self._pool[slot], count=self.n_bits)
 
 
 def make_packed_bit_memo(

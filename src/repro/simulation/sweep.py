@@ -187,12 +187,20 @@ class _RunStats:
 
 
 # ``fork``-safe per-worker cache: the dataset is shipped once through the pool
-# initializer instead of being pickled into every task.
+# initializer instead of being pickled into every task — or, with
+# ``shared_dataset=True``, attached from one host-shared block so the worker
+# holds a zero-copy view instead of a private copy.
 _WORKER_DATASET: Optional[LongitudinalDataset] = None
 
 
-def _init_worker(dataset: LongitudinalDataset) -> None:
+def _init_worker(
+    dataset: Optional[LongitudinalDataset], dataset_block: Optional[str] = None
+) -> None:
     global _WORKER_DATASET
+    if dataset_block is not None:
+        from .shm import SharedDatasetBuffer  # runtime import: shm builds on state
+
+        dataset = SharedDatasetBuffer.attach(dataset_block)
     _WORKER_DATASET = dataset
 
 
@@ -252,6 +260,12 @@ class SweepExecutor:
         When ``store`` is given, completed grid points are appended to
         ``<experiment_id>.csv`` in grid order, ``flush_every`` points at a
         time, while the sweep is still running.
+    shared_dataset:
+        With ``n_workers > 1``, publish the dataset once through
+        :class:`repro.simulation.shm.SharedDatasetBuffer` and have every
+        pool worker attach a zero-copy view, instead of shipping a pickled
+        copy per worker.  Results are identical; only memory and pool
+        start-up time change.
     completed, resume:
         Resume support: grid keys in ``completed`` (``(protocol_name,
         alpha, eps_inf)``, see :func:`completed_points_from_rows`) are
@@ -284,6 +298,7 @@ class SweepExecutor:
         resume: bool = False,
         protocol_factories: Optional[Mapping[str, ProtocolFactory]] = None,
         header_comment: Optional[str] = None,
+        shared_dataset: bool = False,
     ) -> None:
         if protocol_factories is not None:
             if protocols is not None:
@@ -323,6 +338,7 @@ class SweepExecutor:
                 stacklevel=2,
             )
         self.dataset = dataset
+        self.shared_dataset = bool(shared_dataset)
         self.rng = rng
         self.keep_runs = keep_runs
         self.store = store
@@ -450,10 +466,27 @@ class SweepExecutor:
         if not active:
             return
         max_workers = min(self.n_workers, len(active))
+        buffer = None
+        if self.shared_dataset:
+            from .shm import SharedDatasetBuffer
+
+            buffer = SharedDatasetBuffer.publish(self.dataset)
+            initargs = (None, buffer.name)
+        else:
+            initargs = (self.dataset,)
+        try:
+            self._run_pool(work_items, seeds, on_task_done, active, max_workers, initargs)
+        finally:
+            if buffer is not None:
+                buffer.unlink()
+
+    def _run_pool(
+        self, work_items, seeds, on_task_done, active, max_workers, initargs
+    ) -> None:
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(self.dataset,),
+            initargs=initargs,
         ) as pool:
             pending = {
                 pool.submit(
@@ -541,6 +574,7 @@ def run_sweep(
     resume: bool = False,
     protocol_factories: Optional[Mapping[str, ProtocolFactory]] = None,
     header_comment: Optional[str] = None,
+    shared_dataset: bool = False,
 ) -> List[Optional[SweepPoint]]:
     """Run the full ``(protocol, eps_inf, alpha)`` grid over one dataset.
 
@@ -565,5 +599,6 @@ def run_sweep(
         resume=resume,
         protocol_factories=protocol_factories,
         header_comment=header_comment,
+        shared_dataset=shared_dataset,
     )
     return executor.run()

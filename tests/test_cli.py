@@ -90,6 +90,40 @@ class TestSweepCommand:
         assert len(lines) == 6
         assert lines[0].startswith("# sweep_spec_fingerprint=")
 
+    def test_sweep_shared_dataset_and_backend_flags(
+        self, capsys, tmp_path, write_sweep_grid, monkeypatch
+    ):
+        """--shared-dataset and --kernel-backend produce the same CSV as the
+        default sweep (bit-identical grid, numpy backend pinned via env)."""
+        import os
+
+        from repro.simulation.kernels_backend import BACKEND_ENV_VAR
+
+        # setenv (not delenv) so teardown restores a known value even though
+        # the CLI writes os.environ directly; "auto" is the default policy.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "auto")
+        grid = write_sweep_grid()
+        plain_out, shared_out = tmp_path / "plain", tmp_path / "shared"
+        assert main(["sweep", "--spec", str(grid), "--output-dir", str(plain_out)]) == 0
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec", str(grid),
+                    "--output-dir", str(shared_out),
+                    "--shared-dataset",
+                    "--workers", "2",
+                    "--kernel-backend", "numpy",
+                ]
+            )
+            == 0
+        )
+        assert "kernel backend: numpy" in capsys.readouterr().out
+        assert os.environ[BACKEND_ENV_VAR] == "numpy"
+        assert (plain_out / "cli_syn.csv").read_text().splitlines()[1:] == (
+            shared_out / "cli_syn.csv"
+        ).read_text().splitlines()[1:]
+
     def test_sweep_csv_fingerprint_matches_spec(self, tmp_path, write_sweep_grid):
         grid = write_sweep_grid()
         out = tmp_path / "out"

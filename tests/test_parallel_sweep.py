@@ -50,6 +50,24 @@ class TestParallelBitIdentity:
             assert s.eps_avg == p.eps_avg
             assert s.run_mses == p.run_mses
 
+    def test_shared_dataset_pool_reproduces_serial_bit_for_bit(self, tiny_dataset):
+        """shared_dataset=True publishes one shm copy of the dataset for the
+        pool workers; results must stay bit-identical to the serial path."""
+        kwargs = dict(
+            protocols=_specs(),
+            dataset=tiny_dataset,
+            eps_inf_values=[1.0],
+            alpha_values=[0.5],
+            n_runs=2,
+            rng=123,
+            keep_runs=False,
+        )
+        serial = run_sweep(**kwargs, n_workers=1)
+        shared = run_sweep(**kwargs, n_workers=2, shared_dataset=True)
+        for s, p in zip(serial, shared):
+            assert s.mse_avg == p.mse_avg
+            assert s.eps_avg == p.eps_avg
+
     def test_worker_count_does_not_change_results(self, tiny_dataset):
         kwargs = dict(
             protocols={"L-GRR": ProtocolSpec(name="L-GRR")},

@@ -163,6 +163,53 @@ class TestSparsePackedBitMemo:
                     assert np.array_equal(dense_row, sparse_row)
 
 
+    def test_pool_growth_across_geometric_boundary_preserves_rows(self):
+        """Crossing the pool's doubling boundary must not corrupt or reorder
+        the rows appended before the reallocation."""
+        n_users, n_keys = 4, 32
+        memo = SparsePackedBitMemo(n_users, n_keys, 13)
+        fresh = _random_fresh(31)
+        snapshots = {}
+        # Pool capacity starts at n_users (4); nine distinct keys per user
+        # forces 36 rows through the 4 -> 8 -> 16 -> 32 -> 64 reallocations.
+        for key in range(9):
+            keys = np.full(n_users, key)
+            rows = memo.resolve(keys, fresh)
+            for user in range(n_users):
+                snapshots[(user, key)] = rows[user].copy()
+        assert memo.n_rows_memoized == 36
+        for (user, key), row in snapshots.items():
+            assert np.array_equal(memo.get_row(user, key), row)
+
+    def test_single_user_population(self):
+        """n_users=1: the hashed index, pool and per-user accounting all
+        work at the degenerate population size."""
+        memo = SparsePackedBitMemo(1, 8, 13)
+        fresh = _random_fresh(32)
+        first = memo.resolve(np.array([3]), fresh).copy()
+        again = memo.resolve(np.array([3]), _boom)
+        assert np.array_equal(first, again)
+        memo.resolve(np.array([5]), fresh)
+        assert list(memo.distinct_per_user()) == [2]
+        assert np.array_equal(memo.column_sums(np.array([3]), _boom), first.sum(axis=0))
+
+    def test_full_population_churn_matches_dense(self):
+        """Every user changes key every round (the delta-fold's worst case):
+        sparse accounting and sums stay bit-identical to the dense table."""
+        n_users, n_keys = 12, 10
+        dense = PackedBitMemo(n_users, n_keys, 13)
+        sparse = SparsePackedBitMemo(n_users, n_keys, 13)
+        dense_fresh, sparse_fresh = _random_fresh(33), _random_fresh(33)
+        for shift in range(n_keys):
+            keys = (np.arange(n_users) + shift) % n_keys
+            assert np.array_equal(
+                dense.column_sums(keys, dense_fresh),
+                sparse.column_sums(keys, sparse_fresh),
+            )
+        assert sparse.n_rows_memoized == n_users * n_keys
+        assert np.array_equal(dense.distinct_per_user(), sparse.distinct_per_user())
+
+
 def _boom(users, keys):  # pragma: no cover - must never run
     raise AssertionError("fresh invoked for already-memoized pairs")
 
