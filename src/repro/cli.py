@@ -74,6 +74,24 @@ never absorbed.
 Every shard's randomness derives from the collection seed alone, so the
 final estimates are bit-identical to the serial path regardless of worker
 fleet, sharding weights, crashes or retries.
+
+The ``ingest`` / ``loadgen`` pair runs a *live* collection (see
+:mod:`repro.service.ingest`): ``ingest`` starts the async HTTP front door
+described by an :class:`repro.specs.IngestSpec` — batched report submission
+on ``POST /v1/reports`` with bounded-queue backpressure (``429`` +
+``Retry-After``), live debiased estimates on ``GET /v1/estimate/<t>``, a
+Prometheus text surface on ``GET /metrics``, round windowing owned by a
+:class:`repro.service.clock.RoundClock` (wall-clock timeout, report quorum
+or explicit advance), and graceful drain + atomic checkpoint on SIGTERM.
+``loadgen`` drives it with a seeded synthetic client fleet whose reports
+are bit-identical to what a local batch session would be fed::
+
+    repro-ldp ingest --spec ingest.json --checkpoint state.npz
+    repro-ldp loadgen --spec ingest.json --connect 127.0.0.1:8471 --users 500
+
+Both sides honor ``--auth-key-env SECRET_VAR`` (HMAC-signed submissions,
+same envelope as the distributed transports); an ``ingest`` without it
+serves unauthenticated and says so loudly.
 """
 
 from __future__ import annotations
@@ -105,7 +123,15 @@ from .simulation.sweep import completed_points_from_rows, run_sweep
 from .specs import SweepSpec, load_collection_spec, load_sweep_spec
 from .store import ResultsStore
 
-__all__ = ["build_parser", "main", "run_spec_sweep", "run_serve", "run_work"]
+__all__ = [
+    "build_parser",
+    "main",
+    "run_spec_sweep",
+    "run_serve",
+    "run_work",
+    "run_ingest",
+    "run_loadgen",
+]
 
 _FINGERPRINT_KEY = "sweep_spec_fingerprint"
 
@@ -346,6 +372,94 @@ def build_parser() -> argparse.ArgumentParser:
              "from the task's registry reference",
     )
     _add_backend_option(work_parser)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="run the live ingestion service: an async HTTP front door that "
+             "accepts report batches, seals round windows on a clock and "
+             "serves live estimates and Prometheus metrics",
+    )
+    ingest_parser.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="ingest spec JSON file (see repro.specs.IngestSpec)",
+    )
+    ingest_parser.add_argument(
+        "--bind", default=None, metavar="HOST:PORT",
+        help="bind address override (default: the spec's host:port; "
+             "port 0 = ephemeral, the chosen port is printed)",
+    )
+    ingest_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH.npz",
+        help="session checkpoint path; an existing checkpoint (plus its "
+             ".clock.json sidecar) is restored so a killed service resumes "
+             "mid-horizon bit-identical to an uninterrupted run",
+    )
+    ingest_parser.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SECONDS",
+        help="override the spec's checkpoint cadence (requires --checkpoint)",
+    )
+    ingest_parser.add_argument(
+        "--auth-key-env", default=None, metavar="ENV_VAR",
+        help="environment variable holding the shared HMAC secret; "
+             "submissions must then be signed envelopes (overrides the "
+             "spec's auth_key_env; the key itself never appears in argv)",
+    )
+    ingest_parser.add_argument(
+        "--run-seconds", type=float, default=None, metavar="SECONDS",
+        help="serve for this long then drain and exit "
+             "(default: until SIGTERM/SIGINT)",
+    )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive a live ingestion service with a seeded synthetic client "
+             "fleet (Poisson-staggered batches, 429-aware, bit-identical "
+             "report material for a given seed)",
+    )
+    loadgen_parser.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="ingest spec JSON file of the target service (provides the "
+             "protocol and horizon)",
+    )
+    loadgen_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the running 'ingest' service",
+    )
+    loadgen_parser.add_argument(
+        "--users", type=int, default=100, metavar="N",
+        help="size of the simulated client population (default: 100)",
+    )
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=20230328,
+        help="root seed of the client fleet; the same seed yields the same "
+             "reports a local batch session would be fed",
+    )
+    loadgen_parser.add_argument(
+        "--batch-size", type=int, default=32, metavar="N",
+        help="users per POST /v1/reports submission (default: 32)",
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=None, metavar="BATCHES_PER_S",
+        help="mean submission rate with exponential (Poisson) inter-arrival "
+             "gaps; default: submit as fast as the server accepts",
+    )
+    loadgen_parser.add_argument(
+        "--mode", choices=["reports", "counts"], default="reports",
+        help="submit wire-encoded reports, or pre-fold each batch to "
+             "support counts locally (required for LOLOHA, whose reports "
+             "carry a hash function and do not serialize)",
+    )
+    loadgen_parser.add_argument(
+        "--auth-key-env", default=None, metavar="ENV_VAR",
+        help="environment variable holding the shared HMAC secret "
+             "(must match the service's; overrides the spec's auth_key_env)",
+    )
+    loadgen_parser.add_argument(
+        "--wrong-key", action="store_true",
+        help="sign every submission with a deliberately invalid key — a "
+             "rejection drill for authenticated services (exit code 1 when, "
+             "as expected, the batches are refused)",
+    )
 
     datasets_parser = subparsers.add_parser(
         "datasets", help="summarize the evaluation workloads"
@@ -647,6 +761,105 @@ def run_work(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_ingest(args: argparse.Namespace) -> int:
+    """Run the live ingestion service until SIGTERM (or ``--run-seconds``)."""
+    import asyncio
+    from dataclasses import replace
+
+    from .service.ingest import IngestServer
+    from .specs import load_ingest_spec
+
+    spec = load_ingest_spec(args.spec)
+    if args.checkpoint_interval is not None and not args.checkpoint:
+        # A cadence without a checkpoint path would be silently inert;
+        # refuse it, matching the work --capacity/--queue-dir precedent.
+        raise ReproError("--checkpoint-interval requires --checkpoint")
+    if args.bind:
+        host, port = _parse_host_port(args.bind, "--bind")
+        spec = replace(spec, host=host, port=port)
+    if args.auth_key_env:
+        spec = replace(spec, auth_key_env=args.auth_key_env)
+    if args.checkpoint_interval is not None:
+        spec = replace(spec, checkpoint_interval_seconds=args.checkpoint_interval)
+    if spec.auth_key_env is None:
+        print(
+            "warning: serving UNAUTHENTICATED — no --auth-key-env and the "
+            "spec sets no auth_key_env, so any client that can reach "
+            f"{spec.host} may submit reports",
+            file=sys.stderr,
+        )
+
+    server = IngestServer(spec, checkpoint_path=args.checkpoint)
+    if server.clock.current_round > 0 or server.session.total_reports > 0:
+        print(
+            f"{spec.name}: restored from {args.checkpoint} at round "
+            f"{server.clock.current_round}/{spec.n_rounds} "
+            f"({server.session.total_reports} reports)"
+        )
+
+    def ready(address: Tuple[str, int]) -> None:
+        print(f"{spec.name}: listening on {address[0]}:{address[1]}", flush=True)
+
+    asyncio.run(server.run(run_seconds=args.run_seconds, ready=ready))
+    clock = server.clock
+    print(
+        f"{spec.name}: drained at round {clock.current_round}/{spec.n_rounds} "
+        f"({server.session.total_reports} reports folded, "
+        f"{len(clock.seals)} windows sealed, {clock.late_dropped} late "
+        f"dropped, {clock.late_absorbed} late absorbed)"
+    )
+    return 0
+
+
+def run_loadgen(args: argparse.Namespace) -> int:
+    """Drive a live ingestion service with seeded synthetic traffic."""
+    import asyncio
+
+    from .distributed.auth import PayloadAuthenticator
+    from .service.loadgen import run_loadgen as run_loadgen_async
+    from .specs import load_ingest_spec
+
+    if args.wrong_key and args.auth_key_env:
+        raise ReproError(
+            "--wrong-key and --auth-key-env are mutually exclusive: "
+            "--wrong-key fabricates a deliberately invalid key"
+        )
+    spec = load_ingest_spec(args.spec)
+    host, port = _parse_host_port(args.connect, "--connect")
+    authenticator = None
+    auth_key_env = None
+    if args.wrong_key:
+        authenticator = PayloadAuthenticator(b"deliberately-wrong-loadgen-key")
+    else:
+        auth_key_env = args.auth_key_env or spec.auth_key_env
+
+    result = asyncio.run(
+        run_loadgen_async(
+            spec.protocol,
+            host,
+            port,
+            n_rounds=spec.n_rounds,
+            n_users=args.users,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            rate=args.rate,
+            mode=args.mode,
+            auth_key_env=auth_key_env,
+            authenticator=authenticator,
+        )
+    )
+    statuses = ", ".join(
+        f"{count}x {status}" for status, count in sorted(result.statuses.items())
+    )
+    print(
+        f"loadgen: {result.accepted_reports}/{result.submitted_reports} "
+        f"reports accepted over {result.n_rounds} rounds "
+        f"({result.retried_429} backpressure retries, "
+        f"{result.rejected_batches} batches rejected; responses: {statuses})"
+    )
+    return 0 if result.rejected_batches == 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -681,6 +894,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "work":
         try:
             return run_work(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "ingest":
+        try:
+            return run_ingest(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "loadgen":
+        try:
+            return run_loadgen(args)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

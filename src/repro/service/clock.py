@@ -1,0 +1,350 @@
+"""Round-window ownership for arrival-time-driven collections.
+
+Historically every driver in this repository advanced rounds in lockstep:
+the batch runner iterated ``for t in range(n_rounds)`` and the sharded /
+distributed paths inherited that loop, so "which round is open" was implicit
+in the position of a Python loop.  A live ingestion service cannot work that
+way — reports arrive whenever clients send them — so the round progression
+is extracted into an explicit :class:`RoundClock` that *owns* the windowing
+decision for both worlds:
+
+* the lockstep drivers use :meth:`RoundClock.lockstep` (explicit
+  :meth:`advance` only, exactly reproducing the old loops), and
+* the ingestion service seals windows on **wall-clock timeout**
+  (``window_seconds``), **report quorum** (``quorum``) or an **explicit
+  advance** (operator request / drain), whichever fires first.
+
+A batch arriving for an already-sealed round is *late*.  The late policy is
+configurable:
+
+``"drop"``
+    count the late reports and discard them — the sealed estimate stays
+    frozen (the default, matching "a round is a published artifact");
+``"absorb"``
+    fold the late reports into the currently open window, so no data is
+    lost at the cost of attributing it to a later round.
+
+Reports for a not-yet-open (future) round are accepted unchanged — the
+downstream :class:`~repro.service.session.CollectorSession` is an
+out-of-order absorber — and only tracked as ``early_reports``.
+
+The clock is deliberately free of I/O and asyncio: time comes from an
+injectable ``time_source`` (tests pass a fake), sealing is reported through
+an optional ``on_seal`` callback plus the :attr:`seals` history, and the
+whole state round-trips through :meth:`state_dict` /
+:meth:`from_state` so the ingestion service can checkpoint it next to the
+session's ``.npz``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .._validation import require_int_at_least, require_positive
+from ..exceptions import ParameterError
+
+__all__ = ["RoundClock", "SealEvent", "LATE_POLICIES"]
+
+LATE_POLICIES = ("drop", "absorb")
+
+_STATE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class SealEvent:
+    """One sealed round window.
+
+    Attributes
+    ----------
+    round_index:
+        The round that was sealed.
+    reason:
+        What closed the window: ``"quorum"``, ``"timeout"``, ``"explicit"``
+        or ``"drain"``.
+    n_reports:
+        Reports routed into the window while it was open (late-absorbed
+        reports included).
+    duration:
+        Wall-clock seconds the window was open (the *seal latency*).
+    """
+
+    round_index: int
+    reason: str
+    n_reports: int
+    duration: float
+
+
+class RoundClock:
+    """Owns which collection round is open and when it seals.
+
+    Parameters
+    ----------
+    n_rounds:
+        Length of the collection horizon.
+    window_seconds:
+        Seal the open window once it has been open this long (checked by
+        :meth:`tick`); ``None`` disables the timeout trigger.
+    quorum:
+        Seal the open window as soon as it has received this many reports;
+        ``None`` disables the quorum trigger.
+    late_policy:
+        ``"drop"`` or ``"absorb"`` (see module docstring).
+    time_source:
+        Monotonic clock used for window ages; injectable for tests.
+    on_seal:
+        Optional callback invoked with each :class:`SealEvent` as it happens
+        (the ingestion service wires this to its metrics).
+
+    Not thread-safe: one owner (the ingest consumer, or a driver loop)
+    mutates the clock.
+    """
+
+    def __init__(
+        self,
+        n_rounds: int,
+        *,
+        window_seconds: Optional[float] = None,
+        quorum: Optional[int] = None,
+        late_policy: str = "drop",
+        time_source: Callable[[], float] = time.monotonic,
+        on_seal: Optional[Callable[[SealEvent], None]] = None,
+    ) -> None:
+        self.n_rounds = require_int_at_least(n_rounds, 1, "n_rounds")
+        if window_seconds is not None:
+            window_seconds = require_positive(window_seconds, "window_seconds")
+        self.window_seconds = window_seconds
+        if quorum is not None:
+            quorum = require_int_at_least(quorum, 1, "quorum")
+        self.quorum = quorum
+        if late_policy not in LATE_POLICIES:
+            raise ParameterError(
+                f"late_policy must be one of {LATE_POLICIES}, got {late_policy!r}"
+            )
+        self.late_policy = late_policy
+        self._time = time_source
+        self.on_seal = on_seal
+
+        self._current = 0
+        self._window_reports = 0
+        self._window_started = self._time()
+        self.late_dropped = 0
+        self.late_absorbed = 0
+        self.early_reports = 0
+        self.seals: List[SealEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction shortcuts
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def lockstep(cls, n_rounds: int) -> "RoundClock":
+        """A clock that only advances explicitly — the legacy driver loops.
+
+        No timeout, no quorum: :meth:`advance` after each simulated round
+        reproduces ``for t in range(n_rounds)`` exactly, but the round
+        progression is now owned by the same object the live service uses.
+        """
+        return cls(n_rounds)
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def current_round(self) -> int:
+        """The open round window (== ``n_rounds`` once finished)."""
+        return self._current
+
+    @property
+    def finished(self) -> bool:
+        """Whether every round of the horizon has been sealed."""
+        return self._current >= self.n_rounds
+
+    @property
+    def window_reports(self) -> int:
+        """Reports routed into the currently open window so far."""
+        return self._window_reports
+
+    def window_age(self) -> float:
+        """Seconds the current window has been open."""
+        return self._time() - self._window_started
+
+    def is_sealed(self, round_index: int) -> bool:
+        return self._check_round(round_index) < self._current
+
+    def _check_round(self, round_index: int) -> int:
+        round_index = int(round_index)
+        if not 0 <= round_index < self.n_rounds:
+            raise ParameterError(
+                f"round index must lie in [0, {self.n_rounds}), got {round_index}"
+            )
+        return round_index
+
+    # ------------------------------------------------------------------ #
+    # Routing and sealing
+    # ------------------------------------------------------------------ #
+    def route(self, round_index: int, n_reports: int = 1) -> Optional[int]:
+        """Map an arriving batch to the round it must be folded into.
+
+        Returns the target round index, or ``None`` when the batch is late
+        and the policy drops it.  On-time batches may seal their window
+        (quorum); the batch itself still belongs to the window it arrived
+        in.
+        """
+        round_index = self._check_round(round_index)
+        n_reports = require_int_at_least(n_reports, 1, "n_reports")
+        if round_index < self._current or self.finished:
+            if self.late_policy == "absorb" and not self.finished:
+                self.late_absorbed += n_reports
+                target = self._current
+                self._window_reports += n_reports
+                self._maybe_quorum_seal()
+                return target
+            self.late_dropped += n_reports
+            return None
+        if round_index > self._current:
+            self.early_reports += n_reports
+            return round_index
+        target = self._current
+        self._window_reports += n_reports
+        self._maybe_quorum_seal()
+        return target
+
+    def _maybe_quorum_seal(self) -> None:
+        if self.quorum is not None and self._window_reports >= self.quorum:
+            self._seal("quorum")
+
+    def tick(self) -> List[SealEvent]:
+        """Seal windows whose wall-clock deadline has passed.
+
+        Call periodically (the ingestion service runs a ticker task).  A
+        stalled process catches up: one window seals per *elapsed* deadline,
+        each successor window opening exactly where its predecessor's
+        deadline fell, so a 10-second stall over 1-second windows seals ten
+        rounds, not one.  Returns the seal events produced (usually zero or
+        one).
+        """
+        events: List[SealEvent] = []
+        if self.window_seconds is None:
+            return events
+        while (
+            not self.finished
+            and self._time() - self._window_started >= self.window_seconds
+        ):
+            events.append(
+                self._seal(
+                    "timeout", now=self._window_started + self.window_seconds
+                )
+            )
+        return events
+
+    def advance(self, reason: str = "explicit") -> SealEvent:
+        """Seal the open window now (operator request, drain, lockstep)."""
+        if self.finished:
+            raise ParameterError(
+                f"all {self.n_rounds} rounds are already sealed"
+            )
+        return self._seal(reason)
+
+    def _seal(self, reason: str, now: Optional[float] = None) -> SealEvent:
+        if now is None:
+            now = self._time()
+        event = SealEvent(
+            round_index=self._current,
+            reason=reason,
+            n_reports=self._window_reports,
+            duration=now - self._window_started,
+        )
+        self.seals.append(event)
+        self._current += 1
+        self._window_reports = 0
+        self._window_started = now
+        if self.on_seal is not None:
+            self.on_seal(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (window age restarts on restore)."""
+        return {
+            "format": _STATE_FORMAT,
+            "n_rounds": self.n_rounds,
+            "window_seconds": self.window_seconds,
+            "quorum": self.quorum,
+            "late_policy": self.late_policy,
+            "current_round": self._current,
+            "window_reports": self._window_reports,
+            "late_dropped": self.late_dropped,
+            "late_absorbed": self.late_absorbed,
+            "early_reports": self.early_reports,
+            "seals": [
+                {
+                    "round_index": event.round_index,
+                    "reason": event.reason,
+                    "n_reports": event.n_reports,
+                    "duration": event.duration,
+                }
+                for event in self.seals
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, object],
+        *,
+        time_source: Callable[[], float] = time.monotonic,
+        on_seal: Optional[Callable[[SealEvent], None]] = None,
+    ) -> "RoundClock":
+        """Rebuild a clock from :meth:`state_dict`.
+
+        The restored window opens *now* (monotonic clocks do not survive a
+        process restart), everything else — sealed rounds, late/early
+        counters, seal history — is carried over exactly.
+        """
+        if not isinstance(state, dict) or state.get("format") != _STATE_FORMAT:
+            raise ParameterError(
+                f"unsupported round-clock state format "
+                f"{state.get('format') if isinstance(state, dict) else state!r} "
+                f"(expected {_STATE_FORMAT})"
+            )
+        try:
+            clock = cls(
+                int(state["n_rounds"]),
+                window_seconds=state.get("window_seconds"),
+                quorum=state.get("quorum"),
+                late_policy=str(state.get("late_policy", "drop")),
+                time_source=time_source,
+                on_seal=on_seal,
+            )
+            current = int(state["current_round"])
+            if not 0 <= current <= clock.n_rounds:
+                raise ParameterError(
+                    f"checkpointed current_round {current} outside "
+                    f"[0, {clock.n_rounds}]"
+                )
+            clock._current = current
+            clock._window_reports = int(state.get("window_reports", 0))
+            clock.late_dropped = int(state.get("late_dropped", 0))
+            clock.late_absorbed = int(state.get("late_absorbed", 0))
+            clock.early_reports = int(state.get("early_reports", 0))
+            clock.seals = [
+                SealEvent(
+                    round_index=int(entry["round_index"]),
+                    reason=str(entry["reason"]),
+                    n_reports=int(entry["n_reports"]),
+                    duration=float(entry["duration"]),
+                )
+                for entry in state.get("seals", [])
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ParameterError(f"invalid round-clock state: {error}") from None
+        return clock
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoundClock(n_rounds={self.n_rounds}, current={self._current}, "
+            f"late_policy={self.late_policy!r})"
+        )

@@ -1,0 +1,688 @@
+"""The live ingestion service: an async HTTP front door over a session.
+
+This module ties the service layer together into one deployable unit —
+``repro-ldp ingest`` — that accepts longitudinal LDP reports *live* instead
+of from a dataset file:
+
+* an :class:`~repro.service.http.AsyncHttpServer` front door exposing
+
+  ========================  ======  =========================================
+  ``/v1/reports``           POST    submit a batch of reports or counts
+  ``/v1/estimate/<t>``      GET     live debiased estimate of round ``t``
+  ``/v1/rounds``            GET     horizon / window / late-traffic status
+  ``/v1/rounds/advance``    POST    seal the open window explicitly
+  ``/healthz``              GET     liveness probe
+  ``/metrics``              GET     Prometheus text exposition
+  ========================  ======  =========================================
+
+* a :class:`~repro.service.clock.RoundClock` that owns round windowing
+  (timeout / quorum / explicit sealing, late-report policy),
+* a bounded ingest queue between the HTTP handlers and the single
+  aggregation consumer — a full queue answers ``429`` with a ``Retry-After``
+  hint instead of buffering without limit,
+* optional HMAC-SHA256 submission authentication reusing the
+  :mod:`repro.distributed.auth` envelope (same ``--auth-key-env``
+  convention as the distributed transports),
+* periodic atomic checkpointing of the session (``.npz``/JSON, unchanged
+  format) plus a ``<checkpoint>.clock.json`` sidecar for the clock, and a
+  graceful drain-and-checkpoint on SIGTERM.
+
+Submissions are validated and folded to support counts *in the HTTP
+handler* (so malformed batches fail with ``400`` synchronously), then the
+pre-folded counts flow through the queue to the consumer, which routes them
+through the clock and adds them to the session.  Support counts are
+integer-valued floats, so this split is bit-identical to feeding the raw
+reports straight into a batch :class:`~repro.service.session.CollectorSession`
+in any order or grouping.
+
+Report wire format (``encode_reports`` / ``decode_reports``): plain JSON
+per protocol family — integers for L-GRR, 0/1 arrays for the unary-encoding
+family, ``{"buckets": [...], "bits": [...]}`` objects for dBitFlipPM.
+LOLOHA reports carry the client's hash function and are deliberately *not*
+wire-serializable; LOLOHA producers submit pre-aggregated counts (the
+``counts`` mode, which every protocol supports).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._atomicio import atomic_write_bytes
+from ..distributed.auth import AuthenticationError, authenticator_from_env
+from ..exceptions import AggregationError, ParameterError
+from ..longitudinal.base import LongitudinalProtocol
+from ..longitudinal.dbitflip import DBitFlipPM, DBitFlipReport
+from ..longitudinal.l_grr import LGRR
+from ..longitudinal.l_ue import LongitudinalUnaryEncoding
+from ..specs import IngestSpec
+from .clock import RoundClock, SealEvent
+from .http import AsyncHttpServer, HttpError, HttpRequest, HttpResponse
+from .metrics import MetricsRegistry
+from .session import CollectorSession
+
+__all__ = [
+    "IngestServer",
+    "encode_reports",
+    "decode_reports",
+    "wire_reports_supported",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Report wire codec
+# ---------------------------------------------------------------------- #
+def wire_reports_supported(protocol: LongitudinalProtocol) -> bool:
+    """Whether this protocol's client reports are JSON-serializable.
+
+    LOLOHA reports embed the client's hash function object; those producers
+    use the ``counts`` submission mode instead.
+    """
+    return isinstance(protocol, (LGRR, LongitudinalUnaryEncoding, DBitFlipPM))
+
+
+def encode_reports(
+    protocol: LongitudinalProtocol, reports: Sequence
+) -> List[object]:
+    """Encode client reports as plain JSON values for ``POST /v1/reports``."""
+    if isinstance(protocol, LGRR):
+        return [int(report) for report in reports]
+    if isinstance(protocol, LongitudinalUnaryEncoding):
+        return [[int(bit) for bit in report] for report in reports]
+    if isinstance(protocol, DBitFlipPM):
+        return [
+            {
+                "buckets": [int(b) for b in report.sampled_buckets],
+                "bits": [int(b) for b in report.bits],
+            }
+            for report in reports
+        ]
+    raise ParameterError(
+        f"protocol {protocol.name!r} reports are not wire-serializable "
+        f"(they carry the client's hash function); submit pre-aggregated "
+        f"support counts instead (the 'counts' mode)"
+    )
+
+
+def decode_reports(protocol: LongitudinalProtocol, payload: object) -> List:
+    """Decode a ``POST /v1/reports`` JSON array back into protocol reports."""
+    if not isinstance(payload, list) or not payload:
+        raise ParameterError("reports must be a non-empty JSON array")
+    try:
+        if isinstance(protocol, LGRR):
+            return [int(report) for report in payload]
+        if isinstance(protocol, LongitudinalUnaryEncoding):
+            return [[int(bit) for bit in report] for report in payload]
+        if isinstance(protocol, DBitFlipPM):
+            return [
+                DBitFlipReport(
+                    sampled_buckets=tuple(int(b) for b in report["buckets"]),
+                    bits=tuple(int(b) for b in report["bits"]),
+                )
+                for report in payload
+            ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ParameterError(
+            f"malformed wire report for protocol {protocol.name!r}: {error}"
+        ) from None
+    raise ParameterError(
+        f"protocol {protocol.name!r} does not accept wire reports; submit "
+        f"pre-aggregated support counts instead (the 'counts' mode)"
+    )
+
+
+@dataclass
+class _Submission:
+    """One validated batch queued between the front door and the consumer."""
+
+    round_index: int
+    counts: np.ndarray
+    n_reports: int
+
+
+class IngestServer:
+    """The live collection endpoint described by an :class:`IngestSpec`.
+
+    Parameters
+    ----------
+    spec:
+        Declarative service configuration (protocol, horizon, windowing,
+        queue capacity, authentication).
+    checkpoint_path:
+        Optional session checkpoint path (``.npz`` or JSON).  When it exists
+        the server *restores* from it (plus the ``<path>.clock.json`` clock
+        sidecar) and continues the horizon; while running it checkpoints
+        atomically every ``spec.checkpoint_interval_seconds`` and once more
+        on shutdown.
+    metrics:
+        Registry to expose on ``/metrics``; a private one is created when
+        omitted (pass one to share series with an embedding process).
+    tick_interval:
+        Cadence of the background ticker that fires timeout seals, refreshes
+        the queue gauge and triggers periodic checkpoints.
+    time_source:
+        Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        spec: IngestSpec,
+        *,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tick_interval: float = 0.25,
+        time_source: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not isinstance(spec, IngestSpec):
+            raise ParameterError(
+                f"spec must be an IngestSpec, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self._time = time_source
+        if not tick_interval > 0:
+            raise ParameterError(f"tick_interval must be > 0, got {tick_interval}")
+        self._tick_interval = float(tick_interval)
+        self._authenticator = authenticator_from_env(spec.auth_key_env)
+        self._checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._m_accepted = m.counter(
+            "repro_ingest_reports_accepted_total",
+            "Reports folded into the collector session",
+        )
+        self._m_batches = m.counter(
+            "repro_ingest_batches_total", "Report/count batches folded"
+        )
+        self._m_rejected = m.counter(
+            "repro_ingest_rejected_total",
+            "Submissions rejected before aggregation, by reason",
+        )
+        self._m_late = m.counter(
+            "repro_ingest_reports_late_total",
+            "Reports that arrived after their round sealed, by policy outcome",
+        )
+        self._m_queue_depth = m.gauge(
+            "repro_ingest_queue_depth", "Batches waiting for the consumer"
+        )
+        self._m_queue_capacity = m.gauge(
+            "repro_ingest_queue_capacity", "Bound of the ingest queue"
+        )
+        self._m_queue_capacity.set(spec.queue_capacity)
+        self._m_sealed = m.counter(
+            "repro_ingest_rounds_sealed_total", "Round windows sealed, by reason"
+        )
+        self._m_seal_latency = m.histogram(
+            "repro_ingest_seal_latency_seconds",
+            "Wall-clock seconds each sealed window was open",
+        )
+        self._m_estimate_age = m.gauge(
+            "repro_ingest_estimate_age_seconds",
+            "Seconds since the served round estimate last changed",
+        )
+        self._m_current_round = m.gauge(
+            "repro_ingest_current_round", "The open round window"
+        )
+        self._m_http = m.counter(
+            "repro_http_requests_total", "HTTP requests served, by route and status"
+        )
+        self._m_checkpoints = m.counter(
+            "repro_ingest_checkpoints_total", "Session+clock checkpoints written"
+        )
+
+        self.session, self.clock = self._build_state()
+        self.session.attach_clock(self.clock)
+        self._m_current_round.set(self.clock.current_round)
+
+        self._queue: Optional[asyncio.Queue] = None
+        self._http: Optional[AsyncHttpServer] = None
+        self._consumer_task: Optional[asyncio.Task] = None
+        self._ticker_task: Optional[asyncio.Task] = None
+        self._fold_times: Dict[int, float] = {}
+        self._dirty = False
+        self._last_checkpoint = self._time()
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # State construction / restore
+    # ------------------------------------------------------------------ #
+    @property
+    def clock_state_path(self) -> Optional[Path]:
+        """The clock sidecar written next to the session checkpoint."""
+        if self._checkpoint_path is None:
+            return None
+        return self._checkpoint_path.with_name(
+            self._checkpoint_path.name + ".clock.json"
+        )
+
+    def _build_state(self) -> Tuple[CollectorSession, RoundClock]:
+        path = self._checkpoint_path
+        if path is not None and path.exists():
+            session = CollectorSession.restore(path)
+            if session.spec is None or session.spec.to_dict() != self.spec.protocol.to_dict():
+                raise ParameterError(
+                    f"checkpoint {path} was recorded for protocol spec "
+                    f"{session.spec.to_dict() if session.spec else None}, which "
+                    f"does not match this service's protocol "
+                    f"{self.spec.protocol.to_dict()}"
+                )
+            if session.n_rounds != self.spec.n_rounds:
+                raise ParameterError(
+                    f"checkpoint horizon ({session.n_rounds} rounds) does not "
+                    f"match the spec horizon ({self.spec.n_rounds} rounds)"
+                )
+            sidecar = self.clock_state_path
+            if sidecar is not None and sidecar.exists():
+                try:
+                    state = json.loads(sidecar.read_text(encoding="utf-8"))
+                except json.JSONDecodeError as error:
+                    raise ParameterError(
+                        f"invalid round-clock sidecar {sidecar}: {error}"
+                    ) from None
+                clock = RoundClock.from_state(
+                    state, time_source=self._time, on_seal=self._on_seal
+                )
+                if clock.n_rounds != self.spec.n_rounds:
+                    raise ParameterError(
+                        f"clock sidecar horizon ({clock.n_rounds} rounds) does "
+                        f"not match the spec horizon ({self.spec.n_rounds})"
+                    )
+                return session, clock
+            return session, self._fresh_clock()
+        return (
+            CollectorSession(self.spec.protocol, self.spec.n_rounds),
+            self._fresh_clock(),
+        )
+
+    def _fresh_clock(self) -> RoundClock:
+        return RoundClock(
+            self.spec.n_rounds,
+            window_seconds=self.spec.window_seconds,
+            quorum=self.spec.quorum,
+            late_policy=self.spec.late_policy,
+            time_source=self._time,
+            on_seal=self._on_seal,
+        )
+
+    def _on_seal(self, event: SealEvent) -> None:
+        self._m_sealed.labels(reason=event.reason).inc()
+        self._m_seal_latency.observe(max(event.duration, 0.0))
+        self._m_current_round.set(self.clock.current_round)
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> Tuple[str, int]:
+        """Bind the front door and start the consumer + ticker tasks."""
+        self._queue = asyncio.Queue(self.spec.queue_capacity)
+        self._http = AsyncHttpServer(
+            self._handle, host=self.spec.host, port=self.spec.port
+        )
+        address = await self._http.start()
+        self._consumer_task = asyncio.ensure_future(self._consume())
+        self._ticker_task = asyncio.ensure_future(self._tick_loop())
+        return address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._http is None:
+            raise ParameterError("the ingest server is not started")
+        return self._http.address
+
+    async def stop(self) -> None:
+        """Graceful shutdown: refuse new traffic, drain, checkpoint.
+
+        The front door closes first, every already-queued batch is folded
+        (nothing accepted is ever lost), then the final session + clock
+        checkpoint is written.  The open window is *not* sealed: a restarted
+        server resumes exactly where this one stopped.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._http is not None:
+            await self._http.close()
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+            try:
+                await self._ticker_task
+            except asyncio.CancelledError:
+                pass
+        if self._queue is not None:
+            await self._queue.put(None)  # drain marker: folds FIFO, then exits
+        if self._consumer_task is not None:
+            await self._consumer_task
+        self.checkpoint(force=True)
+
+    async def run(
+        self,
+        *,
+        run_seconds: Optional[float] = None,
+        install_signal_handlers: bool = True,
+        ready: Optional[Callable[[Tuple[str, int]], None]] = None,
+    ) -> Tuple[str, int]:
+        """Serve until SIGTERM/SIGINT (or ``run_seconds``), then drain.
+
+        This is the ``repro-ldp ingest`` entry point: it owns the whole
+        lifecycle and always exits through :meth:`stop` (drain + final
+        checkpoint), including on signals.
+        """
+        address = await self.start()
+        if ready is not None:
+            ready(address)
+        stop_event = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        installed: List[signal.Signals] = []
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop_event.set)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-unix platforms / nested loops
+        try:
+            if run_seconds is None:
+                await stop_event.wait()
+            else:
+                try:
+                    await asyncio.wait_for(stop_event.wait(), run_seconds)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.stop()
+        return address
+
+    # ------------------------------------------------------------------ #
+    # Consumer + ticker
+    # ------------------------------------------------------------------ #
+    async def _consume(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is None:
+                    return
+                self._fold(item)
+            finally:
+                self._queue.task_done()
+                self._m_queue_depth.set(self._queue.qsize())
+
+    def _fold(self, submission: _Submission) -> None:
+        dropped_before = self.clock.late_dropped
+        absorbed_before = self.clock.late_absorbed
+        estimate = self.session.submit_counts(
+            submission.round_index, submission.counts, submission.n_reports
+        )
+        dropped = self.clock.late_dropped - dropped_before
+        absorbed = self.clock.late_absorbed - absorbed_before
+        if dropped:
+            self._m_late.labels(policy="drop").inc(dropped)
+        if absorbed:
+            self._m_late.labels(policy="absorb").inc(absorbed)
+        if estimate is not None:
+            self._m_accepted.inc(submission.n_reports)
+            self._m_batches.inc()
+            self._fold_times[estimate.round_index] = self._time()
+            self._dirty = True
+
+    async def _tick_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._tick_interval)
+            self.clock.tick()
+            self.checkpoint()
+            if self._queue is not None:
+                self._m_queue_depth.set(self._queue.qsize())
+
+    def checkpoint(self, force: bool = False) -> bool:
+        """Write the session checkpoint + clock sidecar if due (atomic).
+
+        Periodic calls are rate-limited by
+        ``spec.checkpoint_interval_seconds`` and skipped while nothing
+        changed; ``force=True`` (shutdown) writes unconditionally when a
+        checkpoint path is configured.
+        """
+        if self._checkpoint_path is None:
+            return False
+        now = self._time()
+        if not force:
+            if not self._dirty:
+                return False
+            if now - self._last_checkpoint < self.spec.checkpoint_interval_seconds:
+                return False
+        self.session.checkpoint(self._checkpoint_path)
+        state = json.dumps(self.clock.state_dict()).encode("utf-8")
+        sidecar = self.clock_state_path
+        assert sidecar is not None
+        atomic_write_bytes(sidecar, lambda handle: handle.write(state))
+        self._m_checkpoints.inc()
+        self._dirty = False
+        self._last_checkpoint = now
+        return True
+
+    # ------------------------------------------------------------------ #
+    # HTTP routing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _route_label(path: str) -> str:
+        if path.startswith("/v1/estimate/"):
+            return "/v1/estimate"
+        if path in ("/healthz", "/metrics", "/v1/rounds", "/v1/rounds/advance", "/v1/reports"):
+            return path
+        return "other"
+
+    async def _handle(self, request: HttpRequest) -> HttpResponse:
+        route = self._route_label(request.path)
+        try:
+            response = await self._dispatch(request)
+        except HttpError as error:
+            self._m_http.labels(route=route, status=str(error.status)).inc()
+            raise
+        self._m_http.labels(route=route, status=str(response.status)).inc()
+        return response
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        method, path = request.method, request.path
+        if path == "/healthz":
+            self._require_method(method, "GET")
+            return HttpResponse.json(
+                {
+                    "status": "ok",
+                    "name": self.spec.name,
+                    "protocol": self.session.protocol.name,
+                    "current_round": self.clock.current_round,
+                    "finished": self.clock.finished,
+                }
+            )
+        if path == "/metrics":
+            self._require_method(method, "GET")
+            return HttpResponse.text(self.metrics.render())
+        if path == "/v1/rounds":
+            self._require_method(method, "GET")
+            return HttpResponse.json(self._rounds_payload())
+        if path == "/v1/rounds/advance":
+            self._require_method(method, "POST")
+            try:
+                event = self.clock.advance("explicit")
+            except ParameterError as error:
+                raise HttpError(400, str(error)) from None
+            self._dirty = True
+            return HttpResponse.json(
+                {
+                    "sealed_round": event.round_index,
+                    "reason": event.reason,
+                    "n_reports": event.n_reports,
+                    "current_round": self.clock.current_round,
+                }
+            )
+        if path == "/v1/reports":
+            self._require_method(method, "POST")
+            return self._submit(request)
+        if path.startswith("/v1/estimate/"):
+            self._require_method(method, "GET")
+            return self._estimate(path[len("/v1/estimate/") :])
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(405, f"use {expected} for this endpoint, not {method}")
+
+    def _rounds_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.spec.name,
+            "protocol": self.session.protocol.name,
+            "n_rounds": self.spec.n_rounds,
+            "current_round": self.clock.current_round,
+            "finished": self.clock.finished,
+            "window_reports": self.clock.window_reports,
+            "reports_per_round": self.session.reports_per_round.tolist(),
+            "late_dropped": self.clock.late_dropped,
+            "late_absorbed": self.clock.late_absorbed,
+            "early_reports": self.clock.early_reports,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "seals": [
+                {
+                    "round_index": event.round_index,
+                    "reason": event.reason,
+                    "n_reports": event.n_reports,
+                    "duration": event.duration,
+                }
+                for event in self.clock.seals
+            ],
+        }
+
+    def _estimate(self, tail: str) -> HttpResponse:
+        try:
+            round_index = int(tail)
+        except ValueError:
+            raise HttpError(400, f"round index must be an integer, got {tail!r}") from None
+        try:
+            estimate = self.session.estimate(round_index)
+        except ParameterError as error:
+            raise HttpError(400, str(error)) from None
+        except AggregationError as error:
+            raise HttpError(404, str(error)) from None
+        age: Optional[float] = None
+        folded_at = self._fold_times.get(round_index)
+        if folded_at is not None:
+            age = max(self._time() - folded_at, 0.0)
+            self._m_estimate_age.labels(round=str(round_index)).set(age)
+        return HttpResponse.json(
+            {
+                "round": round_index,
+                "n_reports": estimate.n_reports,
+                "frequencies": estimate.frequencies.tolist(),
+                "sealed": self.clock.is_sealed(round_index),
+                "age_seconds": age,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Submission path
+    # ------------------------------------------------------------------ #
+    def _reject(self, reason: str, status: int, message: str) -> HttpError:
+        self._m_rejected.labels(reason=reason).inc()
+        return HttpError(status, message)
+
+    def _submit(self, request: HttpRequest) -> HttpResponse:
+        body = request.body
+        if self._authenticator is not None:
+            try:
+                body = self._authenticator.verify(body)
+            except AuthenticationError as error:
+                raise self._reject("auth", 401, str(error))
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise self._reject(
+                "malformed", 400, f"submission body is not valid JSON: {error}"
+            )
+        if not isinstance(payload, dict) or "round" not in payload:
+            raise self._reject(
+                "malformed", 400, "a submission is an object with a 'round' field"
+            )
+        try:
+            round_index = self.session._check_round(payload["round"])
+            counts, n_reports = self._decode_submission(payload)
+        except ParameterError as error:
+            raise self._reject("malformed", 400, str(error))
+
+        assert self._queue is not None, "the ingest server is not started"
+        submission = _Submission(
+            round_index=round_index, counts=counts, n_reports=n_reports
+        )
+        try:
+            self._queue.put_nowait(submission)
+        except asyncio.QueueFull:
+            self._m_rejected.labels(reason="backpressure").inc()
+            return HttpResponse.error(
+                429,
+                f"the ingest queue ({self.spec.queue_capacity} batches) is "
+                f"full; retry after {self.spec.retry_after_seconds:g}s",
+                headers=(("Retry-After", f"{self.spec.retry_after_seconds:g}"),),
+            )
+        self._m_queue_depth.set(self._queue.qsize())
+        return HttpResponse.json(
+            {"status": "queued", "round": round_index, "n_reports": n_reports},
+            status=202,
+        )
+
+    def _decode_submission(self, payload: Dict) -> Tuple[np.ndarray, int]:
+        """Fold one submission to ``(support_counts, n_reports)`` or raise."""
+        m = self.session.protocol.estimation_domain_size
+        has_reports = "reports" in payload
+        has_counts = "counts" in payload
+        if has_reports == has_counts:
+            raise ParameterError(
+                "a submission carries exactly one of 'reports' or 'counts'"
+            )
+        if has_reports:
+            reports = decode_reports(self.session.protocol, payload["reports"])
+            return self.session._fold_reports(reports), len(reports)
+        raw = payload["counts"]
+        try:
+            counts = np.asarray(raw, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise ParameterError(f"counts are not numeric: {error}") from None
+        if counts.shape != (m,):
+            raise ParameterError(
+                f"expected counts of shape ({m},), got {counts.shape}"
+            )
+        if not np.all(np.isfinite(counts)):
+            raise ParameterError("counts must be finite")
+        n_reports = payload.get("n_reports")
+        if (
+            isinstance(n_reports, bool)
+            or not isinstance(n_reports, int)
+            or n_reports < 1
+        ):
+            raise ParameterError(
+                f"a counts submission needs an integer n_reports >= 1, "
+                f"got {n_reports!r}"
+            )
+        if float(counts.sum()) > n_reports * max(m, 1) + 0.5:
+            raise ParameterError(
+                f"counts sum to {counts.sum():g}, impossible for "
+                f"{n_reports} reports over domain {m}"
+            )
+        return counts, n_reports
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IngestServer(name={self.spec.name!r}, "
+            f"protocol={self.session.protocol.name!r}, "
+            f"round={self.clock.current_round}/{self.spec.n_rounds})"
+        )
+

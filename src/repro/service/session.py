@@ -40,11 +40,12 @@ import numpy as np
 
 from .._atomicio import atomic_write_bytes
 from .._validation import require_int_at_least
-from ..exceptions import AggregationError, ParameterError
+from ..exceptions import AggregationError, EncodingError, ParameterError
 from ..longitudinal.base import LongitudinalProtocol, RoundEstimate
 from ..registry import build_protocol
 from ..simulation.sinks import ShardSummary, estimate_support_counts
 from ..specs import ProtocolSpec
+from .clock import RoundClock
 
 __all__ = ["CollectorSession"]
 
@@ -79,6 +80,7 @@ class CollectorSession:
         self,
         protocol: Union[ProtocolSpec, LongitudinalProtocol],
         n_rounds: int,
+        clock: Optional[RoundClock] = None,
     ) -> None:
         if isinstance(protocol, ProtocolSpec):
             self.spec: Optional[ProtocolSpec] = protocol
@@ -90,52 +92,127 @@ class CollectorSession:
         m = self.protocol.estimation_domain_size
         self._counts = np.zeros((self.n_rounds, m), dtype=np.float64)
         self._n_reports = np.zeros(self.n_rounds, dtype=np.int64)
+        self.clock: Optional[RoundClock] = None
+        if clock is not None:
+            self.attach_clock(clock)
 
     # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
+    def attach_clock(self, clock: RoundClock) -> None:
+        """Give a :class:`~repro.service.clock.RoundClock` ownership of
+        round windowing.
+
+        With a clock attached, every submission is routed through
+        :meth:`RoundClock.route` first: reports for an already-sealed round
+        follow the clock's late policy (dropped — ``submit_*`` returns
+        ``None`` — or absorbed into the open window), and on-time batches
+        may seal their window by quorum.  Without a clock the session keeps
+        its historical behavior: any round accepts reports at any time.
+        """
+        if not isinstance(clock, RoundClock):
+            raise ParameterError(
+                f"clock must be a RoundClock, got {type(clock).__name__}"
+            )
+        if clock.n_rounds != self.n_rounds:
+            raise ParameterError(
+                f"clock horizon ({clock.n_rounds} rounds) does not match the "
+                f"session horizon ({self.n_rounds} rounds)"
+            )
+        self.clock = clock
+
     def _check_round(self, round_index: int) -> int:
+        if isinstance(round_index, bool) or not isinstance(
+            round_index, (int, np.integer)
+        ):
+            raise ParameterError(
+                f"round index must be an integer, got {type(round_index).__name__}"
+            )
         round_index = int(round_index)
         if not 0 <= round_index < self.n_rounds:
-            raise AggregationError(
+            raise ParameterError(
                 f"round index must lie in [0, {self.n_rounds}), got {round_index}"
             )
         return round_index
 
-    def submit_reports(self, round_index: int, reports: Sequence) -> RoundEstimate:
+    def _route(self, round_index: int, n_reports: int) -> Optional[int]:
+        round_index = self._check_round(round_index)
+        if self.clock is None:
+            return round_index
+        return self.clock.route(round_index, n_reports)
+
+    def _fold_reports(self, reports: Sequence) -> np.ndarray:
+        """Support counts of one batch, failing fast on malformed reports.
+
+        Shape and domain mismatches historically surfaced as downstream
+        numpy errors (broadcast failures, negative ``bincount`` inputs);
+        they are translated into :class:`~repro.exceptions.ParameterError`
+        naming the offending shape instead.
+        """
+        m = self.protocol.estimation_domain_size
+        try:
+            counts = np.asarray(
+                self.protocol.support_counts(reports), dtype=np.float64
+            )
+        except (EncodingError, ValueError, TypeError) as error:
+            raise ParameterError(
+                f"report batch does not fit protocol {self.protocol.name!r} "
+                f"(estimation domain {m}): {error}"
+            ) from None
+        if counts.shape != (m,):
+            raise ParameterError(
+                f"report batch folded to counts of shape {counts.shape}, "
+                f"expected ({m},) — do the reports match the protocol spec?"
+            )
+        return counts
+
+    def submit_reports(
+        self, round_index: int, reports: Sequence
+    ) -> Optional[RoundEstimate]:
         """Fold a batch of client reports for ``round_index``.
 
         Batches may arrive in any order and a round may receive any number
-        of batches.  Returns the running estimate of the round.
+        of batches.  Returns the running estimate of the round the batch
+        was folded into — which is a *later* round than ``round_index`` when
+        an attached clock absorbs a late batch, or ``None`` when the clock's
+        ``drop`` policy discarded it.
         """
-        round_index = self._check_round(round_index)
         reports = list(reports)
         if not reports:
-            raise AggregationError("cannot submit an empty report batch")
-        self._counts[round_index] += self.protocol.support_counts(reports)
-        self._n_reports[round_index] += len(reports)
-        return self.estimate(round_index)
+            raise ParameterError(
+                f"cannot submit an empty report batch (round {round_index})"
+            )
+        counts = self._fold_reports(reports)
+        target = self._route(round_index, len(reports))
+        if target is None:
+            return None
+        self._counts[target] += counts
+        self._n_reports[target] += len(reports)
+        return self.estimate(target)
 
     def submit_counts(
         self, round_index: int, counts: np.ndarray, n_reports: int
-    ) -> RoundEstimate:
+    ) -> Optional[RoundEstimate]:
         """Fold pre-aggregated support counts (e.g. from an edge aggregator).
 
         This is the fast ingestion path for producers that already hold
         population-level counts — a vectorized engine round or a remote
-        pre-aggregation tier.
+        pre-aggregation tier.  Like :meth:`submit_reports`, an attached
+        clock may redirect the batch (late-absorb) or drop it (``None``).
         """
-        round_index = self._check_round(round_index)
         n_reports = require_int_at_least(n_reports, 1, "n_reports")
         counts = np.asarray(counts, dtype=np.float64)
         m = self.protocol.estimation_domain_size
         if counts.shape != (m,):
-            raise AggregationError(
+            raise ParameterError(
                 f"expected counts of shape ({m},), got {counts.shape}"
             )
-        self._counts[round_index] += counts
-        self._n_reports[round_index] += n_reports
-        return self.estimate(round_index)
+        target = self._route(round_index, n_reports)
+        if target is None:
+            return None
+        self._counts[target] += counts
+        self._n_reports[target] += n_reports
+        return self.estimate(target)
 
     def absorb_summary(self, summary: ShardSummary) -> None:
         """Merge a whole-run shard partial (``ShardedSink`` contract).

@@ -38,6 +38,7 @@ from ..exceptions import ExperimentError
 from ..longitudinal.base import LongitudinalProtocol
 from ..longitudinal.dbitflip import DBitFlipPM
 from ..rng import RngLike, derive_seed_sequences
+from ..service.clock import RoundClock
 from ..specs import ProtocolSpec
 from .engines import engine_for
 from .metrics import averaged_longitudinal_privacy_loss, averaged_mse, mse_per_round
@@ -169,11 +170,19 @@ def round_windows(values: np.ndarray) -> List[Tuple[int, int]]:
 
 def _drive_windows(engine, values: np.ndarray, sink, generator) -> None:
     """Run every round of ``values`` (one column per round) into ``sink``,
-    batching maximal unchanged windows through ``engine.run_rounds``."""
+    batching maximal unchanged windows through ``engine.run_rounds``.
+
+    Round progression is owned by a lockstep
+    :class:`~repro.service.clock.RoundClock` — the same object that windows
+    the live ingestion service — so "which round is open" has exactly one
+    authority in both the batch and the live world.
+    """
+    clock = RoundClock.lockstep(values.shape[1])
     for start_t, stop_t in round_windows(values):
         counts = engine.run_rounds(values[:, start_t], stop_t - start_t, generator)
         for offset in range(stop_t - start_t):
-            sink.add_round(start_t + offset, counts[offset])
+            sink.add_round(clock.current_round, counts[offset])
+            clock.advance("lockstep")
 
 
 def simulate_protocol(

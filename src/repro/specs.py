@@ -45,9 +45,11 @@ from .exceptions import ParameterError
 
 __all__ = [
     "CollectionSpec",
+    "IngestSpec",
     "ProtocolSpec",
     "SweepSpec",
     "load_collection_spec",
+    "load_ingest_spec",
     "load_sweep_spec",
 ]
 
@@ -558,6 +560,177 @@ class CollectionSpec:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(self.to_json() + "\n", encoding="utf-8")
         return path
+
+
+@dataclass(frozen=True)
+class IngestSpec:
+    """Declarative description of one live ingestion service — the payload
+    of ``repro-ldp ingest --spec ingest.json`` files.
+
+    Unlike a :class:`CollectionSpec` there is no dataset: the population is
+    *whatever reports over the wire*, so the protocol template must be fully
+    concrete (``k`` included — nothing fills it in).
+
+    Attributes
+    ----------
+    protocol:
+        Concrete protocol configuration served by this collector.
+    n_rounds:
+        Length of the collection horizon.
+    name:
+        Service id used in logs and metric output.
+    host, port:
+        Bind address of the HTTP front door (``port 0`` = ephemeral).
+    window_seconds:
+        Seal the open round window after this many wall-clock seconds
+        (``None`` disables the timeout trigger; see
+        :class:`repro.service.clock.RoundClock`).
+    quorum:
+        Seal the open window once it has received this many reports
+        (``None`` disables the quorum trigger).
+    late_policy:
+        What happens to reports for an already-sealed round: ``"drop"``
+        (count and discard) or ``"absorb"`` (fold into the open window).
+    queue_capacity:
+        Maximum number of report batches buffered between the HTTP front
+        door and the aggregation consumer; a full queue answers
+        ``429 Too Many Requests`` with a ``Retry-After`` hint.
+    retry_after_seconds:
+        The ``Retry-After`` hint sent with ``429`` responses.
+    checkpoint_interval_seconds:
+        Minimum seconds between periodic session/clock checkpoints (only
+        active when the service is given a checkpoint path).
+    auth_key_env:
+        Name of the environment variable holding the shared HMAC secret
+        (see :mod:`repro.distributed.auth`); submissions must then be
+        signed envelopes and unauthenticated bodies are rejected with
+        ``401``.  ``None`` runs unauthenticated.
+    """
+
+    protocol: ProtocolSpec
+    n_rounds: int
+    name: str = "ingest"
+    host: str = "127.0.0.1"
+    port: int = 0
+    window_seconds: Optional[float] = None
+    quorum: Optional[int] = None
+    late_policy: str = "drop"
+    queue_capacity: int = 256
+    retry_after_seconds: float = 0.5
+    checkpoint_interval_seconds: float = 30.0
+    auth_key_env: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.protocol, ProtocolSpec):
+            raise ParameterError(
+                f"protocol must be a ProtocolSpec, got {type(self.protocol).__name__}"
+            )
+        if not self.protocol.is_concrete:
+            raise ParameterError(
+                "an ingest spec's protocol must be fully concrete (k and "
+                "eps_inf set): there is no dataset to fill the template in"
+            )
+        require_int_at_least(self.n_rounds, 1, "n_rounds")
+        if not isinstance(self.name, str) or not self.name:
+            raise ParameterError("ingest name must be a non-empty string")
+        if not isinstance(self.host, str) or not self.host:
+            raise ParameterError("host must be a non-empty string")
+        port = require_int_at_least(self.port, 0, "port")
+        if port > 65535:
+            raise ParameterError(f"port must be <= 65535, got {port}")
+        if self.window_seconds is not None:
+            require_positive(self.window_seconds, "window_seconds")
+            object.__setattr__(self, "window_seconds", float(self.window_seconds))
+        if self.quorum is not None:
+            object.__setattr__(
+                self, "quorum", require_int_at_least(self.quorum, 1, "quorum")
+            )
+        if self.late_policy not in ("drop", "absorb"):
+            raise ParameterError(
+                f"late_policy must be 'drop' or 'absorb', got {self.late_policy!r}"
+            )
+        require_int_at_least(self.queue_capacity, 1, "queue_capacity")
+        require_positive(self.retry_after_seconds, "retry_after_seconds")
+        require_positive(
+            self.checkpoint_interval_seconds, "checkpoint_interval_seconds"
+        )
+        if self.auth_key_env is not None and (
+            not isinstance(self.auth_key_env, str) or not self.auth_key_env
+        ):
+            raise ParameterError(
+                "auth_key_env must be a non-empty environment variable name "
+                "or None"
+            )
+
+    _OPTIONAL_FIELDS = (
+        "name", "host", "port", "window_seconds", "quorum", "late_policy",
+        "queue_capacity", "retry_after_seconds", "checkpoint_interval_seconds",
+        "auth_key_env",
+    )
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "protocol": self.protocol.to_dict(),
+            "n_rounds": self.n_rounds,
+        }
+        for attr in self._OPTIONAL_FIELDS:
+            value = getattr(self, attr)
+            if value is not None:
+                payload[attr] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "IngestSpec":
+        if not isinstance(payload, Mapping):
+            raise ParameterError(
+                f"an ingest spec must be a mapping, got {type(payload).__name__}"
+            )
+        known = {"protocol", "n_rounds", *cls._OPTIONAL_FIELDS}
+        unknown = set(payload) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown ingest spec fields: {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        for required in ("protocol", "n_rounds"):
+            if required not in payload:
+                raise ParameterError(f"an ingest spec requires a {required!r} field")
+        kwargs: Dict[str, object] = {
+            "protocol": ProtocolSpec.from_dict(payload["protocol"]),
+            "n_rounds": payload["n_rounds"],
+        }
+        for optional in cls._OPTIONAL_FIELDS:
+            if optional in payload:
+                kwargs[optional] = payload[optional]
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "IngestSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec as a JSON file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+
+def load_ingest_spec(path: Union[str, Path]) -> IngestSpec:
+    """Load an :class:`IngestSpec` from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"ingest spec file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ParameterError(
+            f"invalid JSON in ingest spec {path}: {error}"
+        ) from None
+    return IngestSpec.from_dict(payload)
 
 
 def load_collection_spec(path: Union[str, Path]) -> CollectionSpec:

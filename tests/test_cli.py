@@ -241,3 +241,226 @@ class TestEmitSpec:
         assert {"RAPPOR", "OLOLOHA", "1BitFlipPM"} <= set(spec.grid_protocols())
         # And it round-trips through JSON on disk.
         assert SweepSpec.from_dict(json.loads(target.read_text())) == spec
+
+
+class TestIngestLoadgenCli:
+    """Flag parity and lifecycle for the live ingestion commands."""
+
+    @pytest.fixture
+    def ingest_spec_path(self, tmp_path):
+        from repro.specs import IngestSpec, ProtocolSpec
+
+        spec = IngestSpec(
+            protocol=ProtocolSpec(name="L-OSUE", k=8, eps_inf=2.0, eps_1=1.0),
+            n_rounds=2,
+            name="cli-test",
+            host="127.0.0.1",
+            port=0,
+            quorum=20,
+        )
+        path = tmp_path / "ingest.json"
+        path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        return path
+
+    def test_ingest_parser_accepts_service_flags(self):
+        args = build_parser().parse_args(
+            [
+                "ingest",
+                "--spec", "ingest.json",
+                "--bind", "127.0.0.1:9000",
+                "--checkpoint", "state.npz",
+                "--checkpoint-interval", "5",
+                "--auth-key-env", "REPRO_KEY",
+                "--run-seconds", "1.5",
+            ]
+        )
+        assert args.command == "ingest"
+        assert args.bind == "127.0.0.1:9000"
+        assert args.checkpoint_interval == 5.0
+        assert args.run_seconds == 1.5
+
+    def test_loadgen_parser_accepts_traffic_flags(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--spec", "ingest.json",
+                "--connect", "127.0.0.1:9000",
+                "--users", "50",
+                "--seed", "7",
+                "--batch-size", "16",
+                "--rate", "200",
+                "--mode", "counts",
+            ]
+        )
+        assert args.command == "loadgen"
+        assert args.users == 50
+        assert args.mode == "counts"
+        assert not args.wrong_key
+
+    def test_subcommands_refuse_inapplicable_flags(self):
+        # loadgen has no checkpointing; ingest generates no traffic.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadgen", "--spec", "s.json", "--connect", "h:1", "--checkpoint", "c.npz"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "--spec", "s.json", "--users", "10"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "--spec", "s.json", "--wrong-key"])
+
+    def test_checkpoint_interval_without_checkpoint_is_an_error(
+        self, capsys, ingest_spec_path
+    ):
+        code = main(
+            ["ingest", "--spec", str(ingest_spec_path), "--checkpoint-interval", "5"]
+        )
+        assert code == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+    def test_wrong_key_and_auth_key_env_are_mutually_exclusive(
+        self, capsys, ingest_spec_path
+    ):
+        code = main(
+            [
+                "loadgen",
+                "--spec", str(ingest_spec_path),
+                "--connect", "127.0.0.1:9000",
+                "--wrong-key",
+                "--auth-key-env", "REPRO_KEY",
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_malformed_bind_rejected(self, capsys, ingest_spec_path):
+        code = main(
+            ["ingest", "--spec", str(ingest_spec_path), "--bind", "no-port-here"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_spec_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["ingest", "--spec", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unauthenticated_ingest_warns_and_serves(self, capsys, ingest_spec_path):
+        code = main(
+            ["ingest", "--spec", str(ingest_spec_path), "--run-seconds", "0.2"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "UNAUTHENTICATED" in captured.err
+        assert "listening on 127.0.0.1:" in captured.out
+        assert "drained at round 0/2" in captured.out
+
+    def test_authenticated_ingest_does_not_warn(
+        self, capsys, monkeypatch, ingest_spec_path
+    ):
+        monkeypatch.setenv("REPRO_CLI_TEST_KEY", "super-secret")
+        code = main(
+            [
+                "ingest",
+                "--spec", str(ingest_spec_path),
+                "--auth-key-env", "REPRO_CLI_TEST_KEY",
+                "--run-seconds", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "UNAUTHENTICATED" not in capsys.readouterr().err
+
+
+class TestIngestEndToEnd:
+    """The full CLI lifecycle over a real socket: serve, drive, kill."""
+
+    def _env(self):
+        import os
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        env["REPRO_E2E_KEY"] = "cli-e2e-shared-secret"
+        return env
+
+    def _start_server(self, spec_path, checkpoint, env):
+        import subprocess
+        import sys
+
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli",
+                "ingest",
+                "--spec", str(spec_path),
+                "--auth-key-env", "REPRO_E2E_KEY",
+                "--checkpoint", str(checkpoint),
+                "--checkpoint-interval", "0.05",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        banner = process.stdout.readline()
+        assert "listening on" in banner, banner + process.stderr.read()
+        port = int(banner.rsplit(":", 1)[1])
+        return process, port
+
+    def _loadgen(self, spec_path, port, env, *extra):
+        import subprocess
+        import sys
+
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli",
+                "loadgen",
+                "--spec", str(spec_path),
+                "--connect", f"127.0.0.1:{port}",
+                "--users", "20",
+                "--seed", "11",
+                *extra,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+
+    def test_serve_drive_sigterm_drains(self, tmp_path):
+        import signal
+
+        from repro.specs import IngestSpec, ProtocolSpec
+
+        spec = IngestSpec(
+            protocol=ProtocolSpec(name="L-OSUE", k=8, eps_inf=2.0, eps_1=1.0),
+            n_rounds=2,
+            name="e2e",
+            port=0,
+            quorum=20,
+            auth_key_env="REPRO_E2E_KEY",
+        )
+        spec_path = tmp_path / "e2e.json"
+        spec_path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        env = self._env()
+        server, port = self._start_server(spec_path, tmp_path / "e2e.npz", env)
+        try:
+            # A client signing with the wrong key is rejected on every batch.
+            wrong = self._loadgen(spec_path, port, env, "--wrong-key")
+            assert wrong.returncode == 1, wrong.stdout + wrong.stderr
+            assert "401" in wrong.stdout
+
+            # The honest client (key from the spec's auth_key_env) gets
+            # every report in; quorum seals both rounds.
+            good = self._loadgen(spec_path, port, env)
+            assert good.returncode == 0, good.stdout + good.stderr
+            assert "40/40 reports accepted" in good.stdout
+        finally:
+            server.send_signal(signal.SIGTERM)
+            out, err = server.communicate(timeout=60)
+        assert server.returncode == 0, out + err
+        assert "drained at round 2/2" in out
+        assert "40 reports folded" in out
+        assert (tmp_path / "e2e.npz").exists()
+        assert (tmp_path / "e2e.npz.clock.json").exists()

@@ -1,0 +1,685 @@
+"""Tests for the live ingestion service layer.
+
+Covers the metrics registry and its Prometheus rendering, the RoundClock
+sealing state machine (quorum / timeout / explicit, both late policies,
+state round-trip), the clock-attached session semantics (late, out-of-order,
+duplicate batches), and the HTTP service end to end: bit-identity against a
+batch session, authentication, backpressure, checkpoint/kill/restore.
+
+HTTP tests run real asyncio servers on ephemeral localhost ports via
+``asyncio.run`` wrappers — no event-loop plugins needed.
+"""
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributed.auth import PayloadAuthenticator
+from repro.exceptions import ParameterError
+from repro.service import CollectorSession, MetricsRegistry, RoundClock
+from repro.service.clock import SealEvent
+from repro.service.http import HttpClient
+from repro.service.ingest import (
+    IngestServer,
+    decode_reports,
+    encode_reports,
+    wire_reports_supported,
+)
+from repro.service.loadgen import generate_round_reports, run_loadgen
+from repro.specs import IngestSpec, ProtocolSpec
+
+PROTO = ProtocolSpec(name="L-OSUE", k=8, eps_inf=2.0, eps_1=1.0)
+
+
+def _spec(**overrides) -> IngestSpec:
+    defaults = dict(protocol=PROTO, n_rounds=3, queue_capacity=64)
+    defaults.update(overrides)
+    return IngestSpec(**defaults)
+
+
+def _reports(n_rounds=3, n_users=30, seed=11, proto=PROTO):
+    return generate_round_reports(proto, n_rounds, n_users, seed)
+
+
+def _batch_session(rounds, proto=PROTO):
+    session = CollectorSession(proto, n_rounds=len(rounds))
+    for t, batch in enumerate(rounds):
+        session.submit_reports(t, batch)
+    return session
+
+
+# ---------------------------------------------------------------------- #
+# Metrics
+# ---------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counter_gauge_histogram_render(self):
+        registry = MetricsRegistry()
+        c = registry.counter("demo_total", "a counter")
+        g = registry.gauge("demo_depth", "a gauge")
+        h = registry.histogram("demo_seconds", "a histogram", buckets=(0.1, 1.0))
+        c.inc()
+        c.inc(2)
+        g.set(5)
+        g.dec(1.5)
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(3.0)
+        text = registry.render()
+        assert "# TYPE demo_total counter" in text
+        assert "demo_total 3" in text
+        assert "demo_depth 3.5" in text
+        assert 'demo_seconds_bucket{le="0.1"} 1' in text
+        assert 'demo_seconds_bucket{le="1"} 2' in text
+        assert 'demo_seconds_bucket{le="+Inf"} 3' in text
+        assert "demo_seconds_count 3" in text
+        assert "demo_seconds_sum 3.55" in text
+
+    def test_labeled_series_share_the_family(self):
+        registry = MetricsRegistry()
+        c = registry.counter("events_total", "by reason")
+        c.labels(reason="auth").inc()
+        c.labels(reason="auth").inc()
+        c.labels(reason="late").inc(3)
+        assert c.value(reason="auth") == 2
+        assert c.value(reason="late") == 3
+        text = registry.render()
+        assert 'events_total{reason="auth"} 2' in text
+        assert 'events_total{reason="late"} 3' in text
+
+    def test_register_or_return_and_kind_conflict(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total")
+        assert registry.counter("x_total") is a
+        with pytest.raises(ParameterError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_counter_refuses_to_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ParameterError, match="cannot decrease"):
+            registry.counter("y_total").inc(-1)
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ParameterError, match="invalid metric name"):
+            registry.counter("bad name")
+        with pytest.raises(ParameterError, match="label name"):
+            registry.counter("ok_total").labels(**{"bad-label": "x"}).inc()
+
+    def test_untouched_instruments_render_zero_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total", "never incremented")
+        assert "quiet_total 0" in registry.render()
+
+
+# ---------------------------------------------------------------------- #
+# RoundClock
+# ---------------------------------------------------------------------- #
+class FakeTime:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRoundClock:
+    def test_quorum_seals_window(self):
+        clock = RoundClock(3, quorum=5)
+        for _ in range(4):
+            assert clock.route(0) == 0
+        assert clock.current_round == 0
+        assert clock.route(0) == 0  # the 5th report seals after routing
+        assert clock.current_round == 1
+        assert clock.seals[0].reason == "quorum"
+        assert clock.seals[0].n_reports == 5
+
+    def test_timeout_seals_on_tick(self):
+        fake = FakeTime()
+        clock = RoundClock(3, window_seconds=10.0, time_source=fake)
+        assert clock.tick() == []
+        fake.now += 9.9
+        assert clock.tick() == []
+        fake.now += 0.2
+        events = clock.tick()
+        assert [e.reason for e in events] == ["timeout"]
+        assert clock.current_round == 1
+
+    def test_tick_seals_every_elapsed_deadline(self):
+        fake = FakeTime()
+        clock = RoundClock(3, window_seconds=1.0, time_source=fake)
+        fake.now += 10.0
+        events = clock.tick()
+        assert clock.finished and len(events) == 3
+
+    def test_explicit_advance_and_finished_guard(self):
+        clock = RoundClock(2)
+        clock.advance()
+        clock.advance("drain")
+        assert clock.finished
+        assert [e.reason for e in clock.seals] == ["explicit", "drain"]
+        with pytest.raises(ParameterError, match="already sealed"):
+            clock.advance()
+
+    def test_late_drop_policy(self):
+        clock = RoundClock(3, late_policy="drop")
+        clock.advance()
+        assert clock.route(0, n_reports=7) is None
+        assert clock.late_dropped == 7
+        assert clock.window_reports == 0
+
+    def test_late_absorb_policy_redirects_to_open_window(self):
+        clock = RoundClock(3, late_policy="absorb")
+        clock.advance()
+        assert clock.route(0, n_reports=7) == 1
+        assert clock.late_absorbed == 7
+        assert clock.window_reports == 7
+
+    def test_absorb_after_horizon_still_drops(self):
+        clock = RoundClock(1, late_policy="absorb")
+        clock.advance()
+        assert clock.route(0, n_reports=2) is None
+        assert clock.late_dropped == 2
+
+    def test_early_reports_pass_through(self):
+        clock = RoundClock(3)
+        assert clock.route(2, n_reports=4) == 2
+        assert clock.early_reports == 4
+        assert clock.window_reports == 0  # the open window is unaffected
+
+    def test_on_seal_callback_fires(self):
+        events = []
+        clock = RoundClock(2, quorum=1, on_seal=events.append)
+        clock.route(0)
+        assert len(events) == 1 and isinstance(events[0], SealEvent)
+
+    def test_state_round_trip(self):
+        fake = FakeTime()
+        clock = RoundClock(
+            4, window_seconds=5.0, quorum=10, late_policy="absorb",
+            time_source=fake,
+        )
+        for _ in range(10):
+            clock.route(0)
+        clock.route(1, n_reports=3)
+        clock.advance()
+        clock.route(0, n_reports=2)  # late, absorbed into round 2
+        state = json.loads(json.dumps(clock.state_dict()))  # wire round trip
+        restored = RoundClock.from_state(state, time_source=fake)
+        assert restored.current_round == clock.current_round == 2
+        assert restored.window_reports == 2
+        assert restored.late_absorbed == 2
+        assert restored.quorum == 10 and restored.window_seconds == 5.0
+        assert restored.late_policy == "absorb"
+        assert [e.reason for e in restored.seals] == ["quorum", "explicit"]
+
+    def test_restored_window_reopens_now(self):
+        fake = FakeTime()
+        clock = RoundClock(2, window_seconds=10.0, time_source=fake)
+        fake.now += 8.0
+        state = clock.state_dict()
+        fake.now += 100.0  # process restart much later
+        restored = RoundClock.from_state(state, time_source=fake)
+        assert restored.tick() == []  # the window age did not leak across
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ParameterError, match="state format"):
+            RoundClock.from_state({"format": 99})
+        with pytest.raises(ParameterError, match="invalid round-clock state"):
+            RoundClock.from_state({"format": 1, "n_rounds": 2})
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ParameterError, match="late_policy"):
+            RoundClock(2, late_policy="queue")
+        with pytest.raises(ParameterError, match="round index"):
+            RoundClock(2).route(2)
+
+
+# ---------------------------------------------------------------------- #
+# Session + clock semantics
+# ---------------------------------------------------------------------- #
+class TestSessionWithClock:
+    def test_clock_horizon_must_match(self):
+        session = CollectorSession(PROTO, n_rounds=3)
+        with pytest.raises(ParameterError, match="horizon"):
+            session.attach_clock(RoundClock(2))
+        with pytest.raises(ParameterError, match="RoundClock"):
+            session.attach_clock("not a clock")
+
+    def test_late_drop_returns_none_and_freezes_estimate(self):
+        rounds = _reports()
+        session = CollectorSession(PROTO, n_rounds=3, clock=RoundClock(3))
+        session.submit_reports(0, rounds[0])
+        frozen = session.estimate(0).frequencies.copy()
+        session.clock.advance()
+        assert session.submit_reports(0, rounds[1]) is None
+        np.testing.assert_array_equal(session.estimate(0).frequencies, frozen)
+        assert session.clock.late_dropped == len(rounds[1])
+
+    def test_late_absorb_folds_into_open_window(self):
+        rounds = _reports()
+        clock = RoundClock(3, late_policy="absorb")
+        session = CollectorSession(PROTO, n_rounds=3, clock=clock)
+        session.submit_reports(0, rounds[0])
+        clock.advance()
+        estimate = session.submit_reports(0, rounds[1])  # late -> round 1
+        assert estimate.round_index == 1
+        assert estimate.n_reports == len(rounds[1])
+        assert clock.late_absorbed == len(rounds[1])
+
+    def test_out_of_order_and_duplicate_batches(self):
+        rounds = _reports()
+        clock = RoundClock(3)
+        session = CollectorSession(PROTO, n_rounds=3, clock=clock)
+        # Future rounds are accepted out of order while round 0 is open.
+        session.submit_reports(2, rounds[2])
+        session.submit_reports(1, rounds[1])
+        assert clock.early_reports == len(rounds[1]) + len(rounds[2])
+        session.submit_reports(0, rounds[0])
+        # A duplicate delivery of an on-time batch is folded again: the
+        # session is an absorber, dedup is the transport's job (and the
+        # report count doubles with it, keeping the estimate unbiased).
+        session.submit_reports(0, rounds[0])
+        assert session.estimate(0).n_reports == 2 * len(rounds[0])
+        reference = _batch_session(rounds)
+        for t in (1, 2):
+            np.testing.assert_array_equal(
+                session.estimate(t).frequencies,
+                reference.estimate(t).frequencies,
+            )
+
+    def test_quorum_clock_matches_batch_reference_bit_identically(self):
+        rounds = _reports()
+        n_users = len(rounds[0])
+        clock = RoundClock(3, quorum=n_users)
+        session = CollectorSession(PROTO, n_rounds=3, clock=clock)
+        for t, batch in enumerate(rounds):
+            mid = n_users // 3
+            session.submit_reports(t, batch[:mid])
+            session.submit_reports(t, batch[mid:])
+        assert clock.finished
+        reference = _batch_session(rounds)
+        np.testing.assert_array_equal(
+            session.estimates(), reference.estimates()
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Wire codec
+# ---------------------------------------------------------------------- #
+class TestWireCodec:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ProtocolSpec(name="L-GRR", k=6, eps_inf=2.0, eps_1=1.0),
+            ProtocolSpec(name="L-OSUE", k=6, eps_inf=2.0, eps_1=1.0),
+            ProtocolSpec(
+                name="dBitFlipPM", k=6, eps_inf=2.0, params={"d": 2, "b": 4}
+            ),
+        ],
+    )
+    def test_round_trip_preserves_support_counts(self, spec):
+        from repro.registry import build_protocol
+
+        protocol = build_protocol(spec)
+        assert wire_reports_supported(protocol)
+        batch = generate_round_reports(protocol, 1, 20, seed=3)[0]
+        wire = json.loads(json.dumps(encode_reports(protocol, batch)))
+        decoded = decode_reports(protocol, wire)
+        np.testing.assert_array_equal(
+            protocol.support_counts(decoded), protocol.support_counts(batch)
+        )
+
+    def test_loloha_reports_are_not_wire_serializable(self):
+        from repro.registry import build_protocol
+
+        protocol = build_protocol(
+            ProtocolSpec(name="LOLOHA", k=6, eps_inf=2.0, eps_1=1.0)
+        )
+        assert not wire_reports_supported(protocol)
+        client = protocol.create_client(rng=0)
+        with pytest.raises(ParameterError, match="counts"):
+            encode_reports(protocol, [client.report(0, rng=1)])
+
+    def test_malformed_wire_reports_rejected(self):
+        from repro.registry import build_protocol
+
+        protocol = build_protocol(
+            ProtocolSpec(name="dBitFlipPM", k=6, eps_inf=2.0, params={"d": 2, "b": 4})
+        )
+        with pytest.raises(ParameterError, match="malformed wire report"):
+            decode_reports(protocol, [{"buckets": [0, 1]}])
+        with pytest.raises(ParameterError, match="non-empty"):
+            decode_reports(protocol, [])
+
+
+# ---------------------------------------------------------------------- #
+# HTTP service end to end
+# ---------------------------------------------------------------------- #
+async def _query(client, method, path, **kwargs):
+    response = await client.request(method, path, **kwargs)
+    return response
+
+
+class TestIngestHttp:
+    def test_loadgen_estimates_bit_identical_to_batch_session(self):
+        spec = _spec(quorum=30)
+        rounds = _reports(n_users=30)
+        reference = _batch_session(rounds)
+
+        async def scenario():
+            server = IngestServer(spec, tick_interval=0.02)
+            host, port = await server.start()
+            result = await run_loadgen(
+                PROTO, host, port, n_rounds=3, n_users=30, seed=11,
+                batch_size=7, rate=200.0,
+            )
+            await server._queue.join()
+            client = HttpClient(host, port)
+            estimates = [
+                (await client.request("GET", f"/v1/estimate/{t}")).parsed_json()
+                for t in range(3)
+            ]
+            metrics = (await client.request("GET", "/metrics")).body.decode()
+            await client.close()
+            await server.stop()
+            return result, estimates, metrics
+
+        result, estimates, metrics = asyncio.run(scenario())
+        assert result.accepted_reports == 90
+        for t, payload in enumerate(estimates):
+            assert payload["sealed"] is True
+            assert payload["n_reports"] == 30
+            np.testing.assert_array_equal(
+                np.asarray(payload["frequencies"]),
+                reference.estimate(t).frequencies,
+            )
+        assert "repro_ingest_reports_accepted_total 90" in metrics
+        assert 'repro_ingest_rounds_sealed_total{reason="quorum"} 3' in metrics
+
+    def test_counts_mode_is_bit_identical_too(self):
+        spec = _spec(quorum=30)
+        rounds = _reports(n_users=30)
+        reference = _batch_session(rounds)
+
+        async def scenario():
+            server = IngestServer(spec, tick_interval=0.02)
+            host, port = await server.start()
+            result = await run_loadgen(
+                PROTO, host, port, n_rounds=3, n_users=30, seed=11,
+                batch_size=10, mode="counts",
+            )
+            await server._queue.join()
+            client = HttpClient(host, port)
+            payload = (await client.request("GET", "/v1/estimate/1")).parsed_json()
+            await client.close()
+            await server.stop()
+            return result, payload
+
+        result, payload = asyncio.run(scenario())
+        assert result.accepted_reports == 90
+        np.testing.assert_array_equal(
+            np.asarray(payload["frequencies"]), reference.estimate(1).frequencies
+        )
+
+    def test_auth_rejects_unsigned_and_wrong_key(self, monkeypatch):
+        monkeypatch.setenv("INGEST_TEST_KEY", "the-right-key")
+        spec = _spec(auth_key_env="INGEST_TEST_KEY")
+
+        async def scenario():
+            server = IngestServer(spec, tick_interval=0.02)
+            host, port = await server.start()
+            wrong = await run_loadgen(
+                PROTO, host, port, n_rounds=1, n_users=10, seed=1,
+                batch_size=10,
+                authenticator=PayloadAuthenticator(b"not-the-right-key"),
+            )
+            right = await run_loadgen(
+                PROTO, host, port, n_rounds=1, n_users=10, seed=1,
+                batch_size=10, auth_key_env="INGEST_TEST_KEY",
+            )
+            client = HttpClient(host, port)
+            unsigned = await client.request(
+                "POST", "/v1/reports",
+                body=json.dumps({"round": 0, "reports": [1]}).encode(),
+            )
+            metrics = (await client.request("GET", "/metrics")).body.decode()
+            await client.close()
+            await server.stop()
+            return wrong, right, unsigned, metrics
+
+        wrong, right, unsigned, metrics = asyncio.run(scenario())
+        assert wrong.statuses == {401: 1} and wrong.accepted_reports == 0
+        assert right.accepted_reports == 10
+        assert unsigned.status == 401
+        assert 'repro_ingest_rejected_total{reason="auth"} 2' in metrics
+
+    def test_full_queue_answers_429_with_retry_after(self):
+        spec = _spec(
+            protocol=ProtocolSpec(name="L-GRR", k=8, eps_inf=2.0, eps_1=1.0),
+            queue_capacity=1,
+            retry_after_seconds=0.25,
+        )
+
+        async def scenario():
+            server = IngestServer(spec, tick_interval=0.02)
+            host, port = await server.start()
+            # Pause the consumer so the queue cannot drain.
+            server._consumer_task.cancel()
+            try:
+                await server._consumer_task
+            except asyncio.CancelledError:
+                pass
+            client = HttpClient(host, port)
+            body = json.dumps({"round": 0, "reports": [1, 2]}).encode()
+            first = await client.request("POST", "/v1/reports", body=body)
+            second = await client.request("POST", "/v1/reports", body=body)
+            metrics = (await client.request("GET", "/metrics")).body.decode()
+            await client.close()
+            # The consumer is gone: drain the stuck batch by hand so stop()
+            # can enqueue its drain marker, and clear the dead task handle.
+            server._queue.get_nowait()
+            server._queue.task_done()
+            server._consumer_task = None
+            await server.stop()
+            return first, second, metrics
+
+        first, second, metrics = asyncio.run(scenario())
+        assert first.status == 202
+        assert second.status == 429
+        assert second.header("Retry-After") == "0.25"
+        assert "retry after 0.25s" in second.parsed_json()["error"]
+        assert 'repro_ingest_rejected_total{reason="backpressure"} 1' in metrics
+
+    def test_malformed_submissions_answer_400(self):
+        spec = _spec()
+
+        async def scenario():
+            server = IngestServer(spec, tick_interval=0.02)
+            host, port = await server.start()
+            client = HttpClient(host, port)
+            cases = [
+                b"not json",
+                json.dumps([1, 2]).encode(),
+                json.dumps({"round": 99, "reports": [1]}).encode(),
+                json.dumps({"round": 0}).encode(),
+                json.dumps({"round": 0, "reports": [1], "counts": [0] * 8}).encode(),
+                json.dumps({"round": 0, "counts": [0] * 5, "n_reports": 2}).encode(),
+                json.dumps({"round": 0, "counts": [0] * 8, "n_reports": 0}).encode(),
+                json.dumps({"round": 0, "reports": [[1, 0]]}).encode(),
+            ]
+            statuses = [
+                (await client.request("POST", "/v1/reports", body=body)).status
+                for body in cases
+            ]
+            await client.close()
+            await server.stop()
+            return statuses
+
+        assert asyncio.run(scenario()) == [400] * 8
+
+    def test_status_endpoints_and_errors(self):
+        spec = _spec(n_rounds=2)
+
+        async def scenario():
+            server = IngestServer(spec, tick_interval=0.02)
+            host, port = await server.start()
+            client = HttpClient(host, port)
+            health = (await client.request("GET", "/healthz")).parsed_json()
+            rounds = (await client.request("GET", "/v1/rounds")).parsed_json()
+            missing = await client.request("GET", "/v1/estimate/0")
+            bad_round = await client.request("GET", "/v1/estimate/xyz")
+            not_found = await client.request("GET", "/nope")
+            wrong_method = await client.request("POST", "/healthz")
+            advance = (
+                await client.request("POST", "/v1/rounds/advance")
+            ).parsed_json()
+            await client.request("POST", "/v1/rounds/advance")
+            exhausted = await client.request("POST", "/v1/rounds/advance")
+            await client.close()
+            await server.stop()
+            return health, rounds, missing, bad_round, not_found, wrong_method, advance, exhausted
+
+        (health, rounds, missing, bad_round, not_found,
+         wrong_method, advance, exhausted) = asyncio.run(scenario())
+        assert health["status"] == "ok" and health["current_round"] == 0
+        assert rounds["n_rounds"] == 2 and rounds["reports_per_round"] == [0, 0]
+        assert missing.status == 404
+        assert bad_round.status == 400
+        assert not_found.status == 404
+        assert wrong_method.status == 405
+        assert advance["sealed_round"] == 0 and advance["reason"] == "explicit"
+        assert exhausted.status == 400
+
+    def test_checkpoint_kill_restore_resumes_bit_identically(self, tmp_path):
+        checkpoint = tmp_path / "live.npz"
+        spec = _spec(quorum=30)
+        rounds = _reports(n_users=30)
+        reference = _batch_session(rounds)
+
+        async def first_generation():
+            server = IngestServer(spec, checkpoint_path=checkpoint, tick_interval=0.02)
+            host, port = await server.start()
+            # Rounds 0 and 1 arrive, then the process "dies" (drain + stop
+            # stands in for the SIGTERM path, which calls exactly stop()).
+            await run_loadgen(
+                PROTO, host, port, n_rounds=3, n_users=30, seed=11,
+                batch_size=15, rounds=[0, 1],
+            )
+            await server._queue.join()
+            await server.stop()
+            return server.clock.current_round
+
+        async def second_generation():
+            server = IngestServer(spec, checkpoint_path=checkpoint, tick_interval=0.02)
+            host, port = await server.start()
+            await run_loadgen(
+                PROTO, host, port, n_rounds=3, n_users=30, seed=11,
+                batch_size=15, rounds=[2],
+            )
+            await server._queue.join()
+            client = HttpClient(host, port)
+            estimates = [
+                (await client.request("GET", f"/v1/estimate/{t}")).parsed_json()
+                for t in range(3)
+            ]
+            await client.close()
+            await server.stop()
+            return server.clock.current_round, estimates
+
+        sealed_at_kill = asyncio.run(first_generation())
+        assert sealed_at_kill == 2  # two quorum seals before the "crash"
+        assert checkpoint.exists()
+        assert (tmp_path / "live.npz.clock.json").exists()
+        resumed_round, estimates = asyncio.run(second_generation())
+        assert resumed_round == 3
+        for t, payload in enumerate(estimates):
+            np.testing.assert_array_equal(
+                np.asarray(payload["frequencies"]),
+                reference.estimate(t).frequencies,
+            )
+
+    def test_restore_refuses_mismatched_spec(self, tmp_path):
+        checkpoint = tmp_path / "state.npz"
+        session = CollectorSession(PROTO, n_rounds=3)
+        session.checkpoint(checkpoint)
+        other = _spec(
+            protocol=ProtocolSpec(name="L-GRR", k=8, eps_inf=2.0, eps_1=1.0)
+        )
+        with pytest.raises(ParameterError, match="does not match"):
+            IngestServer(other, checkpoint_path=checkpoint)
+        with pytest.raises(ParameterError, match="horizon"):
+            IngestServer(_spec(n_rounds=5), checkpoint_path=checkpoint)
+
+    def test_timeout_sealing_over_http(self):
+        spec = _spec(window_seconds=0.05)
+
+        async def scenario():
+            server = IngestServer(spec, tick_interval=0.01)
+            host, port = await server.start()
+            client = HttpClient(host, port)
+            for _ in range(60):
+                await asyncio.sleep(0.01)
+                payload = (await client.request("GET", "/v1/rounds")).parsed_json()
+                if payload["finished"]:
+                    break
+            metrics = (await client.request("GET", "/metrics")).body.decode()
+            await client.close()
+            await server.stop()
+            return payload, metrics
+
+        payload, metrics = asyncio.run(scenario())
+        assert payload["finished"] is True
+        assert [s["reason"] for s in payload["seals"]] == ["timeout"] * 3
+        assert 'repro_ingest_rounds_sealed_total{reason="timeout"} 3' in metrics
+        assert "repro_ingest_seal_latency_seconds_count 3" in metrics
+
+
+# ---------------------------------------------------------------------- #
+# Loadgen determinism
+# ---------------------------------------------------------------------- #
+class TestLoadgen:
+    def test_same_seed_same_reports(self):
+        a = generate_round_reports(PROTO, 2, 10, seed=42)
+        b = generate_round_reports(PROTO, 2, 10, seed=42)
+        for batch_a, batch_b in zip(a, b):
+            np.testing.assert_array_equal(
+                np.asarray(batch_a), np.asarray(batch_b)
+            )
+
+    def test_different_seed_different_reports(self):
+        a = np.asarray(generate_round_reports(PROTO, 2, 10, seed=42))
+        b = np.asarray(generate_round_reports(PROTO, 2, 10, seed=43))
+        assert not np.array_equal(a, b)
+
+    def test_loloha_requires_counts_mode(self):
+        loloha = ProtocolSpec(name="LOLOHA", k=6, eps_inf=2.0, eps_1=1.0)
+
+        async def scenario():
+            await run_loadgen(
+                loloha, "127.0.0.1", 1, n_rounds=1, n_users=2, seed=0,
+                mode="reports",
+            )
+
+        with pytest.raises(ParameterError, match="counts"):
+            asyncio.run(scenario())
+
+    def test_invalid_arguments_rejected(self):
+        async def bad_mode():
+            await run_loadgen(
+                PROTO, "127.0.0.1", 1, n_rounds=1, n_users=1, seed=0,
+                mode="stream",
+            )
+
+        with pytest.raises(ParameterError, match="mode"):
+            asyncio.run(bad_mode())
+
+        async def bad_rate():
+            await run_loadgen(
+                PROTO, "127.0.0.1", 1, n_rounds=1, n_users=1, seed=0, rate=0.0
+            )
+
+        with pytest.raises(ParameterError, match="rate"):
+            asyncio.run(bad_rate())

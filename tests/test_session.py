@@ -104,21 +104,49 @@ class TestIncrementalCollection:
 
 
 class TestSessionValidation:
+    """Fail-fast guards: malformed input raises ParameterError naming the
+    offending value, never a downstream numpy error."""
+
     def test_round_index_out_of_range(self):
         session = CollectorSession(_spec(8), n_rounds=2)
         client = session.protocol.create_client(rng=0)
-        with pytest.raises(AggregationError, match="round index"):
+        with pytest.raises(ParameterError, match=r"\[0, 2\), got 2"):
             session.submit_reports(2, [client.report(0, rng=1)])
+
+    def test_negative_round_index_rejected(self):
+        session = CollectorSession(_spec(8), n_rounds=2)
+        client = session.protocol.create_client(rng=0)
+        with pytest.raises(ParameterError, match="got -1"):
+            session.submit_reports(-1, [client.report(0, rng=1)])
+
+    def test_non_integer_round_index_rejected(self):
+        session = CollectorSession(_spec(8), n_rounds=2)
+        with pytest.raises(ParameterError, match="integer"):
+            session.submit_counts(1.5, np.zeros(8), n_reports=3)
+        with pytest.raises(ParameterError, match="integer"):
+            session.submit_counts(True, np.zeros(8), n_reports=3)
 
     def test_empty_batch_rejected(self):
         session = CollectorSession(_spec(8), n_rounds=2)
-        with pytest.raises(AggregationError, match="empty"):
+        with pytest.raises(ParameterError, match="empty"):
             session.submit_reports(0, [])
 
     def test_counts_shape_checked(self):
         session = CollectorSession(_spec(8), n_rounds=2)
-        with pytest.raises(AggregationError, match="shape"):
+        with pytest.raises(ParameterError, match=r"\(8,\).*\(5,\)"):
             session.submit_counts(0, np.zeros(5), n_reports=3)
+
+    def test_shape_mismatched_reports_raise_parameter_error(self):
+        # UE reports of the wrong width used to surface as an EncodingError
+        # (or worse, a numpy broadcast failure) from deep inside the fold.
+        session = CollectorSession(_spec(8), n_rounds=2)
+        with pytest.raises(ParameterError, match="L-OSUE"):
+            session.submit_reports(0, [np.zeros(5, dtype=np.int64)])
+
+    def test_garbage_reports_raise_parameter_error(self):
+        session = CollectorSession(_spec(8), n_rounds=2)
+        with pytest.raises(ParameterError, match="does not fit protocol"):
+            session.submit_reports(0, [object(), object()])
 
     def test_estimate_of_unobserved_round_rejected(self):
         session = CollectorSession(_spec(8), n_rounds=2)

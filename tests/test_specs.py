@@ -320,3 +320,86 @@ class TestSweepSpecFingerprint:
         assert self._base_spec(n_workers=8).fingerprint() == base
         assert self._base_spec(datasets=("syn", "adult")).fingerprint() == base
         assert self._base_spec(name="renamed").fingerprint() == base
+
+
+class TestIngestSpec:
+    def _spec(self, **overrides):
+        from repro.specs import IngestSpec
+
+        kwargs = dict(
+            protocol=ProtocolSpec(name="L-OSUE", k=8, eps_inf=2.0, eps_1=1.0),
+            n_rounds=4,
+        )
+        kwargs.update(overrides)
+        return IngestSpec(**kwargs)
+
+    def test_json_round_trip(self, tmp_path):
+        from repro.specs import IngestSpec, load_ingest_spec
+
+        spec = self._spec(
+            name="edge",
+            port=8471,
+            window_seconds=2.5,
+            quorum=100,
+            late_policy="absorb",
+            queue_capacity=32,
+            auth_key_env="INGEST_KEY",
+        )
+        path = spec.save(tmp_path / "ingest.json")
+        restored = load_ingest_spec(path)
+        assert restored == spec
+        assert IngestSpec.from_json(spec.to_json()) == spec
+
+    def test_defaults_round_trip_without_optional_noise(self):
+        spec = self._spec()
+        payload = spec.to_dict()
+        # None-valued optionals (window, quorum, auth) stay out of the JSON.
+        assert "window_seconds" not in payload
+        assert "quorum" not in payload
+        assert "auth_key_env" not in payload
+
+    def test_protocol_must_be_concrete(self):
+        with pytest.raises(ParameterError, match="concrete"):
+            self._spec(protocol=ProtocolSpec(name="L-OSUE", alpha=0.5))
+
+    def test_validation_catches_bad_fields(self):
+        with pytest.raises(ParameterError, match="late_policy"):
+            self._spec(late_policy="retry")
+        with pytest.raises(ParameterError, match="port"):
+            self._spec(port=70000)
+        with pytest.raises(ParameterError, match="n_rounds"):
+            self._spec(n_rounds=0)
+        with pytest.raises(ParameterError, match="quorum"):
+            self._spec(quorum=0)
+        with pytest.raises(ParameterError, match="window_seconds"):
+            self._spec(window_seconds=-1.0)
+        with pytest.raises(ParameterError, match="auth_key_env"):
+            self._spec(auth_key_env="")
+
+    def test_unknown_fields_rejected(self):
+        from repro.specs import IngestSpec
+
+        with pytest.raises(ParameterError, match="unknown ingest spec fields"):
+            IngestSpec.from_dict(
+                {
+                    "protocol": {"name": "L-OSUE", "k": 8, "eps_inf": 2.0, "eps_1": 1.0},
+                    "n_rounds": 2,
+                    "max_clients": 10,
+                }
+            )
+
+    def test_missing_required_fields_rejected(self):
+        from repro.specs import IngestSpec
+
+        with pytest.raises(ParameterError, match="requires a 'protocol'"):
+            IngestSpec.from_dict({"n_rounds": 2})
+
+    def test_load_missing_or_invalid_file_rejected(self, tmp_path):
+        from repro.specs import load_ingest_spec
+
+        with pytest.raises(ParameterError, match="not found"):
+            load_ingest_spec(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        with pytest.raises(ParameterError, match="invalid JSON"):
+            load_ingest_spec(bad)
