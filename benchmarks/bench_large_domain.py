@@ -28,6 +28,13 @@ does not depend on wall-clock ratios.
 Run as a script to emit a machine-readable timing report::
 
     PYTHONPATH=src python benchmarks/bench_large_domain.py --json report.json
+
+Script mode also times an ``obs_overhead`` leg — the added cost of the
+fully-enabled observability core (span tracing + a live metrics exporter)
+per steady window, relative to the tracing-off default — asserts the
+window counts stay bit-identical either way, and exits nonzero if the
+overhead fraction exceeds ``--obs-overhead-max`` (default 2%).  The
+committed baseline lives in ``BENCH_obs_overhead.json``.
 """
 
 import argparse
@@ -211,6 +218,70 @@ def collect_results(repeats=3):
     return results
 
 
+def collect_obs_overhead(repeats=5, window_rounds=64, span_iterations=10_000):
+    """Cost of the fully-enabled observability core on steady windows.
+
+    The instrumented configuration differs from the shipped default by one
+    ``sim.window`` span per batched window (tracing enabled, a live
+    :class:`~repro.obs.MetricsExporter` serving the registry).  Rather than
+    differencing two large wall-clock numbers — on shared CI hosts the
+    noise floor of back-to-back window timings exceeds the effect by an
+    order of magnitude — the leg measures the added cost directly: the
+    per-span enter/exit time over a tight ``span_iterations`` loop, divided
+    by the window time it rides on.  Instrumentation never touches the RNG
+    streams; the leg asserts the window counts are bit-identical with
+    tracing on and off before reporting.
+    """
+    from repro.obs import MetricsExporter, configure_tracing, span
+
+    engines, rounds = _warm_state()
+    values = rounds[0]
+    exporter = MetricsExporter(port=0)
+    exporter.start()
+    results = {}
+    try:
+        for name, engine in engines.items():
+
+            def run_window():
+                return engine.run_rounds(
+                    values, window_rounds, np.random.default_rng(3)
+                )
+
+            configure_tracing(False)
+            baseline_counts = run_window()
+            window_s = _best_seconds(run_window, repeats)
+
+            configure_tracing(True)
+            with span(
+                "sim.window", component="benchmark", engine=name, rounds=window_rounds
+            ):
+                instrumented_counts = run_window()
+            start = time.perf_counter()
+            for _ in range(span_iterations):
+                with span(
+                    "sim.window",
+                    component="benchmark",
+                    engine=name,
+                    rounds=window_rounds,
+                ):
+                    pass
+            span_s = (time.perf_counter() - start) / span_iterations
+            configure_tracing(False)
+
+            assert np.array_equal(baseline_counts, instrumented_counts), (
+                f"{name}: instrumentation changed the window counts"
+            )
+            results[name] = {
+                "window_s": window_s,
+                "span_s": span_s,
+                "overhead_fraction": span_s / window_s,
+            }
+    finally:
+        configure_tracing(False)
+        exporter.close()
+    return results
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -222,8 +293,14 @@ def main(argv=None):
     parser.add_argument(
         "--repeats", type=int, default=3, help="best-of-N timing repeats"
     )
+    parser.add_argument(
+        "--obs-overhead-max", type=float, default=0.02, metavar="FRACTION",
+        help="fail if the observability overhead fraction exceeds this "
+             "on any protocol's steady windows (default: 0.02)",
+    )
     args = parser.parse_args(argv)
 
+    obs_overhead = collect_obs_overhead(repeats=max(args.repeats, 5))
     report = {
         "benchmark": "large_domain_round",
         "config": {
@@ -234,7 +311,18 @@ def main(argv=None):
             "eps_1": EPS_1,
         },
         "rounds": collect_results(repeats=args.repeats),
+        "obs_overhead": obs_overhead,
     }
+    worst = max(
+        (leg["overhead_fraction"], name) for name, leg in obs_overhead.items()
+    )
+    if worst[0] > args.obs_overhead_max:
+        print(
+            f"FAIL: observability overhead {worst[0]:.4f} on {worst[1]} "
+            f"exceeds --obs-overhead-max {args.obs_overhead_max}",
+            file=sys.stderr,
+        )
+        return 1
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     if args.json == "-":
         sys.stdout.write(payload)

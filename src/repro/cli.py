@@ -75,6 +75,15 @@ Every shard's randomness derives from the collection seed alone, so the
 final estimates are bit-identical to the serial path regardless of worker
 fleet, sharding weights, crashes or retries.
 
+``serve``, ``work`` and ``sweep`` all accept ``--metrics-port PORT`` (serve
+this process's metric registry on ``/metrics`` + ``/healthz``) and
+``--events PATH.jsonl`` (append a structured, schema-versioned event log;
+see :mod:`repro.obs`).  ``repro-ldp status`` renders a one-shot or
+``--watch`` fleet/sweep dashboard — shards pending/leased/done, throughput,
+ETA — from such a metrics endpoint (``--metrics HOST:PORT``) or, with no
+port up, from the spool and checkpoint files (``--queue-dir DIR
+[--checkpoint PATH.npz]``).
+
 The ``ingest`` / ``loadgen`` pair runs a *live* collection (see
 :mod:`repro.service.ingest`): ``ingest`` starts the async HTTP front door
 described by an :class:`repro.specs.IngestSpec` — batched report submission
@@ -129,6 +138,7 @@ __all__ = [
     "run_spec_sweep",
     "run_serve",
     "run_work",
+    "run_status",
     "run_ingest",
     "run_loadgen",
 ]
@@ -144,6 +154,53 @@ def _add_backend_option(parser: argparse.ArgumentParser) -> None:
              "one, 'auto' (the default) compiles when possible and falls "
              "back to numpy; applies to this process and its worker pool",
     )
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve this process's metrics registry over HTTP on "
+             "127.0.0.1:PORT (GET /metrics + /healthz; port 0 = ephemeral, "
+             "the bound address is printed) — the surface that "
+             "'repro-ldp status' reads",
+    )
+    parser.add_argument(
+        "--events", default=None, metavar="PATH.jsonl",
+        help="append structured events (schema-versioned JSONL, one record "
+             "per line) to this file; span records are mirrored there too",
+    )
+
+
+def _apply_obs_options(
+    args: argparse.Namespace, component: str, run_id: str = ""
+):
+    """Install ``--metrics-port`` / ``--events`` for this process.
+
+    Returns the started :class:`~repro.obs.MetricsExporter` (or ``None``)
+    so callers can close it; either flag also enables span tracing, which
+    never touches the RNG streams — estimates stay bit-identical.
+    """
+    metrics_port = getattr(args, "metrics_port", None)
+    events = getattr(args, "events", None)
+    if metrics_port is None and events is None:
+        return None
+    from .obs import (
+        EventLog,
+        MetricsExporter,
+        configure_tracing,
+        set_default_event_log,
+    )
+
+    if events is not None:
+        set_default_event_log(EventLog(events, component=component, run_id=run_id))
+        print(f"events: appending to {events}", flush=True)
+    exporter = None
+    if metrics_port is not None:
+        exporter = MetricsExporter(port=metrics_port)
+        host, port = exporter.start()
+        print(f"metrics: http://{host}:{port}/metrics", flush=True)
+    configure_tracing(True, span_events=events is not None)
+    return exporter
 
 
 def _apply_backend_option(args: argparse.Namespace) -> None:
@@ -264,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
              "each a pickled copy (results are identical)",
     )
     _add_backend_option(sweep_parser)
+    _add_obs_options(sweep_parser)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -325,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
              "rebuilding the dataset themselves",
     )
     _add_backend_option(serve_parser)
+    _add_obs_options(serve_parser)
 
     work_parser = subparsers.add_parser(
         "work",
@@ -372,6 +431,42 @@ def build_parser() -> argparse.ArgumentParser:
              "from the task's registry reference",
     )
     _add_backend_option(work_parser)
+    _add_obs_options(work_parser)
+
+    status_parser = subparsers.add_parser(
+        "status",
+        help="render a fleet/sweep progress dashboard (shards pending/"
+             "leased/done, throughput, ETA) from a process's --metrics-port "
+             "endpoint, or from the spool/checkpoint files when no port "
+             "is up",
+    )
+    status_source = status_parser.add_mutually_exclusive_group(required=True)
+    status_source.add_argument(
+        "--metrics", default=None, metavar="HOST:PORT",
+        help="scrape a --metrics-port endpoint (e.g. 127.0.0.1:9400)",
+    )
+    status_source.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="inspect a file-transport spool directory instead",
+    )
+    status_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH.npz",
+        help="coordinator checkpoint providing the absorbed-shard progress "
+             "summary (only with --queue-dir)",
+    )
+    status_parser.add_argument(
+        "--watch", action="store_true",
+        help="refresh continuously instead of printing one snapshot",
+    )
+    status_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh cadence of --watch (default: 2)",
+    )
+    status_parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="with --watch, stop after N refreshes instead of running "
+             "until interrupted",
+    )
 
     ingest_parser = subparsers.add_parser(
         "ingest",
@@ -612,6 +707,7 @@ def run_serve(args: argparse.Namespace) -> int:
 
     _apply_backend_option(args)
     spec = load_collection_spec(args.spec)
+    _apply_obs_options(args, component="coordinator", run_id=spec.name)
     auth_key_env = args.auth_key_env or spec.auth_key_env
     auth = authenticator_from_env(auth_key_env)
     dataset = make_dataset(spec.dataset, scale=spec.dataset_scale, rng=spec.seed)
@@ -720,6 +816,7 @@ def run_work(args: argparse.Namespace) -> int:
     )
 
     _apply_backend_option(args)
+    _apply_obs_options(args, component="worker")
     auth = authenticator_from_env(args.auth_key_env)
     dataset = None
     if args.attach_dataset:
@@ -758,6 +855,61 @@ def run_work(args: argparse.Namespace) -> int:
     rejected = getattr(endpoint, "rejected", 0)
     suffix = f" ({rejected} unverified task payloads rejected)" if rejected else ""
     print(f"worker done: {completed} shards completed{suffix}")
+    return 0
+
+
+def run_status(args: argparse.Namespace) -> int:
+    """Render the fleet/sweep dashboard once, or repeatedly with --watch."""
+    import time as time_module
+
+    from .obs.status import (
+        render_status,
+        snapshot_from_metrics_text,
+        snapshot_from_spool,
+    )
+
+    if args.checkpoint and not args.queue_dir:
+        raise ReproError("--checkpoint only applies with --queue-dir")
+
+    if args.metrics is not None:
+        host, port = _parse_host_port(args.metrics, "--metrics")
+        url = f"http://{host}:{port}/metrics"
+
+        def take_snapshot():
+            import urllib.error
+            import urllib.request
+
+            try:
+                with urllib.request.urlopen(url, timeout=10.0) as response:
+                    text = response.read().decode("utf-8")
+            except (urllib.error.URLError, OSError) as error:
+                raise ReproError(f"cannot scrape {url}: {error}") from None
+            return snapshot_from_metrics_text(text, source=f"{host}:{port}")
+
+    else:
+
+        def take_snapshot():
+            return snapshot_from_spool(args.queue_dir, checkpoint=args.checkpoint)
+
+    if not args.watch:
+        print(render_status(take_snapshot()))
+        return 0
+
+    previous = None
+    remaining = args.iterations
+    try:
+        while remaining is None or remaining > 0:
+            snapshot = take_snapshot()
+            print(render_status(snapshot, previous), flush=True)
+            print(flush=True)
+            previous = snapshot
+            if remaining is not None:
+                remaining -= 1
+                if remaining == 0:
+                    break
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -873,6 +1025,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             _apply_backend_option(args)
             spec = load_sweep_spec(args.spec)
+            _apply_obs_options(args, component="sweep", run_id=spec.name)
             return run_spec_sweep(
                 spec,
                 args.output_dir,
@@ -894,6 +1047,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "work":
         try:
             return run_work(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "status":
+        try:
+            return run_status(args)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -42,6 +42,8 @@ import numpy as np
 
 from .._atomicio import atomic_write_bytes
 from ..exceptions import ExperimentError
+from ..obs.events import emit_event
+from ..obs.metrics import default_registry
 from ..simulation.runner import ShardTask
 from ..simulation.sinks import ShardedSink, ShardSummary
 from .codec import DatasetRef, TransportError, decode_summary, encode_task
@@ -125,6 +127,44 @@ class Coordinator:
             encode_task(shard_id, task, dataset_ref, plan=self.plan_fingerprint)
             for shard_id, task in enumerate(self.tasks)
         ]
+        # The legacy plain-int attributes above stay the programmatic API;
+        # these mirror them into the process-global registry so a
+        # --metrics-port scrape (and `repro-ldp status`) sees the fleet.
+        registry = default_registry()
+        self._m_published = registry.counter(
+            "repro_coord_tasks_published_total", "Shard tasks published to the transport."
+        )
+        self._m_summaries = registry.counter(
+            "repro_coord_summaries_total", "Shard summaries accepted (first delivery)."
+        )
+        self._m_duplicates = registry.counter(
+            "repro_coord_duplicates_total", "Duplicate shard summaries dropped."
+        )
+        self._m_requeued = registry.counter(
+            "repro_coord_tasks_requeued_total", "Shard tasks requeued after lease expiry."
+        )
+        self._m_republished = registry.counter(
+            "repro_coord_tasks_republished_total",
+            "Authentic payloads republished for shards the transport lost.",
+        )
+        self._m_foreign = registry.counter(
+            "repro_coord_foreign_total", "Summaries of another collection plan dropped."
+        )
+        self._m_checkpoint_seconds = registry.histogram(
+            "repro_coord_checkpoint_seconds", "Wall-clock latency of checkpoint writes."
+        )
+        self._g_shards_total = registry.gauge(
+            "repro_coord_shards_total", "Shards in the collection plan."
+        )
+        self._g_shards_done = registry.gauge(
+            "repro_coord_shards_done", "Shards with an accepted summary."
+        )
+        self._g_shards_pending = registry.gauge(
+            "repro_coord_shards_pending", "Shards still awaiting a summary."
+        )
+        self._g_shards_total.set(self.n_shards)
+        self._g_shards_done.set(0)
+        self._g_shards_pending.set(self.n_shards)
 
     # ------------------------------------------------------------------ #
     # Progress
@@ -151,6 +191,14 @@ class Coordinator:
         for shard_id in pending:
             self.transport.publish(self._envelope(shard_id))
         self._published = True
+        if pending:
+            self._m_published.inc(len(pending))
+            emit_event(
+                "tasks_published",
+                component="coordinator",
+                plan=self.plan_fingerprint,
+                n_shards=len(pending),
+            )
         return len(pending)
 
     def _envelope(self, shard_id: int) -> TaskEnvelope:
@@ -181,6 +229,7 @@ class Coordinator:
             )
         if shard_id in self.summaries:
             self.duplicates += 1
+            self._m_duplicates.inc()
             return False
         expected_users = self.tasks[shard_id].stop - self.tasks[shard_id].start
         if summary.n_users != expected_users:
@@ -189,6 +238,9 @@ class Coordinator:
                 f"expected {expected_users}"
             )
         self.summaries[shard_id] = summary
+        self._m_summaries.inc()
+        self._g_shards_done.set(len(self.summaries))
+        self._g_shards_pending.set(self.n_shards - len(self.summaries))
         if self.session is not None:
             self.session.absorb_summary(summary)
         if self.checkpoint_path is not None and not self._restoring:
@@ -211,6 +263,7 @@ class Coordinator:
             # collection (other spec / seed / shard layout); merging one
             # would silently corrupt the estimates.  Drop it and count it.
             self.foreign += 1
+            self._m_foreign.inc()
             return False
         return self.absorb(shard_id, summary)
 
@@ -253,15 +306,26 @@ class Coordinator:
             self.step(self.poll_interval)
             now = time.monotonic()
             if now >= next_reclaim:
-                self.requeued += len(
-                    self.transport.reclaim_expired(self.lease_timeout)
-                )
+                expired = self.transport.reclaim_expired(self.lease_timeout)
+                if expired:
+                    self.requeued += len(expired)
+                    self._m_requeued.inc(len(expired))
+                    emit_event(
+                        "lease_requeue",
+                        component="coordinator",
+                        shards=sorted(int(s) for s in expired),
+                        lease_timeout=self.lease_timeout,
+                    )
                 # A pending shard the transport has lost track of entirely
                 # (e.g. a task file destroyed after failing verification)
                 # would hang the collection; republish the authentic copy.
                 for shard_id in self.transport.missing_tasks(self.pending_shards):
                     self.transport.publish(self._envelope(shard_id))
                     self.republished += 1
+                    self._m_republished.inc()
+                    emit_event(
+                        "task_republished", component="coordinator", shard_id=shard_id
+                    )
                 next_reclaim = now + reclaim_interval
             if abort is not None and not self.is_complete:
                 reason = abort()
@@ -275,6 +339,16 @@ class Coordinator:
                     f"collection incomplete after {timeout}s: "
                     f"{len(self.pending_shards)} of {self.n_shards} shards missing"
                 )
+        emit_event(
+            "collection_complete",
+            component="coordinator",
+            plan=self.plan_fingerprint,
+            n_shards=self.n_shards,
+            requeued=self.requeued,
+            republished=self.republished,
+            duplicates=self.duplicates,
+            foreign=self.foreign,
+        )
         return dict(self.summaries)
 
     # ------------------------------------------------------------------ #
@@ -298,8 +372,24 @@ class Coordinator:
     # ------------------------------------------------------------------ #
     # Checkpoint / restore
     # ------------------------------------------------------------------ #
+    def progress_summary(self) -> Dict[str, object]:
+        """Machine-readable progress of the collection, for checkpoints
+        and the ``repro-ldp status`` spool fallback."""
+        done = len(self.summaries)
+        return {
+            "n_shards": self.n_shards,
+            "done": done,
+            "pending": self.n_shards - done,
+            "duplicates": self.duplicates,
+            "requeued": self.requeued,
+            "republished": self.republished,
+            "foreign": self.foreign,
+            "updated_ts": time.time(),
+        }
+
     def checkpoint(self, path: Union[str, Path]) -> Path:
         """Atomically persist every accepted summary as one ``.npz`` file."""
+        started = time.perf_counter()
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         meta = {
@@ -307,14 +397,19 @@ class Coordinator:
             "plan_fingerprint": self.plan_fingerprint,
             "n_shards": self.n_shards,
             "completed": sorted(self.summaries),
+            # Ignored by load_checkpoint; read by `repro-ldp status` when no
+            # metrics port is up.
+            "progress": self.progress_summary(),
         }
         arrays: Dict[str, np.ndarray] = {"meta": np.array(json.dumps(meta))}
         for shard_id, summary in self.summaries.items():
             arrays[f"counts_{shard_id}"] = summary.support_counts
             arrays[f"distinct_{shard_id}"] = summary.distinct_memoized_per_user
-        return atomic_write_bytes(
+        written = atomic_write_bytes(
             path, lambda handle: np.savez_compressed(handle, **arrays)
         )
+        self._m_checkpoint_seconds.observe(time.perf_counter() - started)
+        return written
 
     def load_checkpoint(self, path: Optional[Union[str, Path]] = None) -> int:
         """Restore previously accepted summaries; returns how many.

@@ -58,6 +58,7 @@ from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.metrics import default_registry
 from .auth import AuthenticationError, PayloadAuthenticator
 from .codec import TransportError
 from .transports import SummaryEnvelope, TaskEnvelope, Transport, WorkerEndpoint
@@ -150,6 +151,10 @@ class FileQueueTransport(Transport):
         self._rejected_signatures: Dict[int, _FileSignature] = {}
         #: Summary files dropped because their payload failed verification.
         self.rejected = 0
+        self._m_rejected = default_registry().counter(
+            "repro_transport_rejected_total",
+            "Payloads dropped after failing verification, by transport and side.",
+        ).labels(transport="file", side="coordinator")
         #: ``summaries/`` directory mtime at the last snapshot; while it is
         #: unchanged (and trustworthy — see :func:`_skip_scan`) no rename has
         #: touched the spool and the scan is skipped.
@@ -236,6 +241,7 @@ class FileQueueTransport(Transport):
                     # Reject and count this file version; the shard recovers
                     # through the lease-expiry requeue / task republish.
                     self.rejected += 1
+                    self._m_rejected.inc()
                     self._rejected_signatures[shard_id] = signature
                     continue
             self._delivered[shard_id] = signature
@@ -342,6 +348,10 @@ class FileQueueWorker(WorkerEndpoint):
         self._last_task_scan_ns = 0
         #: Task files destroyed because their payload failed verification.
         self.rejected = 0
+        self._m_rejected = default_registry().counter(
+            "repro_transport_rejected_total",
+            "Payloads dropped after failing verification, by transport and side.",
+        ).labels(transport="file", side="worker")
 
     def claim(self, timeout: float = 0.0) -> Optional[TaskEnvelope]:
         deadline = time.monotonic() + max(0.0, timeout)
@@ -391,6 +401,7 @@ class FileQueueWorker(WorkerEndpoint):
                     # cannot loop through requeues; the coordinator notices
                     # the vanished shard and republishes its authentic copy.
                     self.rejected += 1
+                    self._m_rejected.inc()
                     try:
                         os.unlink(claimed_path)
                     except FileNotFoundError:  # pragma: no cover

@@ -63,6 +63,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import default_registry
 from .auth import AuthenticationError, PayloadAuthenticator
 from .codec import TransportError
 from .transports import SummaryEnvelope, TaskEnvelope, Transport, WorkerEndpoint
@@ -192,6 +193,14 @@ class SocketTransport(Transport):
         self._shutdown = False
         #: Summary frames dropped because their payload failed verification.
         self.rejected = 0
+        self._m_rejected = default_registry().counter(
+            "repro_transport_rejected_total",
+            "Payloads dropped after failing verification, by transport and side.",
+        ).labels(transport="tcp", side="coordinator")
+        self._m_summaries = default_registry().counter(
+            "repro_broker_summaries_total",
+            "Verified summary frames received by the tcp broker.",
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._address: Optional[Tuple[str, int]] = None
         self._started = threading.Event()
@@ -321,9 +330,11 @@ class SocketTransport(Transport):
                 # lease-expiry requeue recovers it through another delivery.
                 with self._state_lock:
                     self.rejected += 1
+                self._m_rejected.inc()
                 return
         with self._state_lock:
             self._outstanding.pop(shard_id, None)
+        self._m_summaries.inc()
         self._summaries.put(SummaryEnvelope(shard_id=shard_id, payload=payload))
 
     def _push_pending_locked(self, envelope: TaskEnvelope) -> None:
@@ -513,6 +524,15 @@ class SocketWorker(WorkerEndpoint):
         self.claim_frames_sent = 0
         #: Task payloads dropped because they failed verification.
         self.rejected = 0
+        registry = default_registry()
+        self._m_claim_frames = registry.counter(
+            "repro_transport_claim_frames_total",
+            "READY/POLL frames sent to the tcp broker (idle chatter).",
+        )
+        self._m_rejected = registry.counter(
+            "repro_transport_rejected_total",
+            "Payloads dropped after failing verification, by transport and side.",
+        ).labels(transport="tcp", side="worker")
 
     @property
     def capacity(self) -> int:
@@ -544,6 +564,7 @@ class SocketWorker(WorkerEndpoint):
                             payload = self._auth.verify(payload)
                         except AuthenticationError:
                             self.rejected += 1
+                            self._m_rejected.inc()
                             continue  # ask again; the lease recovers the shard
                     return TaskEnvelope(shard_id=shard_id, payload=payload)
                 if msg_type == MSG_SHUTDOWN:
@@ -565,6 +586,7 @@ class SocketWorker(WorkerEndpoint):
         if not self._ready_outstanding:
             self._sock.sendall(_pack_frame(MSG_READY, self._capacity))
             self.claim_frames_sent += 1
+            self._m_claim_frames.inc()
             self._ready_outstanding = True
         frame = _read_frame_blocking(self._sock, deadline)
         self._ready_outstanding = False
@@ -573,6 +595,7 @@ class SocketWorker(WorkerEndpoint):
     def _poll_exchange(self) -> Optional[Tuple[int, int, bytes]]:
         self._sock.sendall(_pack_frame(MSG_POLL, self._capacity))
         self.claim_frames_sent += 1
+        self._m_claim_frames.inc()
         return _read_frame_blocking(self._sock)
 
     def complete(self, shard_id: int, payload: bytes) -> None:

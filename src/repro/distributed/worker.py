@@ -16,17 +16,53 @@ deliveries harmless.
 
 from __future__ import annotations
 
+import json
+import sys
 import threading
 import time
+import traceback
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..datasets.base import LongitudinalDataset
+from ..obs.events import emit_event
+from ..obs.metrics import default_registry
+from ..obs.spans import span
 from ..simulation.runner import run_shard_task
 from .codec import TransportError, decode_task, encode_summary
 from .transports import Transport, WorkerEndpoint
 
 __all__ = ["LocalWorkerPool", "run_worker", "local_worker_threads"]
+
+
+def _worker_failure(stage: str, error: BaseException, **fields: object) -> None:
+    """Report a worker failure as a structured, machine-greppable event.
+
+    The record goes to the default event log (when one is installed) *and*
+    as one JSON line to stderr, so fleet failures can be grepped out of
+    either surface; the caller re-raises, which makes the worker process
+    exit nonzero.
+    """
+    record = {
+        "component": "worker",
+        "event": "error",
+        "stage": stage,
+        "error": f"{type(error).__name__}: {error}",
+        "traceback": traceback.format_exc(),
+    }
+    record.update(fields)
+    emit_event(
+        "error",
+        component="worker",
+        stage=stage,
+        error=record["error"],
+        traceback=record["traceback"],
+        **fields,
+    )
+    default_registry().counter(
+        "repro_worker_errors_total", "Worker failures, by stage."
+    ).labels(stage=stage).inc()
+    print(json.dumps(record), file=sys.stderr, flush=True)
 
 
 def run_worker(
@@ -65,14 +101,38 @@ def run_worker(
         slice) instead of a private allocation.  Summaries are bit-identical
         either way.
     """
+    registry = default_registry()
+    m_claims = registry.counter(
+        "repro_worker_tasks_claimed_total", "Task payloads claimed from the queue."
+    )
+    m_summaries = registry.counter(
+        "repro_worker_summaries_total", "Shard summaries delivered."
+    )
+    m_cache_hits = registry.counter(
+        "repro_worker_dataset_cache_hits_total",
+        "Claims served from the per-process dataset-rebuild cache.",
+    )
+    m_rebuilds = registry.counter(
+        "repro_worker_dataset_rebuilds_total",
+        "Datasets rebuilt from a task's registry reference.",
+    )
+    m_idle_seconds = registry.counter(
+        "repro_worker_idle_seconds_total",
+        "Wall-clock seconds spent waiting for claimable work.",
+    )
+    m_task_seconds = registry.histogram(
+        "repro_worker_task_seconds", "Wall-clock duration of executed shard tasks."
+    )
     completed = 0
     cache: Dict[Tuple[str, float, int], LongitudinalDataset] = {}
     idle_since = time.monotonic()
     while max_tasks is None or completed < max_tasks:
         if stop is not None and stop.is_set():
             break
+        claim_started = time.monotonic()
         envelope = endpoint.claim(timeout=poll_interval)
         if envelope is None:
+            m_idle_seconds.inc(max(0.0, time.monotonic() - claim_started))
             if getattr(endpoint, "saw_shutdown", False):
                 break
             if (
@@ -81,22 +141,49 @@ def run_worker(
             ):
                 break
             continue
-        shard_id, task, dataset_ref, plan = decode_task(envelope.payload)
+        m_claims.inc()
+        try:
+            shard_id, task, dataset_ref, plan = decode_task(envelope.payload)
+        except Exception as error:
+            _worker_failure("task_decode", error, shard_id=envelope.shard_id)
+            raise
         workload = dataset
         if workload is None:
             if dataset_ref is None:
-                raise TransportError(
-                    f"task for shard {shard_id} carries no dataset reference and "
-                    f"this worker was not handed a dataset"
-                )
+                try:
+                    raise TransportError(
+                        f"task for shard {shard_id} carries no dataset reference "
+                        f"and this worker was not handed a dataset"
+                    )
+                except TransportError as error:
+                    _worker_failure("dataset_rebuild", error, shard_id=shard_id)
+                    raise
             key = dataset_ref.cache_key()
             if key not in cache:
-                cache[key] = dataset_ref.build()
+                try:
+                    cache[key] = dataset_ref.build()
+                except Exception as error:
+                    _worker_failure("dataset_rebuild", error, shard_id=shard_id)
+                    raise
+                m_rebuilds.inc()
+            else:
+                m_cache_hits.inc()
             workload = cache[key]
-        summary = run_shard_task(task, workload, memo_pool=memo_pool)
+        task_started = time.perf_counter()
+        with span("shard.run", component="worker", shard_id=shard_id):
+            summary = run_shard_task(task, workload, memo_pool=memo_pool)
+        task_seconds = time.perf_counter() - task_started
+        m_task_seconds.observe(task_seconds)
         # Echo the coordinator's plan fingerprint so stale summaries in a
         # reused queue are recognizable as belonging to another collection.
         endpoint.complete(shard_id, encode_summary(shard_id, summary, plan=plan))
+        m_summaries.inc()
+        emit_event(
+            "task_done",
+            component="worker",
+            shard_id=shard_id,
+            seconds=round(task_seconds, 6),
+        )
         completed += 1
         idle_since = time.monotonic()
     return completed

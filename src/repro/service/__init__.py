@@ -13,8 +13,9 @@ On top of the session sits the *live ingestion service*
 HMAC authentication; a :class:`~repro.service.clock.RoundClock` that owns
 round windowing (seal on wall-clock timeout, quorum or explicit advance,
 with a configurable late-report policy); a Prometheus-text
-:class:`~repro.service.metrics.MetricsRegistry`; and the seeded async load
-generator of :mod:`repro.service.loadgen`.
+:class:`~repro.obs.metrics.MetricsRegistry` (from the repo-wide
+observability core, :mod:`repro.obs`); and the seeded async load generator
+of :mod:`repro.service.loadgen`.
 
 Submodules are imported lazily (PEP 562) so that dependency-light pieces —
 in particular :mod:`repro.service.clock`, which the lockstep drivers of
@@ -31,11 +32,12 @@ _EXPORTS = {
     # round windowing
     "RoundClock": ".clock",
     "SealEvent": ".clock",
-    # metrics surface
-    "Counter": ".metrics",
-    "Gauge": ".metrics",
-    "Histogram": ".metrics",
-    "MetricsRegistry": ".metrics",
+    # metrics surface (moved to repro.obs.metrics; re-exported for
+    # compatibility without the repro.service.metrics deprecation warning)
+    "Counter": "repro.obs.metrics",
+    "Gauge": "repro.obs.metrics",
+    "Histogram": "repro.obs.metrics",
+    "MetricsRegistry": "repro.obs.metrics",
     # HTTP layer
     "AsyncHttpServer": ".http",
     "HttpClient": ".http",
@@ -60,7 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from .http import AsyncHttpServer, HttpClient, HttpError, HttpRequest, HttpResponse
     from .ingest import IngestServer, decode_reports, encode_reports, wire_reports_supported
     from .loadgen import LoadgenResult, generate_round_reports, run_loadgen
-    from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+    from ..obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
     from .session import CollectorSession
 
 

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from ..exceptions import ReproError
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["HttpError", "HttpRequest", "HttpResponse", "AsyncHttpServer", "HttpClient"]
 
@@ -162,6 +164,7 @@ class AsyncHttpServer:
         *,
         max_body_bytes: int = 8 * 1024 * 1024,
         keepalive_timeout: float = 30.0,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self._handler = handler
         self._host = host
@@ -170,6 +173,19 @@ class AsyncHttpServer:
         self._keepalive_timeout = float(keepalive_timeout)
         self._server: Optional[asyncio.AbstractServer] = None
         self._address: Optional[Tuple[str, int]] = None
+        # Optional transport-level instrumentation: per-status request totals
+        # and handler latency.  Routing-aware metrics stay in the handlers
+        # (see repro.service.ingest); this layer only knows status codes.
+        self._requests_total = self._request_seconds = None
+        if metrics is not None:
+            self._requests_total = metrics.counter(
+                "repro_http_server_requests_total",
+                "HTTP requests answered, by method and status.",
+            )
+            self._request_seconds = metrics.histogram(
+                "repro_http_server_request_seconds",
+                "Handler latency of answered HTTP requests.",
+            )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -214,6 +230,7 @@ class AsyncHttpServer:
                     break
                 if request is None:
                     break  # clean EOF between requests
+                handler_started = time.perf_counter()
                 try:
                     response = await self._handler(request)
                 except HttpError as error:
@@ -221,6 +238,13 @@ class AsyncHttpServer:
                 except Exception as error:  # noqa: BLE001 - keep the server up
                     response = HttpResponse.error(
                         500, f"internal error: {type(error).__name__}: {error}"
+                    )
+                if self._requests_total is not None:
+                    self._requests_total.labels(
+                        method=request.method, status=str(response.status)
+                    ).inc()
+                    self._request_seconds.observe(
+                        time.perf_counter() - handler_started
                     )
                 keep_alive = (
                     request.headers.get("connection", "keep-alive").lower()

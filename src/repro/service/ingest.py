@@ -65,7 +65,7 @@ from ..longitudinal.l_ue import LongitudinalUnaryEncoding
 from ..specs import IngestSpec
 from .clock import RoundClock, SealEvent
 from .http import AsyncHttpServer, HttpError, HttpRequest, HttpResponse
-from .metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry
 from .session import CollectorSession
 
 __all__ = [

@@ -60,6 +60,7 @@ from ..longitudinal.dbitflip import DBitFlipPM
 from ..longitudinal.l_grr import LGRR
 from ..longitudinal.l_ue import LongitudinalUnaryEncoding
 from ..longitudinal.loloha import LOLOHA
+from ..obs.metrics import default_registry
 from ..rng import RngLike
 from .kernels import (
     dbitflip_fresh_bits_kernel,
@@ -88,6 +89,30 @@ __all__ = [
 #: packed per-hash-symbol support planes and falls back to the dense
 #: compare-based fold.
 _SUPPORT_PLANES_MAX_BYTES = 1024**3
+
+
+# Cached (registry, delta counter, full counter) triple for the fold cache —
+# re-resolved when a test swaps the default registry, otherwise one identity
+# check per update keeps the hot path free of registry lookups.
+_fold_counters_cache = None
+
+
+def _fold_counters():
+    global _fold_counters_cache
+    registry = default_registry()
+    if _fold_counters_cache is None or _fold_counters_cache[0] is not registry:
+        _fold_counters_cache = (
+            registry,
+            registry.counter(
+                "repro_sim_delta_folds_total",
+                "Rounds folded incrementally (only changed users refolded).",
+            ),
+            registry.counter(
+                "repro_sim_full_refolds_total",
+                "Rounds that fell back to a full population refold.",
+            ),
+        )
+    return _fold_counters_cache
 
 
 class _DeltaFoldCache:
@@ -144,10 +169,12 @@ class _DeltaFoldCache:
                         self._sums -= self._fold(changed, self._last_keys[changed])
                     self._last_keys[changed] = keys[changed]
                 self._delta_mode = True
+                _fold_counters()[1].inc()
                 return self._sums
         self._sums = self._fold(np.arange(self._n_users), keys)
         self._last_keys = keys.copy()
         self._delta_mode = False
+        _fold_counters()[2].inc()
         return self._sums
 
 
@@ -193,11 +220,35 @@ class PopulationEngine(ABC):
         self.n_users = require_int_at_least(n_users, 1, "n_users")
         self._rng = as_rng(rng)
         self._backend = resolve_backend(backend)
+        # Info-style gauge: which kernel backend actually serves the folds —
+        # the visible trace of a `native` request silently falling back.
+        default_registry().gauge(
+            "repro_sim_backend_info",
+            "Kernel backend serving engine folds (value is always 1).",
+        ).labels(backend=self._backend.name).set(1)
 
     @property
     def backend_name(self) -> str:
         """Name of the kernel backend serving this engine's hot folds."""
         return self._backend.name
+
+    def memo_nbytes(self) -> Optional[int]:
+        """Bytes currently held by this engine's memo table, if it has one.
+
+        Packed memos report lazily materialized storage
+        (``nbytes_allocated``), dense ones their array sizes (``nbytes``);
+        engines without a table answer ``None``.
+        """
+        state = getattr(self, "_state", None)
+        if state is None:
+            return None
+        for attr in ("nbytes_allocated", "nbytes"):
+            value = getattr(state, attr, None)
+            if callable(value):
+                return int(value())
+            if value is not None:
+                return int(value)
+        return None
 
     @abstractmethod
     def run_round(self, values_t: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:

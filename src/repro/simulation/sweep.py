@@ -33,6 +33,7 @@ objects are pickled into every task instead.
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -56,6 +57,9 @@ from .._validation import require_int_at_least
 from ..datasets.base import LongitudinalDataset
 from ..exceptions import ExperimentError
 from ..longitudinal.base import LongitudinalProtocol
+from ..obs.events import emit_event
+from ..obs.metrics import default_registry
+from ..obs.spans import span
 from ..registry import build_protocol
 from ..rng import derive_seed_sequences
 from ..specs import ProtocolSpec
@@ -211,6 +215,13 @@ def _execute_task(
     keep_full: bool,
     dataset: Optional[LongitudinalDataset] = None,
 ):
+    """Run one task; returns ``(task_index, payload, wall_seconds)``.
+
+    The duration is measured in the executing process and shipped back with
+    the payload so the parent's registry sees per-task timings even when
+    the task ran in a pool worker (whose own registry is invisible here).
+    """
+    started = time.perf_counter()
     if dataset is None:
         dataset = _WORKER_DATASET
     if isinstance(work, SweepTask):
@@ -218,12 +229,17 @@ def _execute_task(
     else:
         protocol = work
     result = simulate_protocol(protocol, dataset, np.random.default_rng(seed))
+    seconds = time.perf_counter() - started
     if keep_full:
-        return task_index, result
-    return task_index, _RunStats(
-        mse_avg=result.mse_avg,
-        eps_avg=result.eps_avg,
-        worst_case_budget=result.worst_case_budget,
+        return task_index, result, seconds
+    return (
+        task_index,
+        _RunStats(
+            mse_avg=result.mse_avg,
+            eps_avg=result.eps_avg,
+            worst_case_budget=result.worst_case_budget,
+        ),
+        seconds,
     )
 
 
@@ -402,17 +418,48 @@ class SweepExecutor:
         skip = [key in self.completed for key in self.grid]
         work_items = self._work_items(skip)
 
+        registry = default_registry()
+        m_points = registry.counter(
+            "repro_sweep_points_total",
+            "Grid points finished, by status (done / skipped on resume).",
+        )
+        m_task_seconds = registry.histogram(
+            "repro_sweep_task_seconds",
+            "Wall-clock duration of single sweep tasks (one grid-point run).",
+        )
+        m_point_seconds = registry.histogram(
+            "repro_sweep_point_seconds",
+            "Summed task time of completed grid points.",
+        )
+        n_skipped = sum(skip)
+        if n_skipped:
+            m_points.labels(status="skipped").inc(n_skipped)
+        emit_event(
+            "sweep_started",
+            component="sweep",
+            experiment_id=self.experiment_id,
+            n_points=n_points,
+            n_runs=self.n_runs,
+            n_workers=self.n_workers,
+            skipped=n_skipped,
+        )
+
         results: List[object] = [None] * n_tasks
         points: List[Optional[SweepPoint]] = [None] * n_points
         completed_runs = [0] * n_points
+        point_seconds = [0.0] * n_points
         flush_state = {"cursor": 0, "pending": []}
 
-        def on_task_done(task_index: int, payload: object) -> None:
+        def on_task_done(task_index: int, payload: object, seconds: float) -> None:
             results[task_index] = payload
+            m_task_seconds.observe(seconds)
             point_index = task_index // self.n_runs
             completed_runs[point_index] += 1
+            point_seconds[point_index] += seconds
             if completed_runs[point_index] == self.n_runs:
                 points[point_index] = self._build_point(point_index, results)
+                m_points.labels(status="done").inc()
+                m_point_seconds.observe(point_seconds[point_index])
                 self._flush_ready(points, skip, flush_state)
 
         try:
@@ -420,16 +467,25 @@ class SweepExecutor:
                 for task_index, work in enumerate(work_items):
                     if work is None:
                         continue
-                    _, payload = _execute_task(
-                        task_index, work, seeds[task_index], self.keep_runs, self.dataset
-                    )
-                    on_task_done(task_index, payload)
+                    with span("sweep.task", component="sweep", task_index=task_index):
+                        _, payload, seconds = _execute_task(
+                            task_index, work, seeds[task_index],
+                            self.keep_runs, self.dataset,
+                        )
+                    on_task_done(task_index, payload, seconds)
             else:
                 self._run_parallel(work_items, seeds, on_task_done)
         finally:
             # Flush the completed grid-order prefix even when a task failed
             # or the sweep was interrupted — finished points stay on disk.
             self._flush_ready(points, skip, flush_state, final=True)
+        emit_event(
+            "sweep_finished",
+            component="sweep",
+            experiment_id=self.experiment_id,
+            done=sum(1 for point in points if point is not None),
+            skipped=n_skipped,
+        )
         return list(points)
 
     def _work_items(
@@ -498,8 +554,8 @@ class SweepExecutor:
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
-                        task_index, payload = future.result()
-                        on_task_done(task_index, payload)
+                        task_index, payload, seconds = future.result()
+                        on_task_done(task_index, payload, seconds)
             except BaseException:
                 # Surface a failed task immediately instead of waiting for
                 # the whole remaining grid to finish.
@@ -550,11 +606,16 @@ class SweepExecutor:
                 flush_state["pending"].append(points[flush_state["cursor"]].as_row())
             flush_state["cursor"] += 1
         if flush_state["pending"] and (final or len(flush_state["pending"]) >= self.flush_every):
+            flush_started = time.perf_counter()
             self.store.append_rows(
                 self.experiment_id,
                 flush_state["pending"],
                 header_comment=self.header_comment,
             )
+            default_registry().histogram(
+                "repro_sweep_flush_seconds",
+                "Wall-clock latency of incremental CSV flushes.",
+            ).observe(time.perf_counter() - flush_started)
             flush_state["pending"] = []
 
 
