@@ -1,0 +1,61 @@
+"""AST-based static analysis enforcing the repo's own invariants.
+
+``repro-ldp check`` is to this codebase what race detectors and
+sanitizers are to a training stack: the rules under
+:mod:`repro.checks.rules` encode the conventions every tier relies on —
+seeded randomness only (bit-identity), wall-clock-free simulation paths,
+atomic durable writes, justified broad exception handlers, no pickle in
+payload paths, lock-guarded module globals, frozen specs, catalogued
+metric names — and the engine (:mod:`repro.checks.engine`) walks the
+AST of every module to verify them without importing anything.
+
+Escape hatches, in increasing scope: ``# repro: allow[RULE-ID] reason``
+inline suppressions, per-rule module allowlists (data on each rule), and
+the committed ``checks_baseline.json`` (:mod:`repro.checks.baseline`).
+See the "Static analysis" section of ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    baseline_payload,
+    load_baseline,
+    write_baseline,
+)
+from .engine import (
+    ERROR,
+    WARNING,
+    CheckEngine,
+    CheckResult,
+    Finding,
+    ModuleContext,
+    Rule,
+    Suppression,
+    iter_python_files,
+    parse_suppressions,
+)
+from .report import render_json, render_rule_table, render_text
+from .rules import DEFAULT_RULES, all_rules
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "CheckEngine",
+    "CheckResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "DEFAULT_RULES",
+    "all_rules",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "baseline_payload",
+    "render_text",
+    "render_json",
+    "render_rule_table",
+    "iter_python_files",
+    "parse_suppressions",
+]

@@ -1,0 +1,99 @@
+"""Committed-baseline handling for ``repro-ldp check``.
+
+The baseline file (``checks_baseline.json`` at the repo root) records
+findings that were reviewed and accepted when the gate was introduced, so
+they do not block CI while any *new* finding does.  Entries are keyed by
+the engine's line-number-independent fingerprint (rule id + module path +
+offending source text + occurrence index) — edits elsewhere in a file do
+not invalidate the baseline, but changing the offending line itself does,
+forcing a fresh decision.
+
+Regeneration is explicit (``repro-ldp check --write-baseline``) and the
+file is written atomically like every durable artifact in this repo.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Union
+
+from .._atomicio import atomic_write_text
+from ..exceptions import ReproError
+from .engine import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "baseline_payload",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "checks_baseline.json"
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """The accepted fingerprints of a baseline file.
+
+    Raises :class:`~repro.exceptions.ReproError` on a missing file, bad
+    JSON, an unknown version or malformed entries — a half-trusted
+    baseline would silently unblock new findings.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"baseline file {path} does not exist")
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise ReproError(f"cannot read baseline {path}: {error}") from None
+    if not isinstance(document, dict):
+        raise ReproError(f"baseline {path} must be a JSON object")
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ReproError(
+            f"baseline {path} has version {version!r}, expected "
+            f"{BASELINE_VERSION}; regenerate it with --write-baseline"
+        )
+    entries = document.get("findings")
+    if not isinstance(entries, list):
+        raise ReproError(f"baseline {path} carries no 'findings' list")
+    fingerprints: Set[str] = set()
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("fingerprint"), str
+        ):
+            raise ReproError(
+                f"baseline {path} entry {index} carries no string fingerprint"
+            )
+        fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def baseline_payload(findings: Iterable[Finding]) -> Dict[str, object]:
+    """The JSON document recording ``findings`` as accepted.
+
+    Entries carry the human-facing fields (rule, module, line, message)
+    purely for review; only the fingerprint participates in matching.
+    """
+    entries: List[Dict[str, object]] = [
+        {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule_id,
+            "module": finding.module,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in findings
+    ]
+    entries.sort(key=lambda e: (e["module"], e["line"], e["rule"]))
+    return {"version": BASELINE_VERSION, "findings": entries}
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> Path:
+    """Atomically (re)write the baseline accepting exactly ``findings``."""
+    content = json.dumps(baseline_payload(findings), indent=2, sort_keys=True)
+    return atomic_write_text(Path(path), content + "\n")

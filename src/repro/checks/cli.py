@@ -1,0 +1,131 @@
+"""The ``repro-ldp check`` subcommand.
+
+Kept in the checks package so :mod:`repro.cli` only carries the two-line
+dispatch; everything here is stdlib-only and safe to run on a tree that
+does not import (the checker never executes the modules it reads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from .._atomicio import atomic_write_text
+from ..exceptions import ReproError
+from .baseline import DEFAULT_BASELINE_NAME, load_baseline, write_baseline
+from .engine import CheckEngine
+from .report import render_json, render_rule_table, render_text
+from .rules import all_rules
+
+__all__ = ["add_check_parser", "run_check"]
+
+#: Default scan root, relative to the invocation directory.
+_DEFAULT_SCAN_ROOT = "src/repro"
+
+
+def add_check_parser(subparsers) -> argparse.ArgumentParser:
+    """Register the ``check`` subcommand on a ``repro-ldp`` subparser set."""
+    parser = subparsers.add_parser(
+        "check",
+        help="run the AST-based invariant checker (determinism, atomic IO, "
+             "exception/lock discipline, spec and metric conventions) over "
+             "the source tree",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=f"files or directories to check (default: {_DEFAULT_SCAN_ROOT}; "
+             f"tests/ and benchmarks/ can be passed explicitly)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report to stdout instead of text",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH.json",
+        help="additionally write the JSON report to this file (the CI "
+             "artifact), regardless of --json",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline of accepted findings (default: "
+             f"{DEFAULT_BASELINE_NAME} when it exists in the working "
+             f"directory); baselined findings are reported but never block",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding: rewrite the baseline file and "
+             "exit 0 (review the diff — each entry is a documented debt)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (id, what it forbids, the invariant it "
+             "protects) and exit",
+    )
+    return parser
+
+
+def _resolve_paths(args: argparse.Namespace) -> List[Path]:
+    if args.paths:
+        paths = [Path(entry) for entry in args.paths]
+    else:
+        paths = [Path(_DEFAULT_SCAN_ROOT)]
+        if not paths[0].exists():
+            raise ReproError(
+                f"default scan root {_DEFAULT_SCAN_ROOT} not found; run from "
+                f"the repo root or name the paths to check explicitly"
+            )
+    for path in paths:
+        if not path.exists():
+            raise ReproError(f"path {path} does not exist")
+    return paths
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """Execute the checker; exit 0 clean, 1 on new blocking findings."""
+    rules = all_rules()
+    if args.list_rules:
+        print(render_rule_table(rules))
+        return 0
+
+    paths = _resolve_paths(args)
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE_NAME).exists():
+        baseline_path = DEFAULT_BASELINE_NAME
+
+    engine = CheckEngine(rules)
+    if args.write_baseline:
+        # Accept the current state: everything the rules find (including
+        # previously baselined entries) becomes the new baseline.
+        result = engine.check_paths(paths)
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        write_baseline(target, result.findings)
+        print(
+            f"baseline {target}: accepted {len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} across "
+            f"{result.files_checked} files"
+        )
+        return 0
+
+    accepted = load_baseline(baseline_path) if baseline_path else set()
+    result = engine.check_paths(paths, baseline=accepted)
+    payload = render_json(result, rules)
+    if args.output:
+        atomic_write_text(args.output, json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_text(result))
+    if result.blocking:
+        if not args.json:
+            print(
+                f"gate: {len(result.blocking)} blocking finding"
+                f"{'s' if len(result.blocking) != 1 else ''} — fix, suppress "
+                f"with '# repro: allow[RULE-ID] reason', or accept via "
+                f"--write-baseline",
+                file=sys.stderr,
+            )
+        return 1
+    return 0

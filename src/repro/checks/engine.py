@@ -1,0 +1,389 @@
+"""Core of the AST-based invariant checker (``repro-ldp check``).
+
+The engine walks a set of Python files, parses each into an AST once, runs
+every registered :class:`Rule` over the parsed :class:`ModuleContext` and
+collects :class:`Finding` records.  Three escape hatches keep the gate
+usable as the codebase evolves:
+
+* **Inline suppressions** — a ``# repro: allow[RULE-ID] reason`` comment
+  silences that rule on its own line (trailing comment) or on the next
+  line (comment-only line).  The reason is mandatory: a reasonless
+  suppression is itself reported (``META-SUPPRESS``), so every accepted
+  exception stays documented at the call site.
+* **Per-rule module allowlists** — rules that enforce "only module X may
+  do Y" (e.g. only ``_atomicio`` opens files for writing) carry their
+  allowed modules as data and skip them wholesale.
+* **A committed baseline** (:mod:`repro.checks.baseline`) — pre-existing
+  accepted findings are keyed by a line-number-independent fingerprint so
+  they never block CI while any *new* finding does.
+
+Rules never import the modules they check — everything is derived from the
+source text and the AST, so the checker is safe to run on broken or
+heavyweight modules alike.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "CheckEngine",
+    "CheckResult",
+    "iter_python_files",
+    "parse_suppressions",
+]
+
+#: Severity of a finding that blocks the gate.
+ERROR = "error"
+#: Severity of a finding that is reported but never fails the gate.
+WARNING = "warning"
+
+#: Rule id attached to files the parser cannot read.
+PARSE_RULE_ID = "PARSE-ERROR"
+#: Rule id attached to suppression comments that carry no reason.
+META_SUPPRESS_RULE_ID = "META-SUPPRESS"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str  #: display path (as the file was named on the command line)
+    line: int  #: 1-based line number
+    col: int  #: 1-based column number
+    message: str
+    module: str = ""  #: package-relative path, stable across checkouts
+    snippet: str = ""  #: stripped source text of the offending line
+    fingerprint: str = ""  #: line-number-independent identity (baseline key)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "module": self.module,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one module.
+
+    ``module_path`` is the path relative to the *parent of the outermost
+    package directory* (the nearest ancestor without an ``__init__.py``),
+    e.g. ``repro/obs/metrics.py`` regardless of where the checkout lives or
+    which directory the checker was invoked from.  Allowlists, directory
+    scopes and baseline fingerprints all key on it.
+    """
+
+    path: Path
+    display_path: str
+    module_path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+    def line_text(self, lineno: int) -> str:
+        """Source text of a 1-based line (empty string out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def dir_parts(self) -> Tuple[str, ...]:
+        """The directory components of :attr:`module_path`."""
+        return Path(self.module_path).parts[:-1]
+
+
+class Rule:
+    """Base class of one checked invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings built with :meth:`finding` (which fills in location,
+    snippet and severity uniformly).
+    """
+
+    rule_id: str = ""
+    #: One-line statement of what the rule forbids/requires.
+    summary: str = ""
+    #: The repo invariant the rule protects (shown by ``--list-rules``).
+    invariant: str = ""
+    severity: str = ERROR
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, node: object, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (any object with ``lineno``)."""
+        line = int(getattr(node, "lineno", 0) or 0)
+        col = int(getattr(node, "col_offset", -1)) + 1
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=module.display_path,
+            line=line,
+            col=max(col, 0),
+            message=message,
+            module=module.module_path,
+            snippet=module.line_text(line).strip(),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Inline suppressions
+# --------------------------------------------------------------------- #
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_-]+)\]\s*(.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[RULE-ID] reason`` comment."""
+
+    rule_id: str
+    reason: str
+    comment_line: int  #: where the comment sits
+    target_line: int  #: the line whose findings it silences
+
+
+def parse_suppressions(lines: Sequence[str]) -> List[Suppression]:
+    """Extract every suppression comment of a module.
+
+    A trailing comment targets its own line; a comment-only line targets
+    the next line (the statement it annotates).
+    """
+    suppressions: List[Suppression] = []
+    for index, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        has_code = bool(line[: match.start()].strip())
+        suppressions.append(
+            Suppression(
+                rule_id=match.group(1),
+                reason=match.group(2),
+                comment_line=index,
+                target_line=index if has_code else index + 1,
+            )
+        )
+    return suppressions
+
+
+# --------------------------------------------------------------------- #
+# File discovery
+# --------------------------------------------------------------------- #
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, sorted, caches skipped."""
+    seen = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_file():
+            candidates: Iterable[Path] = [entry]
+        else:
+            candidates = sorted(entry.rglob("*.py"))
+        for candidate in candidates:
+            parts = candidate.parts
+            if "__pycache__" in parts or any(
+                part.startswith(".") and part not in (".", "..") for part in parts
+            ):
+                continue
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                yield candidate
+
+
+def module_path_for(path: Path) -> str:
+    """Package-relative posix path of ``path`` (see :class:`ModuleContext`)."""
+    resolved = path.resolve()
+    package_dir = resolved.parent
+    while (package_dir / "__init__.py").exists() and package_dir.parent != package_dir:
+        package_dir = package_dir.parent
+    return resolved.relative_to(package_dir).as_posix()
+
+
+def _display_path(path: Path) -> str:
+    """``path`` relative to the working directory when possible."""
+    try:
+        return Path(os.path.relpath(path)).as_posix()
+    except ValueError:  # different drive (windows): keep it absolute
+        return path.as_posix()
+
+
+# --------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------- #
+@dataclass
+class CheckResult:
+    """Outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)  #: new findings
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def blocking(self) -> List[Finding]:
+        """The new findings that fail the gate."""
+        return [f for f in self.findings if f.severity == ERROR]
+
+
+class CheckEngine:
+    """Run a rule set over files and apply suppressions + baseline."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            from .rules import all_rules
+
+            rules = all_rules()
+        self.rules: List[Rule] = list(rules)
+
+    # ------------------------------------------------------------------ #
+    def check_file(self, path: Union[str, Path]) -> List[Finding]:
+        """All findings of one file, suppressed ones removed.
+
+        Returns findings sorted by location, fingerprinted for baseline
+        matching.  Suppressed findings are dropped; the count is available
+        through :meth:`check_paths`.
+        """
+        findings, _ = self._check_file_counted(Path(path))
+        return findings
+
+    def _check_file_counted(self, path: Path) -> Tuple[List[Finding], int]:
+        display = _display_path(path)
+        source = path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        module_path = module_path_for(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            finding = Finding(
+                rule_id=PARSE_RULE_ID,
+                severity=ERROR,
+                path=display,
+                line=int(error.lineno or 0),
+                col=int(error.offset or 0),
+                message=f"cannot parse module: {error.msg}",
+                module=module_path,
+                snippet=(error.text or "").strip(),
+            )
+            return _with_fingerprints([finding]), 0
+
+        module = ModuleContext(
+            path=path,
+            display_path=display,
+            module_path=module_path,
+            source=source,
+            lines=lines,
+            tree=tree,
+        )
+        collected: List[Finding] = []
+        for rule in self.rules:
+            collected.extend(rule.check(module))
+
+        suppressions = parse_suppressions(lines)
+        by_line: Dict[int, List[Suppression]] = {}
+        for suppression in suppressions:
+            by_line.setdefault(suppression.target_line, []).append(suppression)
+
+        kept: List[Finding] = []
+        suppressed = 0
+        for finding in collected:
+            matches = [
+                s
+                for s in by_line.get(finding.line, [])
+                if s.rule_id == finding.rule_id
+            ]
+            if matches:
+                suppressed += 1
+            else:
+                kept.append(finding)
+        for suppression in suppressions:
+            if not suppression.reason:
+                line = suppression.comment_line
+                kept.append(
+                    Finding(
+                        rule_id=META_SUPPRESS_RULE_ID,
+                        severity=ERROR,
+                        path=display,
+                        line=line,
+                        col=1,
+                        message=(
+                            f"suppression of {suppression.rule_id} carries no "
+                            f"reason; write '# repro: allow[{suppression.rule_id}] "
+                            f"<why this site is exempt>'"
+                        ),
+                        module=module_path,
+                        snippet=module.line_text(line).strip(),
+                    )
+                )
+        kept.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        return _with_fingerprints(kept), suppressed
+
+    # ------------------------------------------------------------------ #
+    def check_paths(
+        self,
+        paths: Sequence[Union[str, Path]],
+        baseline: Iterable[str] = (),
+    ) -> CheckResult:
+        """Check every Python file under ``paths``.
+
+        ``baseline`` is a collection of accepted fingerprints (see
+        :mod:`repro.checks.baseline`); matching findings are reported
+        separately and never block.
+        """
+        accepted = set(baseline)
+        result = CheckResult()
+        for path in iter_python_files(paths):
+            findings, suppressed = self._check_file_counted(path)
+            result.files_checked += 1
+            result.suppressed += suppressed
+            for finding in findings:
+                if finding.fingerprint in accepted:
+                    result.baselined.append(finding)
+                else:
+                    result.findings.append(finding)
+        return result
+
+
+def _with_fingerprints(findings: List[Finding]) -> List[Finding]:
+    """Attach baseline fingerprints, disambiguating identical lines.
+
+    The fingerprint hashes (rule, module path, source text, occurrence
+    index) — never the line *number* — so unrelated edits above a finding
+    do not break baseline matching, while two identical offending lines in
+    one module stay distinct.
+    """
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    stamped: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule_id, finding.module, finding.snippet)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            "|".join([finding.rule_id, finding.module, finding.snippet, str(index)])
+            .encode("utf-8")
+        ).hexdigest()[:16]
+        stamped.append(replace(finding, fingerprint=digest))
+    return stamped

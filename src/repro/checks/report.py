@@ -1,0 +1,56 @@
+"""Rendering of check results: human text, machine JSON, the rule table."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .engine import ERROR, CheckResult, Rule
+
+__all__ = ["REPORT_VERSION", "render_text", "render_json", "render_rule_table"]
+
+REPORT_VERSION = 1
+
+
+def render_text(result: CheckResult) -> str:
+    """The findings as ``path:line:col: RULE [severity] message`` lines."""
+    lines: List[str] = [
+        f"{finding.location()}: {finding.rule_id} [{finding.severity}] "
+        f"{finding.message}"
+        for finding in result.findings
+    ]
+    blocking = len(result.blocking)
+    summary = (
+        f"{result.files_checked} files checked: {len(result.findings)} new "
+        f"finding{'s' if len(result.findings) != 1 else ''} "
+        f"({blocking} blocking), {len(result.baselined)} baselined, "
+        f"{result.suppressed} suppressed"
+    )
+    if lines:
+        return "\n".join(lines) + "\n" + summary
+    return summary
+
+
+def render_json(result: CheckResult, rules: Sequence[Rule]) -> Dict[str, object]:
+    """The machine-readable report (the CI artifact)."""
+    return {
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "rules": [rule.rule_id for rule in rules],
+        "findings": [finding.to_dict() for finding in result.findings],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "suppressed": result.suppressed,
+        "blocking": len(result.blocking),
+    }
+
+
+def render_rule_table(rules: Sequence[Rule]) -> str:
+    """The ``--list-rules`` table: id, severity, summary, invariant."""
+    width = max(len(rule.rule_id) for rule in rules)
+    blocks: List[str] = []
+    for rule in rules:
+        marker = "!" if rule.severity == ERROR else " "
+        blocks.append(
+            f"{rule.rule_id.ljust(width)} {marker} {rule.summary}\n"
+            f"{' ' * width}   protects: {rule.invariant}"
+        )
+    return "\n".join(blocks)

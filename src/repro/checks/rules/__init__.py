@@ -1,0 +1,53 @@
+"""The rule library of ``repro-ldp check``.
+
+One module per invariant family; :func:`all_rules` is the default rule set
+the engine and CLI run.  Adding a rule means subclassing
+:class:`repro.checks.engine.Rule` in the fitting module (or a new one) and
+appending the class to :data:`DEFAULT_RULES` — the CLI, ``--list-rules``
+table, JSON report and docs all pick it up from there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Type
+
+from ..engine import Rule
+from .concurrency import LockGuardRule
+from .determinism import RandomModuleRule, UnseededRngRule, WallClockRule
+from .exceptions_discipline import BareExceptRule, BroadExceptRule
+from .io_discipline import AtomicWriteRule, PickleImportRule
+from .schema import FrozenSpecRule, MetricNameRule
+
+__all__ = [
+    "DEFAULT_RULES",
+    "all_rules",
+    "UnseededRngRule",
+    "RandomModuleRule",
+    "WallClockRule",
+    "AtomicWriteRule",
+    "PickleImportRule",
+    "BareExceptRule",
+    "BroadExceptRule",
+    "LockGuardRule",
+    "FrozenSpecRule",
+    "MetricNameRule",
+]
+
+#: Default rule set, in report order.
+DEFAULT_RULES: Tuple[Type[Rule], ...] = (
+    UnseededRngRule,
+    RandomModuleRule,
+    WallClockRule,
+    AtomicWriteRule,
+    PickleImportRule,
+    BareExceptRule,
+    BroadExceptRule,
+    LockGuardRule,
+    FrozenSpecRule,
+    MetricNameRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every default rule."""
+    return [rule_class() for rule_class in DEFAULT_RULES]

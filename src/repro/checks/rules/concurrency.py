@@ -1,0 +1,159 @@
+"""Rule protecting lock-guarded module-global state.
+
+Modules that share process-global state across threads (the metrics
+registry, the default event log, the native-kernel cache) declare a
+module-level ``threading.Lock`` and rebind their globals only inside
+``with <lock>:`` — the ``obs/metrics.py`` / ``obs/events.py`` pattern.
+This rule makes the pairing mandatory: once a module declares a
+module-level lock, every function-scope rebinding of a module global in
+that module must happen under one of its locks.
+
+Modules *without* a module-level lock are out of scope — worker-process
+initializers (``_WORKER_DATASET`` et al.) rebind globals single-threaded
+by construction and declare no lock, which is exactly the distinction the
+rule encodes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..engine import Finding, ModuleContext, Rule
+
+__all__ = ["LockGuardRule"]
+
+
+def _module_lock_names(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to ``threading.Lock()`` / ``RLock()``."""
+    locks: Set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("Lock", "RLock")
+            and isinstance(value.func.value, ast.Name)
+            and value.func.value.id == "threading"
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                locks.add(target.id)
+    return locks
+
+
+def _assigned_names(statement: ast.stmt) -> List[str]:
+    """Names a statement rebinds (plain and tuple targets)."""
+    targets: List[ast.expr] = []
+    if isinstance(statement, ast.Assign):
+        targets = list(statement.targets)
+    elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+        targets = [statement.target]
+    names: List[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                element.id
+                for element in target.elts
+                if isinstance(element, ast.Name)
+            )
+    return names
+
+
+class LockGuardRule(Rule):
+    """Global rebinding in lock-declaring modules must hold the lock."""
+
+    rule_id = "LOCK-GLOBAL"
+    summary = (
+        "rebinding a module global outside 'with <lock>:' in a module that "
+        "declares a module-level threading.Lock"
+    )
+    invariant = (
+        "thread safety of process-global registries: swap-and-return "
+        "operations (set_default_registry, set_default_event_log, the "
+        "native-kernel cache) stay atomic only under their module lock"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        locks = _module_lock_names(module.tree)
+        if not locks:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, locks)
+
+    def _check_function(
+        self,
+        module: ModuleContext,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        locks: Set[str],
+    ) -> Iterator[Finding]:
+        declared: Set[str] = set()
+        for statement in self._own_statements(func):
+            if isinstance(statement, ast.Global):
+                declared.update(statement.names)
+        if not declared:
+            return
+        yield from self._scan(module, func.body, declared, locks, guarded=False)
+
+    def _own_statements(self, func: ast.AST) -> Iterator[ast.stmt]:
+        """Statements of ``func`` itself, not of functions nested in it."""
+        stack: List[ast.stmt] = list(getattr(func, "body", []))
+        while stack:
+            statement = stack.pop()
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield statement
+            stack.extend(self._child_statements(statement))
+
+    def _child_statements(self, node: ast.AST) -> List[ast.stmt]:
+        children: List[ast.stmt] = []
+        for _, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                children.extend(
+                    item for item in value if isinstance(item, ast.stmt)
+                )
+                children.extend(
+                    body_item
+                    for item in value
+                    if isinstance(item, ast.ExceptHandler)
+                    for body_item in item.body
+                )
+        return children
+
+    def _scan(
+        self,
+        module: ModuleContext,
+        body: List[ast.stmt],
+        declared: Set[str],
+        locks: Set[str],
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested function: its own Global set, checked separately
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                holds = guarded or any(
+                    isinstance(item.context_expr, ast.Name)
+                    and item.context_expr.id in locks
+                    for item in statement.items
+                )
+                yield from self._scan(module, statement.body, declared, locks, holds)
+                continue
+            rebinds = sorted(set(_assigned_names(statement)) & declared)
+            if rebinds and not guarded:
+                lock_list = ", ".join(sorted(locks))
+                yield self.finding(
+                    module, statement,
+                    f"rebinds module global(s) {', '.join(rebinds)} outside "
+                    f"'with {lock_list}:' — concurrent readers can observe "
+                    f"a half-swapped state",
+                )
+            yield from self._scan(
+                module, self._child_statements(statement), declared, locks, guarded
+            )

@@ -1,0 +1,120 @@
+"""Rules protecting crash-safe durability and codec safety.
+
+Every durable artifact in this repo — result CSVs, spec files, checkpoints,
+event logs — survives a SIGKILL at any instant because all whole-file
+writes stage to a temp file, fsync and rename (:mod:`repro._atomicio`) and
+all appends are single ``O_APPEND`` writes.  A single bare ``open("w")``
+reintroduces torn files; these rules keep the discipline total.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Finding, ModuleContext, Rule
+
+__all__ = ["AtomicWriteRule", "PickleImportRule"]
+
+#: The one module that may open files for writing directly: it implements
+#: the staged-temp + fsync + rename primitive everything else goes through.
+_IO_ALLOWED = ("repro/_atomicio.py",)
+
+#: Mode characters that make an ``open`` destructive (truncate / create /
+#: append).  ``r`` and ``rb+`` style update modes are left to review.
+_DESTRUCTIVE = frozenset("wax")
+
+#: ``Path`` convenience writers that truncate in place.
+_TRUNCATING_METHODS = frozenset(("write_text", "write_bytes"))
+
+
+def _mode_argument(node: ast.Call, position: int) -> Optional[str]:
+    """The string mode of an ``open`` call, ``None`` when non-literal."""
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            value = keyword.value.value
+            return value if isinstance(value, str) else None
+    if len(node.args) > position and isinstance(node.args[position], ast.Constant):
+        value = node.args[position].value
+        return value if isinstance(value, str) else None
+    return None
+
+
+class AtomicWriteRule(Rule):
+    """All durable writes must go through ``repro._atomicio``."""
+
+    rule_id = "IO-ATOMIC"
+    summary = (
+        "bare open(..., 'w'/'wb'), Path.open('w'), or Path.write_text/"
+        "write_bytes outside _atomicio.py"
+    )
+    invariant = (
+        "crash safety: a process killed mid-write must leave either the old "
+        "complete file or the new complete file, never a torn prefix — only "
+        "staged-temp + fsync + rename guarantees that"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.module_path in _IO_ALLOWED:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _mode_argument(node, position=1)
+            elif isinstance(func, ast.Attribute) and func.attr == "open":
+                # ``os.open`` takes integer flags, never a string mode, so
+                # the literal-mode extraction below skips it naturally.
+                mode = _mode_argument(node, position=0)
+            elif isinstance(func, ast.Attribute) and func.attr in _TRUNCATING_METHODS:
+                yield self.finding(
+                    module, node,
+                    f".{func.attr}() truncates the target in place; route "
+                    f"the write through repro._atomicio (atomic_write_text/"
+                    f"atomic_write_bytes) so a kill cannot tear the file",
+                )
+                continue
+            else:
+                continue
+            if mode is not None and _DESTRUCTIVE.intersection(mode):
+                yield self.finding(
+                    module, node,
+                    f"open(..., {mode!r}) writes the target in place; route "
+                    f"the write through repro._atomicio, or stage to a temp "
+                    f"file and os.replace it (suppress with a reason if this "
+                    f"IS the staging write)",
+                )
+
+
+#: Modules whose import means arbitrary-code deserialization somewhere.
+_PICKLE_MODULES = frozenset(("pickle", "cPickle", "_pickle", "dill", "shelve"))
+
+
+class PickleImportRule(Rule):
+    """No pickle-family imports in library code."""
+
+    rule_id = "PICKLE-IMPORT"
+    summary = "importing pickle/dill/shelve in src/repro"
+    invariant = (
+        "payload safety: task and summary codecs are JSON and .npz with "
+        "allow_pickle=False by design, so no queue or checkpoint can ever "
+        "carry executable code"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [(node.module or "").split(".")[0]]
+            else:
+                continue
+            for name in names:
+                if name in _PICKLE_MODULES:
+                    yield self.finding(
+                        module, node,
+                        f"importing {name!r} opens an arbitrary-code "
+                        f"deserialization path; payloads are JSON/.npz "
+                        f"(allow_pickle=False) by design",
+                    )

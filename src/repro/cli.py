@@ -101,6 +101,16 @@ are bit-identical to what a local batch session would be fed::
 Both sides honor ``--auth-key-env SECRET_VAR`` (HMAC-signed submissions,
 same envelope as the distributed transports); an ``ingest`` without it
 serves unauthenticated and says so loudly.
+
+``check`` runs the AST-based invariant checker (see :mod:`repro.checks`)
+over the source tree — RNG/wall-clock determinism, atomic-IO, exception
+and lock discipline, frozen specs, metric naming — and is the blocking CI
+gate::
+
+    repro-ldp check                      # src/repro, text findings
+    repro-ldp check --json               # machine-readable report
+    repro-ldp check --list-rules         # what is enforced, and why
+    repro-ldp check --write-baseline     # accept current findings
 """
 
 from __future__ import annotations
@@ -561,6 +571,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     datasets_parser.add_argument("--scale", type=float, default=0.02)
     datasets_parser.add_argument("--seed", type=int, default=0)
+
+    from .checks.cli import add_check_parser
+
+    add_check_parser(subparsers)
     return parser
 
 
@@ -1068,6 +1082,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "loadgen":
         try:
             return run_loadgen(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "check":
+        from .checks.cli import run_check
+
+        try:
+            return run_check(args)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -123,6 +123,7 @@ class _QueueLayout:
     def stage(self, name: str, payload: bytes) -> Path:
         """Write ``payload`` to a unique temp file and return its path."""
         staged = self.tmp / f"{name}.{os.getpid()}.{uuid.uuid4().hex}"
+        # repro: allow[IO-ATOMIC] this IS the staging write; publish is a rename
         with staged.open("wb") as handle:
             handle.write(payload)
             handle.flush()

@@ -145,6 +145,8 @@ def run_worker(
         try:
             shard_id, task, dataset_ref, plan = decode_task(envelope.payload)
         except Exception as error:
+            # Broad on purpose: any decode failure (codec, auth, truncation)
+            # is counted and logged with shard context, then re-raised.
             _worker_failure("task_decode", error, shard_id=envelope.shard_id)
             raise
         workload = dataset
@@ -163,6 +165,8 @@ def run_worker(
                 try:
                     cache[key] = dataset_ref.build()
                 except Exception as error:
+                    # Broad on purpose: rebuild failures are counted and
+                    # logged with shard context, then re-raised.
                     _worker_failure("dataset_rebuild", error, shard_id=shard_id)
                     raise
                 m_rebuilds.inc()

@@ -161,6 +161,7 @@ def _compile() -> str:
     if os.path.exists(library):
         return library
     source = os.path.join(directory, f"repro_native_{_source_digest()}.c")
+    # repro: allow[IO-ATOMIC] digest-keyed scratch source; the .so is staged + renamed
     with open(source, "w") as handle:
         handle.write(_C_SOURCE)
     compiler = os.environ.get("CC", "cc")

@@ -189,7 +189,7 @@ def _drive_windows(engine, values: np.ndarray, sink, generator) -> None:
         "repro_sim_rounds_total", "Simulation rounds stepped through engines."
     )
     m_window_rounds = registry.histogram(
-        "repro_sim_window_rounds",
+        "repro_sim_window_rounds",  # repro: allow[METRIC-NAME] unitless rounds-per-window distribution
         "Rounds per batched unchanged-value window.",
         buckets=_WINDOW_BUCKETS,
     )

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
+from ._atomicio import atomic_write_text
 from ._validation import require_int_at_least, require_positive
 from .exceptions import ParameterError
 
@@ -392,7 +393,7 @@ class SweepSpec:
         """Write the spec as a JSON file and return the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        atomic_write_text(path, self.to_json() + "\n")
         return path
 
     def fingerprint(self) -> str:
@@ -558,7 +559,7 @@ class CollectionSpec:
         """Write the spec as a JSON file and return the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        atomic_write_text(path, self.to_json() + "\n")
         return path
 
 
@@ -715,7 +716,7 @@ class IngestSpec:
         """Write the spec as a JSON file and return the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        atomic_write_text(path, self.to_json() + "\n")
         return path
 
 

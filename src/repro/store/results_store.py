@@ -5,9 +5,9 @@ Every experiment harness in :mod:`repro.experiments` can hand its output to a
 optional flat CSV for spreadsheet-style inspection.  The store never
 overwrites silently: re-saving an experiment requires ``overwrite=True``.
 
-Whole-file CSV writes (:meth:`ResultsStore.save_rows`) are **atomic**:
-content is staged to a temp file in the same directory, fsynced and renamed
-over the target.  Incremental flushes (:meth:`ResultsStore.append_rows`) use
+Whole-file writes (:meth:`ResultsStore.save_rows`,
+:meth:`ResultsStore.save_json`) are **atomic**: content is staged to a temp
+file in the same directory, fsynced and renamed over the target.  Incremental flushes (:meth:`ResultsStore.append_rows`) use
 ``O_APPEND`` + fsync — O(batch) I/O per flush instead of re-reading and
 rewriting the whole file, which over a long sweep was O(rows^2).  A writer
 killed mid-flush can leave at most one torn trailing line; readers (and the
@@ -62,8 +62,10 @@ class ResultsStore:
             raise ExperimentError(
                 f"{path} already exists; pass overwrite=True to replace it"
             )
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True, default=_jsonify)
+        # Serialize before touching the file: a payload that fails mid-encode
+        # (or a kill mid-write) must leave any existing document intact.
+        content = json.dumps(payload, indent=2, sort_keys=True, default=_jsonify)
+        _atomic_write_text(path, content)
         return path
 
     def save_rows(

@@ -1,0 +1,517 @@
+"""Tests for the AST-based invariant checker (``repro-ldp check``)."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks import (
+    CheckEngine,
+    DEFAULT_BASELINE_NAME,
+    all_rules,
+    load_baseline,
+    parse_suppressions,
+    write_baseline,
+)
+from repro.checks.engine import (
+    META_SUPPRESS_RULE_ID,
+    PARSE_RULE_ID,
+    module_path_for,
+)
+from repro.cli import main
+from repro.exceptions import ReproError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_module(root: Path, relative: str, body: str) -> Path:
+    """Write a module (creating package __init__.py files along the way)."""
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ancestor = path.parent
+    while ancestor != root:
+        init = ancestor / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+        ancestor = ancestor.parent
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+def findings_for(path: Path, rule_id: str = None):
+    findings = CheckEngine().check_file(path)
+    if rule_id is None:
+        return findings
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+CLEAN_MODULE = """\
+    import numpy as np
+
+    from repro.rng import derive_seed_sequences
+
+
+    def streams(seed, n):
+        return [np.random.default_rng(ss) for ss in derive_seed_sequences(seed, n)]
+"""
+
+
+class TestRuleTriggers:
+    """Each rule fires on its trigger fixture and stays quiet on clean code."""
+
+    def test_clean_module_has_no_findings(self, tmp_path):
+        path = write_module(tmp_path, "clean.py", CLEAN_MODULE)
+        assert findings_for(path) == []
+
+    def test_rng_seed_unseeded_default_rng(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            import numpy as np
+
+            gen = np.random.default_rng()
+            """,
+        )
+        found = findings_for(path, "RNG-SEED")
+        assert len(found) == 1
+        assert found[0].line == 3
+
+    def test_rng_seed_none_argument_still_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py", "from numpy.random import SeedSequence\nss = SeedSequence(None)\n"
+        )
+        assert len(findings_for(path, "RNG-SEED")) == 1
+
+    def test_rng_seed_explicit_seed_passes(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "import numpy as np\ngen = np.random.default_rng(20230328)\n",
+        )
+        assert findings_for(path, "RNG-SEED") == []
+
+    def test_rng_seed_allowlisted_in_rng_module(self, tmp_path):
+        path = write_module(
+            tmp_path, "repro/rng.py",
+            "import numpy as np\ngen = np.random.default_rng()\n",
+        )
+        assert module_path_for(path) == "repro/rng.py"
+        assert findings_for(path, "RNG-SEED") == []
+
+    def test_rng_module_import_random(self, tmp_path):
+        path = write_module(tmp_path, "mod.py", "import random\n")
+        assert len(findings_for(path, "RNG-MODULE")) == 1
+
+    def test_rng_module_from_random_import(self, tmp_path):
+        path = write_module(tmp_path, "mod.py", "from random import shuffle\n")
+        assert len(findings_for(path, "RNG-MODULE")) == 1
+
+    def test_wallclock_in_simulation_package(self, tmp_path):
+        path = write_module(
+            tmp_path, "simulation/mod.py",
+            "import time\n\nstart = time.monotonic()\n",
+        )
+        found = findings_for(path, "TIME-WALLCLOCK")
+        assert len(found) == 1
+        assert found[0].line == 3
+
+    def test_wallclock_from_import_in_simulation_package(self, tmp_path):
+        path = write_module(
+            tmp_path, "simulation/mod.py", "from time import time\n"
+        )
+        assert len(findings_for(path, "TIME-WALLCLOCK")) == 1
+
+    def test_wallclock_fine_outside_scoped_packages(self, tmp_path):
+        path = write_module(
+            tmp_path, "service/mod.py", "import time\n\nnow = time.time()\n"
+        )
+        assert findings_for(path, "TIME-WALLCLOCK") == []
+
+    def test_wallclock_perf_counter_is_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path, "simulation/mod.py",
+            "import time\n\nstart = time.perf_counter()\n",
+        )
+        assert findings_for(path, "TIME-WALLCLOCK") == []
+
+    def test_io_atomic_bare_open_write(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+        )
+        assert len(findings_for(path, "IO-ATOMIC")) == 1
+
+    def test_io_atomic_path_write_text(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "def save(path, text):\n    path.write_text(text)\n",
+        )
+        assert len(findings_for(path, "IO-ATOMIC")) == 1
+
+    def test_io_atomic_read_mode_passes(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            'def load(path):\n    with open(path, "r") as handle:\n        return handle.read()\n',
+        )
+        assert findings_for(path, "IO-ATOMIC") == []
+
+    def test_io_atomic_allowlisted_in_atomicio(self, tmp_path):
+        path = write_module(
+            tmp_path, "repro/_atomicio.py",
+            'def write(path, text):\n    with open(path, "w") as handle:\n        handle.write(text)\n',
+        )
+        assert findings_for(path, "IO-ATOMIC") == []
+
+    def test_pickle_import(self, tmp_path):
+        path = write_module(tmp_path, "mod.py", "import pickle\n")
+        assert len(findings_for(path, "PICKLE-IMPORT")) == 1
+
+    def test_pickle_from_import(self, tmp_path):
+        path = write_module(tmp_path, "mod.py", "from dill import dumps\n")
+        assert len(findings_for(path, "PICKLE-IMPORT")) == 1
+
+    def test_bare_except(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "try:\n    x = 1\nexcept:\n    pass\n",
+        )
+        assert len(findings_for(path, "EXC-BARE")) == 1
+
+    def test_broad_except_without_comment(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "try:\n    x = 1\nexcept Exception:\n    pass\n",
+        )
+        assert len(findings_for(path, "EXC-BROAD")) == 1
+
+    def test_broad_except_with_trailing_comment_passes(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "try:\n    x = 1\nexcept Exception:  # keep the server up\n    pass\n",
+        )
+        assert findings_for(path, "EXC-BROAD") == []
+
+    def test_broad_except_with_comment_above_passes(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "try:\n    x = 1\n# any failure means unavailable\nexcept Exception:\n    pass\n",
+        )
+        assert findings_for(path, "EXC-BROAD") == []
+
+    def test_narrow_except_needs_no_comment(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "try:\n    x = 1\nexcept ValueError:\n    pass\n",
+        )
+        assert findings_for(path, "EXC-BROAD") == []
+
+    def test_lock_global_unguarded_rebinding(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            import threading
+
+            _LOCK = threading.Lock()
+            _STATE = None
+
+
+            def swap(value):
+                global _STATE
+                _STATE = value
+            """,
+        )
+        found = findings_for(path, "LOCK-GLOBAL")
+        assert len(found) == 1
+        assert found[0].line == 9
+
+    def test_lock_global_guarded_rebinding_passes(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            import threading
+
+            _LOCK = threading.Lock()
+            _STATE = None
+
+
+            def swap(value):
+                global _STATE
+                with _LOCK:
+                    previous, _STATE = _STATE, value
+                return previous
+            """,
+        )
+        assert findings_for(path, "LOCK-GLOBAL") == []
+
+    def test_lock_global_out_of_scope_without_module_lock(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            _WORKER_DATASET = None
+
+
+            def init(dataset):
+                global _WORKER_DATASET
+                _WORKER_DATASET = dataset
+            """,
+        )
+        assert findings_for(path, "LOCK-GLOBAL") == []
+
+    def test_spec_frozen_missing(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class FooSpec:
+                name: str
+            """,
+        )
+        assert len(findings_for(path, "SPEC-FROZEN")) == 1
+
+    def test_spec_frozen_true_passes(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class FooSpec:
+                name: str
+            """,
+        )
+        assert findings_for(path, "SPEC-FROZEN") == []
+
+    def test_non_spec_dataclass_unconstrained(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class Accumulator:
+                total: int = 0
+            """,
+        )
+        assert findings_for(path, "SPEC-FROZEN") == []
+
+    def test_metric_name_bad_prefix(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            'counter = registry.counter("requests_total", "Requests.")\n',
+        )
+        assert len(findings_for(path, "METRIC-NAME")) == 1
+
+    def test_metric_name_counter_without_total(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            'counter = registry.counter("repro_requests", "Requests.")\n',
+        )
+        assert len(findings_for(path, "METRIC-NAME")) == 1
+
+    def test_metric_name_histogram_without_unit(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            'hist = registry.histogram("repro_latency", "Latency.")\n',
+        )
+        assert len(findings_for(path, "METRIC-NAME")) == 1
+
+    def test_metric_name_conforming_instruments_pass(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            """\
+            c = registry.counter("repro_requests_total", "Requests.")
+            g = registry.gauge("repro_open_round", "Open round index.")
+            h = registry.histogram("repro_latency_seconds", "Latency.")
+            """,
+        )
+        assert findings_for(path, "METRIC-NAME") == []
+
+    def test_parse_error_reported_as_finding(self, tmp_path):
+        path = write_module(tmp_path, "mod.py", "def broken(:\n")
+        found = findings_for(path, PARSE_RULE_ID)
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+
+class TestSuppressions:
+    def test_trailing_suppression_silences_own_line(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "import random  # repro: allow[RNG-MODULE] test fixture needs it\n",
+        )
+        assert findings_for(path) == []
+
+    def test_comment_line_suppression_targets_next_line(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "# repro: allow[RNG-MODULE] test fixture needs it\nimport random\n",
+        )
+        assert findings_for(path) == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "import random  # repro: allow[IO-ATOMIC] wrong rule id\n",
+        )
+        assert len(findings_for(path, "RNG-MODULE")) == 1
+
+    def test_reasonless_suppression_is_itself_a_finding(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py",
+            "import random  # repro: allow[RNG-MODULE]\n",
+        )
+        findings = findings_for(path)
+        assert [f.rule_id for f in findings] == [META_SUPPRESS_RULE_ID]
+
+    def test_parse_suppressions_grammar(self):
+        lines = [
+            'x = open(p, "w")  # repro: allow[IO-ATOMIC] staging write',
+            "# repro: allow[EXC-BROAD] probe boundary",
+            "except Exception:",
+        ]
+        parsed = parse_suppressions(lines)
+        assert [(s.rule_id, s.target_line) for s in parsed] == [
+            ("IO-ATOMIC", 1),
+            ("EXC-BROAD", 3),
+        ]
+        assert parsed[0].reason == "staging write"
+
+    def test_suppressed_findings_are_counted(self, tmp_path):
+        write_module(
+            tmp_path, "mod.py",
+            "import random  # repro: allow[RNG-MODULE] fixture\n",
+        )
+        result = CheckEngine().check_paths([tmp_path])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", "import pickle\n")
+        findings = findings_for(module)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        accepted = load_baseline(baseline_path)
+        assert accepted == {f.fingerprint for f in findings}
+        result = CheckEngine().check_paths([module], baseline=accepted)
+        assert result.findings == []
+        assert len(result.baselined) == 1
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        first = write_module(tmp_path / "a", "mod.py", "import pickle\n")
+        second = write_module(
+            tmp_path / "b", "mod.py", "# a new leading comment\n\nimport pickle\n"
+        )
+        assert (
+            findings_for(first)[0].fingerprint
+            == findings_for(second)[0].fingerprint
+        )
+
+    def test_identical_lines_get_distinct_fingerprints(self, tmp_path):
+        path = write_module(
+            tmp_path, "mod.py", "import pickle\nimport pickle\n"
+        )
+        prints = [f.fingerprint for f in findings_for(path, "PICKLE-IMPORT")]
+        assert len(prints) == 2
+        assert prints[0] != prints[1]
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_baseline(tmp_path / "missing.json")
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_baseline(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            '{"version": 1, "findings": [{"rule": "X"}]}', encoding="utf-8"
+        )
+        with pytest.raises(ReproError):
+            load_baseline(path)
+
+
+class TestCheckCli:
+    def test_exit_one_on_finding(self, tmp_path, capsys):
+        write_module(tmp_path, "mod.py", "import pickle\n")
+        assert main(["check", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "PICKLE-IMPORT" in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        write_module(tmp_path, "clean.py", CLEAN_MODULE)
+        assert main(["check", str(tmp_path)]) == 0
+        assert "0 new findings" in capsys.readouterr().out
+
+    def test_json_report_schema(self, tmp_path, capsys):
+        write_module(tmp_path, "mod.py", "import pickle\n")
+        assert main(["check", "--json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["blocking"] == 1
+        assert payload["files_checked"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "PICKLE-IMPORT"
+        assert finding["line"] == 1
+        assert finding["fingerprint"]
+        assert set(payload["rules"]) == {r.rule_id for r in all_rules()}
+
+    def test_output_artifact_written(self, tmp_path, capsys):
+        write_module(tmp_path, "mod.py", "import pickle\n")
+        artifact = tmp_path / "report.json"
+        assert main(["check", "--output", str(artifact), str(tmp_path)]) == 1
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["blocking"] == 1
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_module(tmp_path, "mod.py", "import pickle\n")
+        assert main(["check", "--write-baseline", "mod.py"]) == 0
+        assert (tmp_path / DEFAULT_BASELINE_NAME).exists()
+        capsys.readouterr()
+        # The default baseline in the working directory is auto-discovered.
+        assert main(["check", "mod.py"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_baseline_does_not_mask_new_findings(self, tmp_path, capsys):
+        module = write_module(tmp_path, "mod.py", "import pickle\n")
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "check", "--write-baseline", "--baseline", str(baseline), str(module)
+        ]) == 0
+        module.write_text("import pickle\nimport dill\n", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["check", "--baseline", str(baseline), str(module)]) == 1
+        out = capsys.readouterr().out
+        assert "dill" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.rule_id in out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "nowhere")]) == 2
+
+    def test_self_check_repo_source_tree_is_clean(self, capsys):
+        """The repo's own src tree passes its own gate (empty baseline)."""
+        src = REPO_ROOT / "src" / "repro"
+        baseline = REPO_ROOT / DEFAULT_BASELINE_NAME
+        assert src.is_dir() and baseline.is_file()
+        code = main(["check", "--baseline", str(baseline), str(src)])
+        output = capsys.readouterr().out
+        assert code == 0, f"repo fails its own invariant gate:\n{output}"

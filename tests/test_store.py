@@ -76,6 +76,15 @@ class TestResultsStore:
         store.save_json("exp", {"a": 2}, overwrite=True)
         assert store.load_json("exp")["a"] == 2
 
+    def test_save_json_failed_encode_leaves_existing_document_intact(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.save_json("exp", {"a": 1})
+        with pytest.raises(TypeError):
+            store.save_json("exp", {"bad": object()}, overwrite=True)
+        assert store.load_json("exp") == {"a": 1}
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "exp.json"]
+        assert leftovers == []
+
     def test_csv_round_trip(self, tmp_path):
         store = ResultsStore(tmp_path)
         rows = [{"protocol": "OLOLOHA", "mse": 0.01}, {"protocol": "RAPPOR", "mse": 0.02}]
