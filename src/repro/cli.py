@@ -43,10 +43,27 @@ without recomputing the points already on disk::
 The figure/table subcommands can emit their grids in the same format with
 ``--emit-spec grid.json`` instead of running them.
 
-Sweep CSVs carry the spec's fingerprint as a ``#`` comment line; ``--resume``
-refuses a CSV whose fingerprint does not match the current spec file, so a
-changed grid (different runs, seed, protocols …) cannot silently absorb rows
-computed under different parameters.
+Sweep results carry the spec's fingerprint (a ``#`` comment line in CSVs, an
+indexed column in SQLite); ``--resume`` refuses a store whose fingerprint
+does not match the current spec file, so a changed grid (different runs,
+seed, protocols …) cannot silently absorb rows computed under different
+parameters.
+
+Results are written through a pluggable backend (``--store {csv,sqlite,
+parquet}``, or the spec's ``store`` field): ``csv`` keeps the historical
+one-append-only-CSV-per-dataset layout, ``sqlite`` stores every dataset in
+one WAL-mode queryable database, and ``parquet`` writes immutable columnar
+chunk files (a pure-numpy ``.npz`` layout when pyarrow is not installed).
+Rows are bit-identical across backends; resume works with any of them.
+``query`` filters a store — by spec fingerprint, protocol or ε range —
+without loading whole tables where the backend can index, and
+``migrate-store`` lifts experiments between backends (typically historical
+CSVs into SQLite), rows byte-identical and fingerprint comments carried
+over::
+
+    repro-ldp sweep --spec grid.json --output-dir results/ --store sqlite
+    repro-ldp query --dir results/ --fingerprint 0123abcd... --protocol L-OSUE
+    repro-ldp migrate-store --source results/ --dest db/ --to sqlite
 
 The ``serve`` / ``work`` pair runs a *distributed* sharded collection (see
 :mod:`repro.distributed`): ``serve`` loads a
@@ -140,7 +157,13 @@ from .experiments import (
 )
 from .simulation.sweep import completed_points_from_rows, run_sweep
 from .specs import SweepSpec, load_collection_spec, load_sweep_spec
-from .store import ResultsStore
+from .store import (
+    FINGERPRINT_KEY,
+    ResultsStore,
+    detect_backend_kind,
+    make_backend,
+    migrate_store,
+)
 
 __all__ = [
     "build_parser",
@@ -151,9 +174,14 @@ __all__ = [
     "run_status",
     "run_ingest",
     "run_loadgen",
+    "run_query",
+    "run_migrate_store",
 ]
 
-_FINGERPRINT_KEY = "sweep_spec_fingerprint"
+_FINGERPRINT_KEY = FINGERPRINT_KEY
+
+#: ``--store`` choices; mirrors the registered backend kinds.
+_STORE_KINDS = ("csv", "sqlite", "parquet")
 
 
 def _add_backend_option(parser: argparse.ArgumentParser) -> None:
@@ -330,6 +358,14 @@ def build_parser() -> argparse.ArgumentParser:
              "worker processes attach zero-copy views instead of shipping "
              "each a pickled copy (results are identical)",
     )
+    sweep_parser.add_argument(
+        "--store", choices=_STORE_KINDS, default=None,
+        help="results backend: csv (one append-only CSV per dataset, the "
+             "default), sqlite (one WAL database, queryable), or parquet "
+             "(columnar chunk files; pure-numpy npz layout without "
+             "pyarrow).  Overrides the spec's 'store' field; rows are "
+             "bit-identical across backends",
+    )
     _add_backend_option(sweep_parser)
     _add_obs_options(sweep_parser)
 
@@ -371,6 +407,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="coordinator checkpoint, rewritten after every summary; an "
              "existing checkpoint of the same plan is restored so a killed "
              "collector resumes bit-identical to an uninterrupted run",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-store", default=None, metavar="DIR",
+        help="additionally checkpoint every accepted shard summary as one "
+             "appended row in a results store at DIR (same pluggable "
+             "backends as 'sweep --store'); an existing checkpoint of the "
+             "same plan is restored on startup",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-store-kind", choices=_STORE_KINDS, default="sqlite",
+        help="backend of --checkpoint-store (default: sqlite)",
     )
     serve_parser.add_argument(
         "--local-workers", type=int, default=0, metavar="N",
@@ -566,6 +613,78 @@ def build_parser() -> argparse.ArgumentParser:
              "as expected, the batches are refused)",
     )
 
+    query_parser = subparsers.add_parser(
+        "query",
+        help="filter sweep results in a store (any backend) by spec "
+             "fingerprint, protocol or eps range, and emit CSV or JSON",
+    )
+    query_parser.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="results directory written by 'sweep' (backend auto-detected "
+             "unless --store is given)",
+    )
+    query_parser.add_argument(
+        "--store", choices=_STORE_KINDS, default=None,
+        help="backend of the results directory (default: auto-detect)",
+    )
+    query_parser.add_argument(
+        "--experiment", default=None, metavar="ID",
+        help="restrict to one experiment id (default: all experiments)",
+    )
+    query_parser.add_argument(
+        "--fingerprint", default=None, metavar="HEX",
+        help="only experiments written under this sweep-spec fingerprint "
+             "(see SweepSpec.fingerprint; indexed in the sqlite backend)",
+    )
+    query_parser.add_argument(
+        "--protocol", default=None, metavar="NAME",
+        help="only rows of this protocol display name",
+    )
+    query_parser.add_argument(
+        "--eps-min", type=float, default=None, metavar="EPS",
+        help="only rows with eps_inf >= EPS",
+    )
+    query_parser.add_argument(
+        "--eps-max", type=float, default=None, metavar="EPS",
+        help="only rows with eps_inf <= EPS",
+    )
+    query_parser.add_argument(
+        "--format", choices=["csv", "json"], default="csv",
+        help="output format (default: csv)",
+    )
+    query_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the result atomically to PATH instead of stdout",
+    )
+
+    migrate_parser = subparsers.add_parser(
+        "migrate-store",
+        help="lift experiments between results backends (e.g. historical "
+             "sweep CSVs into one queryable SQLite database), rows "
+             "byte-identical and fingerprint comments carried over",
+    )
+    migrate_parser.add_argument(
+        "--source", required=True, metavar="DIR",
+        help="results directory to read (backend auto-detected unless "
+             "--from is given)",
+    )
+    migrate_parser.add_argument(
+        "--dest", required=True, metavar="DIR",
+        help="results directory to write (may equal --source)",
+    )
+    migrate_parser.add_argument(
+        "--from", dest="from_kind", choices=_STORE_KINDS, default=None,
+        help="source backend (default: auto-detect)",
+    )
+    migrate_parser.add_argument(
+        "--to", dest="to_kind", choices=_STORE_KINDS, default="sqlite",
+        help="destination backend (default: sqlite)",
+    )
+    migrate_parser.add_argument(
+        "--experiment", action="append", default=None, metavar="ID",
+        help="migrate only this experiment id (repeatable; default: all)",
+    )
+
     datasets_parser = subparsers.add_parser(
         "datasets", help="summarize the evaluation workloads"
     )
@@ -606,16 +725,18 @@ def run_spec_sweep(
     resume: bool = False,
     n_workers: Optional[int] = None,
     shared_dataset: bool = False,
+    store_kind: Optional[str] = None,
 ) -> int:
-    """Execute a :class:`~repro.specs.SweepSpec`, one CSV per dataset.
+    """Execute a :class:`~repro.specs.SweepSpec`, one experiment per dataset.
 
-    Completed grid points stream to ``<name>_<dataset>.csv`` while the sweep
-    runs; with ``resume=True``, points already present in a partial CSV are
-    skipped and only the missing remainder is computed (with unchanged
-    derived seeds, so the final CSV is bit-identical to an uninterrupted
-    run).
+    Completed grid points stream into the results backend (``store_kind``,
+    defaulting to the spec's ``store`` field — csv / sqlite / parquet) while
+    the sweep runs; with ``resume=True``, points already present in a
+    partial store are skipped and only the missing remainder is computed
+    (with unchanged derived seeds, so the final rows are bit-identical to an
+    uninterrupted run, whatever the backend).
     """
-    store = ResultsStore(output_dir)
+    kind = store_kind if store_kind is not None else spec.store
     workers = n_workers if n_workers is not None else spec.n_workers
     protocols = spec.grid_protocols()
     fingerprint = spec.fingerprint()
@@ -625,71 +746,138 @@ def run_spec_sweep(
         for alpha in spec.alpha_values
         for eps_inf in spec.eps_inf_values
     }
-    for dataset_name in spec.datasets:
-        experiment_id = spec.experiment_id(dataset_name)
-        completed = set()
-        if resume and store.has_rows(experiment_id):
-            comment = store.read_header_comment(experiment_id)
-            if comment is not None and comment.startswith(f"{_FINGERPRINT_KEY}="):
-                on_disk_fingerprint = comment.split("=", 1)[1]
-                if on_disk_fingerprint != fingerprint:
-                    raise ReproError(
-                        f"refusing to resume {experiment_id}.csv: it was "
-                        f"written by a sweep spec with fingerprint "
-                        f"{on_disk_fingerprint}, but the current spec's "
-                        f"fingerprint is {fingerprint} (grid, runs, scale or "
-                        f"seed changed); move the old CSV aside or rerun with "
-                        f"the original spec"
+    with make_backend(kind, output_dir) as store:
+        for dataset_name in spec.datasets:
+            experiment_id = spec.experiment_id(dataset_name)
+            completed = set()
+            if resume and store.has_rows(experiment_id):
+                on_disk_fingerprint = store.fingerprint(experiment_id)
+                if on_disk_fingerprint is not None:
+                    if on_disk_fingerprint != fingerprint:
+                        raise ReproError(
+                            f"refusing to resume {experiment_id} in "
+                            f"{store.location(experiment_id)}: it was "
+                            f"written by a sweep spec with fingerprint "
+                            f"{on_disk_fingerprint}, but the current spec's "
+                            f"fingerprint is {fingerprint} (grid, runs, scale or "
+                            f"seed changed); move the old results aside or rerun "
+                            f"with the original spec"
+                        )
+                else:
+                    print(
+                        f"{dataset_name}: warning: {experiment_id} carries no "
+                        f"spec fingerprint (written before fingerprinting); "
+                        f"resuming on row keys only"
                     )
-            else:
+                on_disk = completed_points_from_rows(store.load_rows(experiment_id))
+                # Only rows that belong to THIS grid count as done; rows left
+                # by a different spec (other eps/alpha/protocols under the
+                # same name) must not silently satisfy the sweep.
+                completed = on_disk & grid_keys
+                if on_disk - grid_keys:
+                    print(
+                        f"{dataset_name}: warning: {len(on_disk - grid_keys)} rows "
+                        f"in {experiment_id} are not part of this grid (stale "
+                        f"spec?); they are kept but do not count as completed"
+                    )
+            n_total = spec.n_grid_points
+            n_done = len(completed)
+            if n_done >= n_total:
                 print(
-                    f"{dataset_name}: warning: {experiment_id}.csv carries no "
-                    f"spec fingerprint (written before fingerprinting); "
-                    f"resuming on row keys only"
+                    f"{dataset_name}: all {n_total} grid points already complete, "
+                    f"nothing to do"
                 )
-            on_disk = completed_points_from_rows(store.load_rows(experiment_id))
-            # Only rows that belong to THIS grid count as done; a CSV left by
-            # a different spec (other eps/alpha/protocols under the same
-            # name) must not silently satisfy the sweep.
-            completed = on_disk & grid_keys
-            if on_disk - grid_keys:
-                print(
-                    f"{dataset_name}: warning: {len(on_disk - grid_keys)} rows in "
-                    f"{experiment_id}.csv are not part of this grid (stale spec?); "
-                    f"they are kept but do not count as completed"
-                )
-        n_total = spec.n_grid_points
-        n_done = len(completed)
-        if n_done >= n_total:
+                continue
             print(
-                f"{dataset_name}: all {n_total} grid points already complete, "
-                f"nothing to do"
+                f"{dataset_name}: {n_total} grid points "
+                f"({n_done} already complete, {n_total - n_done} to run, "
+                f"{workers} worker{'s' if workers != 1 else ''})"
             )
-            continue
-        print(
-            f"{dataset_name}: {n_total} grid points "
-            f"({n_done} already complete, {n_total - n_done} to run, "
-            f"{workers} worker{'s' if workers != 1 else ''})"
+            dataset = make_dataset(dataset_name, scale=spec.dataset_scale, rng=spec.seed)
+            run_sweep(
+                protocols=protocols,
+                dataset=dataset,
+                eps_inf_values=spec.eps_inf_values,
+                alpha_values=spec.alpha_values,
+                n_runs=spec.n_runs,
+                rng=spec.seed,
+                keep_runs=False,
+                n_workers=workers,
+                store=store,
+                experiment_id=experiment_id,
+                completed=completed,
+                resume=resume,
+                header_comment=f"{_FINGERPRINT_KEY}={fingerprint}",
+                shared_dataset=shared_dataset,
+            )
+            rows = store.load_rows(experiment_id)
+            print(
+                f"{dataset_name}: {len(rows)} rows in "
+                f"{store.location(experiment_id)}"
+            )
+    return 0
+
+
+def run_query(args: argparse.Namespace) -> int:
+    """Filter rows in a results store and emit them as CSV or JSON."""
+    import csv
+    import io
+    import json
+
+    from ._atomicio import atomic_write_text
+
+    kind = args.store or detect_backend_kind(args.dir)
+    with make_backend(kind, args.dir) as backend:
+        rows = backend.query(
+            experiment_id=args.experiment,
+            fingerprint=args.fingerprint,
+            protocol=args.protocol,
+            eps_min=args.eps_min,
+            eps_max=args.eps_max,
         )
-        dataset = make_dataset(dataset_name, scale=spec.dataset_scale, rng=spec.seed)
-        run_sweep(
-            protocols=protocols,
-            dataset=dataset,
-            eps_inf_values=spec.eps_inf_values,
-            alpha_values=spec.alpha_values,
-            n_runs=spec.n_runs,
-            rng=spec.seed,
-            keep_runs=False,
-            n_workers=workers,
-            store=store,
-            experiment_id=experiment_id,
-            completed=completed,
-            resume=resume,
-            header_comment=f"{_FINGERPRINT_KEY}={fingerprint}",
-            shared_dataset=shared_dataset,
-        )
-        rows = store.load_rows(experiment_id)
-        print(f"{dataset_name}: {len(rows)} rows in {store.root / (experiment_id + '.csv')}")
+    if args.format == "json":
+        text = json.dumps(rows, indent=2) + "\n"
+    elif rows:
+        # Experiments may disagree on columns; emit the union in first-seen
+        # order with empty cells where a row lacks a column.
+        fieldnames: List[str] = []
+        for row in rows:
+            for name in row:
+                if name not in fieldnames:
+                    fieldnames.append(name)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+        text = buffer.getvalue()
+    else:
+        text = ""
+    if args.output:
+        atomic_write_text(args.output, text)
+        print(f"wrote {len(rows)} matching rows to {args.output}")
+    else:
+        sys.stdout.write(text)
+        print(f"# {len(rows)} matching rows ({kind} store)", file=sys.stderr)
+    return 0
+
+
+def run_migrate_store(args: argparse.Namespace) -> int:
+    """Lift experiments from one results backend into another."""
+    source_kind = args.from_kind or detect_backend_kind(args.source)
+    counts = migrate_store(
+        args.source,
+        args.dest,
+        source_kind,
+        args.to_kind,
+        experiments=args.experiment,
+    )
+    for experiment_id in sorted(counts):
+        print(f"{experiment_id}: {counts[experiment_id]} rows")
+    print(
+        f"migrated {len(counts)} experiment{'s' if len(counts) != 1 else ''} "
+        f"({sum(counts.values())} rows) from {source_kind} ({args.source}) "
+        f"to {args.to_kind} ({args.dest})"
+    )
     return 0
 
 
@@ -759,6 +947,11 @@ def run_serve(args: argparse.Namespace) -> int:
             f"{transport.address[0]}:{transport.address[1]} "
             f"({len(tasks)} shard tasks{authenticated})"
         )
+    checkpoint_store = (
+        make_backend(args.checkpoint_store_kind, args.checkpoint_store)
+        if args.checkpoint_store
+        else None
+    )
     try:
         coordinator = Coordinator(
             tasks,
@@ -766,6 +959,8 @@ def run_serve(args: argparse.Namespace) -> int:
             dataset_ref=dataset_ref,
             lease_timeout=args.lease_timeout,
             checkpoint_path=args.checkpoint,
+            checkpoint_store=checkpoint_store,
+            checkpoint_experiment_id=f"{spec.name}_checkpoint",
         )
         if args.checkpoint:
             restored = coordinator.load_checkpoint()
@@ -773,6 +968,14 @@ def run_serve(args: argparse.Namespace) -> int:
                 print(
                     f"{spec.name}: restored {restored} shard summaries from "
                     f"{args.checkpoint}"
+                )
+        if checkpoint_store is not None:
+            restored = coordinator.load_checkpoint_from_store()
+            if restored:
+                print(
+                    f"{spec.name}: restored {restored} shard summaries from "
+                    f"the {args.checkpoint_store_kind} store at "
+                    f"{args.checkpoint_store}"
                 )
         workers = (
             local_worker_threads(transport, args.local_workers, dataset=dataset)
@@ -783,6 +986,8 @@ def run_serve(args: argparse.Namespace) -> int:
             coordinator.run(timeout=args.timeout)
     finally:
         transport.close()
+        if checkpoint_store is not None:
+            checkpoint_store.close()
         if dataset_buffer is not None:
             dataset_buffer.unlink()
     result = result_from_summaries(
@@ -1046,7 +1251,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 resume=args.resume,
                 n_workers=args.workers,
                 shared_dataset=args.shared_dataset,
+                store_kind=args.store,
             )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "query":
+        try:
+            return run_query(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "migrate-store":
+        try:
+            return run_migrate_store(args)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -63,6 +63,7 @@ from ..obs.spans import span
 from ..registry import build_protocol
 from ..rng import derive_seed_sequences
 from ..specs import ProtocolSpec
+from ..store.backends import ResultsBackend
 from ..store.results_store import ResultsStore
 from .runner import SimulationResult, simulate_protocol
 
@@ -273,9 +274,13 @@ class SweepExecutor:
     n_workers:
         Number of worker processes; ``1`` (default) runs in-process.
     store, experiment_id, flush_every:
-        When ``store`` is given, completed grid points are appended to
-        ``<experiment_id>.csv`` in grid order, ``flush_every`` points at a
-        time, while the sweep is still running.
+        When ``store`` is given (a :class:`repro.store.ResultsStore` or any
+        :class:`repro.store.ResultsBackend`), completed grid points are
+        appended under ``experiment_id`` in grid order, ``flush_every``
+        points at a time, while the sweep is still running.  Only
+        ``has_rows`` / ``append_rows`` are required, and the store is only
+        touched from the parent process — backends whose handles cannot
+        cross a fork/pickle boundary (SQLite) are safe here.
     shared_dataset:
         With ``n_workers > 1``, publish the dataset once through
         :class:`repro.simulation.shm.SharedDatasetBuffer` and have every
@@ -307,7 +312,7 @@ class SweepExecutor:
         rng: Optional[int] = 0,
         keep_runs: bool = True,
         n_workers: int = 1,
-        store: Optional[ResultsStore] = None,
+        store: Optional[Union[ResultsStore, ResultsBackend]] = None,
         experiment_id: str = "sweep",
         flush_every: int = 1,
         completed: Optional[Collection[GridKey]] = None,
@@ -407,8 +412,8 @@ class SweepExecutor:
             # duplicate grid points in the CSV.
             raise ExperimentError(
                 f"results for experiment {self.experiment_id!r} already exist in "
-                f"the store; pick a new experiment_id, delete the old CSV first, "
-                f"or pass resume=True with the completed grid keys"
+                f"the store; pick a new experiment_id, delete the old results "
+                f"first, or pass resume=True with the completed grid keys"
             )
         n_points = len(self.grid)
         n_tasks = n_points * self.n_runs
@@ -628,7 +633,7 @@ def run_sweep(
     rng: Optional[int] = 0,
     keep_runs: bool = True,
     n_workers: int = 1,
-    store: Optional[ResultsStore] = None,
+    store: Optional[Union[ResultsStore, ResultsBackend]] = None,
     experiment_id: str = "sweep",
     flush_every: int = 1,
     completed: Optional[Collection[GridKey]] = None,

@@ -42,7 +42,7 @@ from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ._atomicio import atomic_write_text
 from ._validation import require_int_at_least, require_positive
-from .exceptions import ParameterError
+from .exceptions import ExperimentError, ParameterError
 
 __all__ = [
     "CollectionSpec",
@@ -273,6 +273,11 @@ class SweepSpec:
         Worker processes (results are bit-identical for every value).
     name:
         Experiment-id prefix of the output CSVs (``<name>_<dataset>.csv``).
+    store:
+        Results backend the sweep writes through (``csv``, ``sqlite`` or
+        ``parquet``); overridable per run with ``sweep --store``.  Like
+        ``n_workers``, the backend never changes a row's bytes, so it is
+        excluded from :meth:`fingerprint`.
     """
 
     protocols: Tuple[ProtocolSpec, ...]
@@ -284,6 +289,7 @@ class SweepSpec:
     seed: int = 20230328
     n_workers: int = 1
     name: str = "sweep"
+    store: str = "csv"
 
     def __post_init__(self) -> None:
         protocols = tuple(self.protocols)
@@ -321,6 +327,18 @@ class SweepSpec:
         require_int_at_least(self.n_workers, 1, "n_workers")
         if not isinstance(self.name, str) or not self.name:
             raise ParameterError("sweep name must be a non-empty string")
+        # Lazy import: specs is a leaf module; the store package imports
+        # nothing from it, but keeping the edge one-directional at import
+        # time avoids a cycle if that ever changes.
+        from .store.backends import available_backend_kinds, require_backend_kind
+
+        try:
+            require_backend_kind(self.store)
+        except ExperimentError:
+            raise ParameterError(
+                f"unknown results store {self.store!r}; "
+                f"available: {', '.join(available_backend_kinds())}"
+            ) from None
 
     def grid_protocols(self) -> Dict[str, ProtocolSpec]:
         """Protocol templates keyed by display name, in grid order."""
@@ -349,6 +367,7 @@ class SweepSpec:
             "dataset_scale": self.dataset_scale,
             "seed": self.seed,
             "n_workers": self.n_workers,
+            "store": self.store,
         }
 
     @classmethod
@@ -359,7 +378,7 @@ class SweepSpec:
             )
         known = {
             "name", "protocols", "eps_inf_values", "alpha_values", "datasets",
-            "n_runs", "dataset_scale", "seed", "n_workers",
+            "n_runs", "dataset_scale", "seed", "n_workers", "store",
         }
         unknown = set(payload) - known
         if unknown:
@@ -376,7 +395,9 @@ class SweepSpec:
             "eps_inf_values": tuple(payload["eps_inf_values"]),
             "alpha_values": tuple(payload["alpha_values"]),
         }
-        for optional in ("datasets", "n_runs", "dataset_scale", "seed", "n_workers", "name"):
+        for optional in (
+            "datasets", "n_runs", "dataset_scale", "seed", "n_workers", "name", "store",
+        ):
             if optional in payload:
                 value = payload[optional]
                 kwargs[optional] = tuple(value) if optional == "datasets" else value
@@ -404,11 +425,13 @@ class SweepSpec:
         never change a dataset's rows are excluded: ``n_workers`` (sweeps
         are bit-identical for any worker count), ``datasets`` (each
         dataset's CSV depends only on its own grid — adding a dataset to
-        the spec must not invalidate the finished ones) and ``name`` (it is
-        already the CSV filename).
+        the spec must not invalidate the finished ones), ``name`` (it is
+        already the CSV filename) and ``store`` (every backend persists the
+        same canonical row bytes, so migrating between backends keeps the
+        fingerprint valid).
         """
         payload = self.to_dict()
-        for non_determining in ("n_workers", "datasets", "name"):
+        for non_determining in ("n_workers", "datasets", "name", "store"):
             payload.pop(non_determining, None)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -1,4 +1,5 @@
-"""Storage helpers: a columnar in-memory report store and a results store.
+"""Storage helpers: a columnar in-memory report store and durable results
+backends.
 
 * :class:`ReportStore` accumulates sanitized reports per round in columnar
   numpy buffers, which is how a real collection server would stage reports
@@ -6,9 +7,48 @@
 * :class:`ResultsStore` persists experiment outputs (sweep points, figure
   series, table rows) to JSON / CSV files so benchmark runs can be inspected
   and compared after the fact.
+* :class:`ResultsBackend` is the pluggable durable-row-store interface the
+  sweep and distributed layers write through, with three registered
+  implementations — ``csv`` (:class:`CsvBackend`, the historical format),
+  ``sqlite`` (:class:`SqliteBackend`, WAL database, indexed queries) and
+  ``parquet`` (:class:`ParquetBackend`, columnar chunks; pure-numpy npz
+  fallback when pyarrow is absent).  :func:`migrate_store` lifts experiments
+  between backends byte-identically.
 """
 
+from .backends import (
+    FINGERPRINT_KEY,
+    ResultsBackend,
+    available_backend_kinds,
+    detect_backend_kind,
+    fingerprint_from_comment,
+    make_backend,
+    register_backend,
+    require_backend_kind,
+)
+from .csv_backend import CsvBackend
+from .migrate import migrate_store
+from .parquet_backend import ParquetBackend, pyarrow_available
 from .report_store import ReportStore, RoundBatch
-from .results_store import ResultsStore
+from .results_store import ResultsStore, safe_experiment_stem
+from .sqlite_backend import SqliteBackend
 
-__all__ = ["ReportStore", "RoundBatch", "ResultsStore"]
+__all__ = [
+    "FINGERPRINT_KEY",
+    "CsvBackend",
+    "ParquetBackend",
+    "ReportStore",
+    "ResultsBackend",
+    "ResultsStore",
+    "RoundBatch",
+    "SqliteBackend",
+    "available_backend_kinds",
+    "detect_backend_kind",
+    "fingerprint_from_comment",
+    "make_backend",
+    "migrate_store",
+    "pyarrow_available",
+    "register_backend",
+    "require_backend_kind",
+    "safe_experiment_stem",
+]

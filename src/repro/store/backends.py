@@ -1,0 +1,294 @@
+"""Pluggable results backends: one durable-store contract, many formats.
+
+The sweep / distributed layers persist results as *flat rows* — ordered
+string-valued records grouped by ``experiment_id``, optionally tagged with a
+single-line header comment (the sweep layer stores the spec fingerprint
+there).  Historically the only implementation was the append-only CSV
+:class:`~repro.store.results_store.ResultsStore`; at millions of grid points
+a CSV is the bottleneck and is unqueryable.  This module defines the small
+backend interface those layers now write through, plus the registry that the
+CLI ``--store {csv,sqlite,parquet}`` flag resolves against.
+
+Contract (every backend, verified by the conformance suite in
+``tests/test_store_backends.py``):
+
+* **Append-only rows.**  :meth:`ResultsBackend.append_rows` adds whole rows
+  to one experiment; all rows of an experiment share one column set
+  (mismatches raise :class:`~repro.exceptions.ExperimentError`), and cell
+  values must not contain newlines (CSV wire compatibility — migration
+  between backends is bit-identical both ways).
+* **String round trip.**  :meth:`ResultsBackend.load_rows` returns rows in
+  append order with every cell stringified exactly as the CSV backend would
+  (``str(value)``, ``None`` → ``""``), so a resumed sweep computes identical
+  grid keys regardless of backend.
+* **Crash safety.**  A writer killed at any instant leaves a loadable
+  prefix: every previously *completed* ``append_rows`` call survives, and no
+  torn or half-written row is ever observable.  Each backend realizes this
+  with its own native mechanism (``O_APPEND`` + torn-tail truncation for
+  CSV, WAL transactions for SQLite, staged-temp + rename chunk files for the
+  columnar backends).
+* **Header comment.**  The comment given with the *creating* append is
+  durable and returned verbatim by :meth:`ResultsBackend.read_header_comment`;
+  later comments are ignored.  The sweep fingerprint convention
+  (``sweep_spec_fingerprint=<hex>``) is understood by every backend and
+  indexed where the format allows.
+* **Close.**  :meth:`ResultsBackend.close` releases OS resources (database
+  connections, mmaps); backends are context managers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "FINGERPRINT_KEY",
+    "ResultsBackend",
+    "available_backend_kinds",
+    "detect_backend_kind",
+    "fingerprint_from_comment",
+    "make_backend",
+    "register_backend",
+    "require_backend_kind",
+    "stringify_cell",
+    "validate_rows",
+]
+
+#: Key of the spec-fingerprint header-comment convention
+#: (``# sweep_spec_fingerprint=<hex>`` in CSVs; a dedicated indexed column
+#: in SQLite).
+FINGERPRINT_KEY = "sweep_spec_fingerprint"
+
+
+def fingerprint_from_comment(comment: Optional[str]) -> Optional[str]:
+    """The spec fingerprint carried by a header comment, or ``None``."""
+    if comment is not None and comment.startswith(f"{FINGERPRINT_KEY}="):
+        return comment.split("=", 1)[1]
+    return None
+
+
+def stringify_cell(value: object) -> str:
+    """One cell as the CSV writer would serialize it (``None`` → ``""``).
+
+    Every backend stores this canonical string form, so rows migrate
+    between backends byte-for-byte and ``load_rows`` agrees with the CSV
+    reader for any input value type.
+    """
+    return "" if value is None else str(value)
+
+
+def validate_rows(
+    rows: Sequence[Mapping[str, object]],
+) -> Tuple[List[str], List[Dict[str, str]]]:
+    """Shared append-side validation: column consistency + newline ban.
+
+    Returns ``(fieldnames, stringified_rows)``.  Mirrors the checks the CSV
+    store applies (same error messages), so the conformance contract is
+    identical across backends.
+    """
+    fieldnames = list(rows[0].keys())
+    stringified: List[Dict[str, str]] = []
+    for row in rows:
+        if list(row.keys()) != fieldnames:
+            raise ExperimentError("all rows must share the same columns")
+        for value in row.values():
+            if isinstance(value, str) and ("\n" in value or "\r" in value):
+                raise ExperimentError(
+                    "appended cell values must not contain newlines"
+                )
+        stringified.append({key: stringify_cell(row[key]) for key in fieldnames})
+    return fieldnames, stringified
+
+
+def validate_header_comment(header_comment: Optional[str]) -> Optional[str]:
+    """Reject multi-line header comments, as the CSV format requires."""
+    if header_comment is not None and (
+        "\n" in header_comment or "\r" in header_comment
+    ):
+        raise ExperimentError("header comment must be a single line")
+    return header_comment
+
+
+class ResultsBackend(ABC):
+    """Abstract durable row store; see the module docstring for the contract.
+
+    Subclasses set :attr:`kind` (the ``--store`` flag value) and register a
+    factory with :func:`register_backend`.
+    """
+
+    #: Registry key of this backend (``"csv"``, ``"sqlite"``, ``"parquet"``).
+    kind: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def append_rows(
+        self,
+        experiment_id: str,
+        rows: Sequence[Mapping[str, object]],
+        header_comment: Optional[str] = None,
+    ) -> None:
+        """Durably append ``rows`` to ``experiment_id`` (whole-batch or not
+        at all under a mid-write kill; an empty batch is a no-op)."""
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def load_rows(self, experiment_id: str) -> List[Dict[str, str]]:
+        """All rows of one experiment, in append order, cells stringified.
+
+        Raises :class:`~repro.exceptions.ExperimentError` when the
+        experiment does not exist.
+        """
+
+    @abstractmethod
+    def read_header_comment(self, experiment_id: str) -> Optional[str]:
+        """The creating append's header comment; ``None`` when absent (or
+        when the experiment does not exist)."""
+
+    @abstractmethod
+    def has_rows(self, experiment_id: str) -> bool:
+        """Whether the experiment holds at least one durably appended row."""
+
+    @abstractmethod
+    def list_experiments(self) -> List[str]:
+        """Identifiers of every experiment with rows, sorted."""
+
+    @abstractmethod
+    def location(self, experiment_id: str) -> str:
+        """Human-readable description of where the rows live (log lines)."""
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, experiment_id: str) -> Optional[str]:
+        """The spec fingerprint of one experiment, when recorded."""
+        return fingerprint_from_comment(self.read_header_comment(experiment_id))
+
+    def query(
+        self,
+        experiment_id: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        protocol: Optional[str] = None,
+        eps_min: Optional[float] = None,
+        eps_max: Optional[float] = None,
+    ) -> List[Dict[str, str]]:
+        """Rows matching every given filter, tagged with their experiment.
+
+        Filters: exact ``experiment_id``; exact spec ``fingerprint`` (whole
+        experiments are skipped without reading their rows when theirs does
+        not match); exact ``protocol`` column; inclusive ``eps_min`` /
+        ``eps_max`` range over the ``eps_inf`` column (rows without a
+        numeric ``eps_inf`` never match a range filter).  Returned rows gain
+        an ``experiment_id`` first column.  Backends with a native query
+        engine override this row-scan fallback.
+        """
+        if experiment_id is not None:
+            identifiers = [experiment_id] if self.has_rows(experiment_id) else []
+        else:
+            identifiers = self.list_experiments()
+        matches: List[Dict[str, str]] = []
+        for identifier in identifiers:
+            if fingerprint is not None and self.fingerprint(identifier) != fingerprint:
+                continue
+            for row in self.load_rows(identifier):
+                if row_matches(row, protocol, eps_min, eps_max):
+                    matches.append({"experiment_id": identifier, **row})
+        return matches
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release OS resources; reads/writes after close are undefined."""
+
+    def __enter__(self) -> "ResultsBackend":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def row_matches(
+    row: Mapping[str, str],
+    protocol: Optional[str],
+    eps_min: Optional[float],
+    eps_max: Optional[float],
+) -> bool:
+    """Row-level filter shared by the scan-based backends."""
+    if protocol is not None and row.get("protocol") != protocol:
+        return False
+    if eps_min is not None or eps_max is not None:
+        try:
+            eps_inf = float(row["eps_inf"])
+        except (KeyError, ValueError):
+            return False
+        if eps_min is not None and eps_inf < eps_min:
+            return False
+        if eps_max is not None and eps_inf > eps_max:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+_BACKEND_FACTORIES: Dict[str, Callable[..., ResultsBackend]] = {}
+
+
+def register_backend(kind: str, factory: Callable[..., ResultsBackend]) -> None:
+    """Register a backend factory ``(root) -> ResultsBackend`` under a kind."""
+    if not kind or not isinstance(kind, str):
+        raise ExperimentError("backend kind must be a non-empty string")
+    _BACKEND_FACTORIES[kind] = factory
+
+
+def available_backend_kinds() -> Tuple[str, ...]:
+    """Registered backend kinds, sorted (the ``--store`` choices)."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def require_backend_kind(kind: str) -> str:
+    """Validate a backend kind against the registry and return it."""
+    # Importing the sibling modules registers the built-in backends; the
+    # lazy import keeps module import order irrelevant.
+    from . import csv_backend, parquet_backend, sqlite_backend  # noqa: F401
+
+    if kind not in _BACKEND_FACTORIES:
+        raise ExperimentError(
+            f"unknown results backend {kind!r}; "
+            f"available: {', '.join(available_backend_kinds())}"
+        )
+    return kind
+
+
+def make_backend(kind: str, root) -> ResultsBackend:
+    """Open a results backend of ``kind`` rooted at directory ``root``."""
+    return _BACKEND_FACTORIES[require_backend_kind(kind)](root)
+
+
+def detect_backend_kind(root) -> str:
+    """Infer which backend wrote a results directory (``repro-ldp query``).
+
+    A SQLite database file wins over columnar part directories, which win
+    over loose CSVs — matching the specificity of the formats' markers.
+    """
+    from pathlib import Path
+
+    root = Path(root)
+    if not root.exists():
+        raise ExperimentError(f"no results directory at {root}")
+    if (root / "results.sqlite").exists():
+        return "sqlite"
+    if any(root.glob("*.parts")):
+        return "parquet"
+    if any(root.glob("*.csv")):
+        return "csv"
+    raise ExperimentError(
+        f"{root} holds no recognizable results store (no results.sqlite, "
+        f"*.parts directory or *.csv file); pass --store explicitly"
+    )

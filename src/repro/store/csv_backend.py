@@ -1,0 +1,57 @@
+"""CSV results backend: the historical append-only store behind the
+:class:`~repro.store.backends.ResultsBackend` interface.
+
+This is a thin adapter over :class:`~repro.store.results_store.ResultsStore`
+— same files, same ``O_APPEND`` + fsync flushes, same torn-tail truncation,
+same leading ``# key=value`` comment convention.  A directory written by
+either class is readable by the other, so existing sweep output needs no
+migration to keep working.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from .backends import ResultsBackend, register_backend
+from .results_store import ResultsStore, safe_experiment_stem
+
+__all__ = ["CsvBackend"]
+
+
+class CsvBackend(ResultsBackend):
+    """Append-only CSV files, one per experiment, under one directory."""
+
+    kind = "csv"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._store = ResultsStore(self.root)
+
+    def append_rows(
+        self,
+        experiment_id: str,
+        rows: Sequence[Mapping[str, object]],
+        header_comment: Optional[str] = None,
+    ) -> None:
+        self._store.append_rows(experiment_id, list(rows), header_comment=header_comment)
+
+    def load_rows(self, experiment_id: str) -> List[Dict[str, str]]:
+        return self._store.load_rows(experiment_id)
+
+    def read_header_comment(self, experiment_id: str) -> Optional[str]:
+        return self._store.read_header_comment(experiment_id)
+
+    def has_rows(self, experiment_id: str) -> bool:
+        return self._store.has_rows(experiment_id)
+
+    def list_experiments(self) -> List[str]:
+        if not self.root.exists():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.csv"))
+
+    def location(self, experiment_id: str) -> str:
+        return str(self.root / f"{safe_experiment_stem(experiment_id)}.csv")
+
+
+register_backend(CsvBackend.kind, CsvBackend)

@@ -1,0 +1,212 @@
+"""Columnar results backend: immutable chunk files under ``<stem>.parts/``.
+
+Each experiment is a directory ``<safe_stem>.parts/`` holding
+
+* ``meta.json`` — experiment id, column list and the creating append's
+  header comment (written atomically once, on the first append), and
+* one immutable chunk file per :meth:`ParquetBackend.append_rows` call.
+
+When ``pyarrow`` is importable the chunks are real Parquet files
+(``part-*.parquet``); otherwise the backend transparently falls back to a
+pure-numpy columnar layout (``part-*.npz``: one string array per column,
+``savez_compressed``).  Both layouts store the canonical cell strings of
+:func:`~repro.store.backends.stringify_cell`, so rows round-trip
+byte-identically with the CSV and SQLite backends, and a directory written
+with one chunk format loads fine next to chunks of the other (a later run
+with pyarrow installed appends Parquet chunks after npz ones).
+
+Crash safety: every chunk (and ``meta.json``) goes through
+:func:`repro._atomicio.atomic_write_bytes` — staged temp + fsync +
+``os.replace`` — so a writer killed mid-append leaves no partial chunk;
+readers see exactly the previously completed appends.  Concurrent writers
+cannot collide: chunk names embed pid + a random token, and chunks are
+never rewritten.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .._atomicio import atomic_write_bytes, atomic_write_text
+from ..exceptions import ExperimentError
+from .backends import (
+    ResultsBackend,
+    register_backend,
+    validate_header_comment,
+    validate_rows,
+)
+from .results_store import safe_experiment_stem
+
+__all__ = ["ParquetBackend", "PARTS_SUFFIX", "pyarrow_available"]
+
+#: Suffix of per-experiment chunk directories (the marker
+#: :func:`~repro.store.backends.detect_backend_kind` looks for).
+PARTS_SUFFIX = ".parts"
+
+
+def pyarrow_available() -> bool:
+    """Whether real Parquet chunks can be written (pyarrow importable)."""
+    try:
+        import pyarrow.parquet  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _write_parquet_chunk(path: Path, columns: List[str], rows: List[Dict[str, str]]) -> None:
+    import pyarrow
+    import pyarrow.parquet
+
+    table = pyarrow.table(
+        {name: [row[name] for row in rows] for name in columns}
+    )
+    buffer = io.BytesIO()
+    pyarrow.parquet.write_table(table, buffer)
+    atomic_write_bytes(path, lambda handle: handle.write(buffer.getvalue()))
+
+
+def _write_npz_chunk(path: Path, columns: List[str], rows: List[Dict[str, str]]) -> None:
+    # Positional keys (c0..cn) instead of column names: npz keys cannot hold
+    # arbitrary column strings safely; meta.json owns the name mapping.
+    arrays = {
+        f"c{index}": np.array([row[name] for row in rows], dtype=str)
+        for index, name in enumerate(columns)
+    }
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    atomic_write_bytes(path, lambda handle: handle.write(buffer.getvalue()))
+
+
+def _read_chunk(path: Path, columns: List[str]) -> List[Dict[str, str]]:
+    if path.suffix == ".parquet":
+        import pyarrow.parquet
+
+        table = pyarrow.parquet.read_table(path)
+        cells = {name: table.column(name).to_pylist() for name in columns}
+    else:
+        with np.load(path) as archive:
+            cells = {
+                name: [str(value) for value in archive[f"c{index}"]]
+                for index, name in enumerate(columns)
+            }
+    n_rows = len(cells[columns[0]]) if columns else 0
+    return [{name: cells[name][i] for name in columns} for i in range(n_rows)]
+
+
+class ParquetBackend(ResultsBackend):
+    """Directory-of-immutable-chunks columnar store (Parquet or npz)."""
+
+    kind = "parquet"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._use_pyarrow = pyarrow_available()
+
+    def _parts_dir(self, experiment_id: str) -> Path:
+        return self.root / f"{safe_experiment_stem(experiment_id)}{PARTS_SUFFIX}"
+
+    def _meta(self, experiment_id: str) -> Optional[Dict[str, object]]:
+        meta_path = self._parts_dir(experiment_id) / "meta.json"
+        if not meta_path.exists():
+            return None
+        with meta_path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _chunk_paths(self, experiment_id: str) -> List[Path]:
+        parts_dir = self._parts_dir(experiment_id)
+        return sorted(
+            path
+            for path in parts_dir.glob("part-*")
+            if path.suffix in (".parquet", ".npz")
+        )
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append_rows(
+        self,
+        experiment_id: str,
+        rows: Sequence[Mapping[str, object]],
+        header_comment: Optional[str] = None,
+    ) -> None:
+        if not rows:
+            return
+        fieldnames, stringified = validate_rows(rows)
+        validate_header_comment(header_comment)
+        parts_dir = self._parts_dir(experiment_id)
+        meta = self._meta(experiment_id)
+        if meta is None:
+            parts_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                parts_dir / "meta.json",
+                json.dumps(
+                    {
+                        "experiment_id": experiment_id,
+                        "columns": fieldnames,
+                        "header_comment": header_comment,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                ),
+            )
+        elif meta["columns"] != fieldnames:
+            raise ExperimentError(
+                f"cannot append to {parts_dir}: existing columns "
+                f"{meta['columns']} do not match {fieldnames}"
+            )
+        seq = len(self._chunk_paths(experiment_id))
+        token = uuid.uuid4().hex[:8]
+        suffix = "parquet" if self._use_pyarrow else "npz"
+        chunk = parts_dir / f"part-{seq:08d}-{os.getpid()}-{token}.{suffix}"
+        if self._use_pyarrow:
+            _write_parquet_chunk(chunk, fieldnames, stringified)
+        else:
+            _write_npz_chunk(chunk, fieldnames, stringified)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def load_rows(self, experiment_id: str) -> List[Dict[str, str]]:
+        meta = self._meta(experiment_id)
+        if meta is None:
+            raise ExperimentError(
+                f"no saved results found at {self._parts_dir(experiment_id)}"
+            )
+        columns = list(meta["columns"])
+        rows: List[Dict[str, str]] = []
+        for chunk in self._chunk_paths(experiment_id):
+            rows.extend(_read_chunk(chunk, columns))
+        return rows
+
+    def read_header_comment(self, experiment_id: str) -> Optional[str]:
+        meta = self._meta(experiment_id)
+        return None if meta is None else meta.get("header_comment")
+
+    def has_rows(self, experiment_id: str) -> bool:
+        return self._meta(experiment_id) is not None and bool(
+            self._chunk_paths(experiment_id)
+        )
+
+    def list_experiments(self) -> List[str]:
+        if not self.root.exists():
+            return []
+        identifiers = []
+        for parts_dir in self.root.glob(f"*{PARTS_SUFFIX}"):
+            meta_path = parts_dir / "meta.json"
+            if meta_path.exists():
+                with meta_path.open("r", encoding="utf-8") as handle:
+                    identifiers.append(json.load(handle)["experiment_id"])
+        return sorted(identifiers)
+
+    def location(self, experiment_id: str) -> str:
+        return str(self._parts_dir(experiment_id))
+
+
+register_backend(ParquetBackend.kind, ParquetBackend)

@@ -63,6 +63,8 @@ class ReportStore:
         """Register one report from ``user_id`` for ``round_index``."""
         if round_index < 0:
             raise AggregationError(f"round_index must be non-negative, got {round_index}")
+        if user_id < 0:
+            raise AggregationError(f"user_id must be non-negative, got {user_id}")
         seen = self._seen.setdefault(round_index, set())
         if user_id in seen:
             raise AggregationError(
@@ -76,7 +78,24 @@ class ReportStore:
         batch.user_ids.append(user_id)
 
     def add_round(self, round_index: int, reports: Sequence[object]) -> None:
-        """Register a full round of reports at once (users numbered 0..n-1)."""
+        """Register a full round of reports at once (users numbered 0..n-1).
+
+        All-or-nothing: the whole batch is validated before any report is
+        registered, so a rejected round leaves the store exactly as it was.
+        The old per-report loop raised mid-way on the first duplicate user,
+        leaving the earlier reports of the *failed* round registered — a
+        retry of the same round then failed on users it never accepted.
+        """
+        if round_index < 0:
+            raise AggregationError(f"round_index must be non-negative, got {round_index}")
+        seen = self._seen.get(round_index, set())
+        duplicates = sorted(user_id for user_id in range(len(reports)) if user_id in seen)
+        if duplicates:
+            raise AggregationError(
+                f"round {round_index} already holds reports from users "
+                f"{duplicates}; add_round is all-or-nothing and registered "
+                f"none of this batch"
+            )
         for user_id, report in enumerate(reports):
             self.add(round_index, user_id, report)
 

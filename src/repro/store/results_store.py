@@ -21,16 +21,41 @@ comments — a data row whose first cell happens to start with ``#`` is data.
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
 import os
+import re
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from .._atomicio import atomic_write_text as _atomic_write_text
 from ..exceptions import ExperimentError
 
-__all__ = ["ResultsStore"]
+__all__ = ["ResultsStore", "safe_experiment_stem"]
+
+#: Characters allowed verbatim in on-disk experiment file stems.
+_UNSAFE_STEM_CHARS = re.compile(r"[^a-z0-9._-]")
+
+
+def safe_experiment_stem(experiment_id: str) -> str:
+    """Collision-safe file stem for ``experiment_id``.
+
+    Identifiers that are already filesystem-safe (lowercase letters, digits,
+    ``._-``) map to themselves — every id this repo generates (``table1``,
+    ``sweep_syn`` …) keeps its historical filename.  Any id that *needs*
+    sanitizing gets an 8-hex-digit hash of the original appended, so two
+    distinct ids can never share a file: the old mapping sent ``"a/b"``,
+    ``"a b"`` and ``"A_B"`` all to ``a_b.*``, silently interleaving their
+    rows whenever the columns matched.
+    """
+    if not isinstance(experiment_id, str) or not experiment_id:
+        raise ExperimentError("experiment_id must be a non-empty string")
+    sanitized = _UNSAFE_STEM_CHARS.sub("_", experiment_id.lower())
+    if sanitized != experiment_id:
+        digest = hashlib.sha256(experiment_id.encode("utf-8")).hexdigest()[:8]
+        sanitized = f"{sanitized}-{digest}"
+    return sanitized
 
 
 class ResultsStore:
@@ -46,8 +71,7 @@ class ResultsStore:
         self.root = Path(root)
 
     def _path(self, experiment_id: str, suffix: str) -> Path:
-        safe = experiment_id.replace("/", "_").replace(" ", "_").lower()
-        return self.root / f"{safe}.{suffix}"
+        return self.root / f"{safe_experiment_stem(experiment_id)}.{suffix}"
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -164,15 +188,26 @@ class ResultsStore:
         return path
 
     def read_header_comment(self, experiment_id: str) -> Optional[str]:
-        """The ``# <comment>`` line of a CSV, without the marker; ``None`` if
-        the file is missing or carries no comment."""
+        """The first ``# <comment>`` line of a CSV, without the marker;
+        ``None`` if the file is missing or carries no comment.
+
+        Skips leading blank lines exactly like :meth:`load_rows` and
+        :func:`_read_header_fields` do — the three readers must agree on
+        what counts as the comment block, or a stray blank line above the
+        fingerprint comment would make the rows load fine while the
+        fingerprint silently "disappears" (downgrading the ``sweep
+        --resume`` spec check to the legacy-CSV warning path).
+        """
         path = self._path(experiment_id, "csv")
         if not path.exists():
             return None
         with path.open("r", encoding="utf-8", newline="") as handle:
-            first = handle.readline()
-        if first.startswith("#"):
-            return first[1:].strip()
+            for line in handle:
+                if not line.strip():
+                    continue
+                if line.startswith("#"):
+                    return line[1:].strip()
+                return None
         return None
 
     def has_rows(self, experiment_id: str) -> bool:
@@ -273,6 +308,10 @@ def _jsonify(value: object) -> object:
 
     if isinstance(value, np.ndarray):
         return value.tolist()
+    # np.bool_ is not an np.integer subclass, and any comparison on kernel
+    # output produces one — it needs its own branch or save_json raises.
+    if isinstance(value, np.bool_):
+        return bool(value)
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):

@@ -219,6 +219,163 @@ class TestSweepCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestSweepStoreBackends:
+    """`sweep --store`, `query` and `migrate-store` end to end."""
+
+    def _run(self, grid, out, *extra):
+        return main(["sweep", "--spec", str(grid), "--output-dir", str(out), *extra])
+
+    def test_sqlite_sweep_rows_match_csv_sweep(
+        self, capsys, tmp_path, write_sweep_grid
+    ):
+        from repro.store import make_backend
+
+        grid = write_sweep_grid()
+        assert self._run(grid, tmp_path / "csvout") == 0
+        assert self._run(grid, tmp_path / "dbout", "--store", "sqlite") == 0
+        assert "results.sqlite" in capsys.readouterr().out
+        with make_backend("csv", tmp_path / "csvout") as c, make_backend(
+            "sqlite", tmp_path / "dbout"
+        ) as s:
+            assert c.load_rows("cli_syn") == s.load_rows("cli_syn")
+            assert c.fingerprint("cli_syn") == s.fingerprint("cli_syn")
+
+    def test_spec_store_field_selects_backend_without_flag(
+        self, tmp_path, write_sweep_grid
+    ):
+        grid = write_sweep_grid()
+        payload = json.loads(grid.read_text())
+        payload["store"] = "sqlite"
+        grid.write_text(json.dumps(payload))
+        assert self._run(grid, tmp_path / "out") == 0
+        assert (tmp_path / "out" / "results.sqlite").exists()
+        assert not list((tmp_path / "out").glob("*.csv"))
+
+    def test_sqlite_interrupted_resume_is_bit_identical(
+        self, capsys, tmp_path, write_sweep_grid
+    ):
+        """The sqlite analogue of the CSV truncate-then-resume guarantee:
+        delete one committed row, resume, end bit-identical."""
+        import sqlite3
+
+        from repro.store import make_backend
+
+        grid = write_sweep_grid()
+        out = tmp_path / "out"
+        self._run(grid, out, "--store", "sqlite")
+        capsys.readouterr()
+        with make_backend("sqlite", out) as backend:
+            full = backend.load_rows("cli_syn")
+        connection = sqlite3.connect(out / "results.sqlite")
+        connection.execute(
+            "DELETE FROM rows WHERE seq = (SELECT MAX(seq) FROM rows)"
+        )
+        connection.commit()
+        connection.close()
+        code = self._run(grid, out, "--store", "sqlite", "--resume")
+        assert code == 0
+        assert "3 already complete" in capsys.readouterr().out
+        with make_backend("sqlite", out) as backend:
+            assert backend.load_rows("cli_syn") == full
+
+    def test_sqlite_resume_refuses_different_spec(
+        self, capsys, tmp_path, write_sweep_grid
+    ):
+        grid = write_sweep_grid()
+        out = tmp_path / "out"
+        self._run(grid, out, "--store", "sqlite")
+        capsys.readouterr()
+        payload = json.loads(grid.read_text())
+        payload["eps_inf_values"] = [1.0, 4.0]
+        grid.write_text(json.dumps(payload))
+        code = self._run(grid, out, "--store", "sqlite", "--resume")
+        assert code == 2
+        assert "refusing to resume" in capsys.readouterr().err
+
+    def test_query_filters_and_formats(self, capsys, tmp_path, write_sweep_grid):
+        grid = write_sweep_grid()
+        out = tmp_path / "out"
+        self._run(grid, out, "--store", "sqlite")
+        fingerprint = load_sweep_spec(grid).fingerprint()
+        capsys.readouterr()
+
+        assert main(["query", "--dir", str(out), "--fingerprint", fingerprint]) == 0
+        csv_text = capsys.readouterr().out
+        assert csv_text.count("\n") == 5  # header + 4 rows
+        assert csv_text.startswith("experiment_id,")
+
+        assert main(["query", "--dir", str(out), "--fingerprint", "0" * 16]) == 0
+        assert capsys.readouterr().out == ""
+
+        assert (
+            main(
+                ["query", "--dir", str(out), "--protocol", "L-OSUE",
+                 "--eps-min", "1.0", "--format", "json"]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["protocol"] == "L-OSUE" and rows[0]["eps_inf"] == "2.0"
+
+    def test_query_output_file_and_autodetect(self, capsys, tmp_path, write_sweep_grid):
+        grid = write_sweep_grid()
+        out = tmp_path / "out"
+        self._run(grid, out)  # csv backend, auto-detected by query
+        capsys.readouterr()
+        target = tmp_path / "result.csv"
+        assert main(["query", "--dir", str(out), "--output", str(target)]) == 0
+        assert "4 matching rows" in capsys.readouterr().out
+        assert target.read_text().count("\n") == 5
+
+    def test_query_missing_dir_fails_cleanly(self, capsys, tmp_path):
+        code = main(["query", "--dir", str(tmp_path / "absent")])
+        assert code == 2
+        assert "no results directory" in capsys.readouterr().err
+
+    def test_migrate_store_csv_to_sqlite_round_trip(
+        self, capsys, tmp_path, write_sweep_grid
+    ):
+        from repro.store import make_backend
+
+        grid = write_sweep_grid()
+        out = tmp_path / "out"
+        self._run(grid, out)
+        capsys.readouterr()
+        code = main(
+            ["migrate-store", "--source", str(out), "--dest", str(tmp_path / "db"),
+             "--to", "sqlite"]
+        )
+        assert code == 0
+        assert "migrated 1 experiment (4 rows)" in capsys.readouterr().out
+        with make_backend("csv", out) as c, make_backend(
+            "sqlite", tmp_path / "db"
+        ) as s:
+            assert c.load_rows("cli_syn") == s.load_rows("cli_syn")
+            assert c.read_header_comment("cli_syn") == s.read_header_comment("cli_syn")
+        # The migrated store resumes cleanly: everything is already complete.
+        code = main(
+            ["sweep", "--spec", str(grid), "--output-dir", str(tmp_path / "db"),
+             "--store", "sqlite", "--resume"]
+        )
+        assert code == 0
+        assert "already complete, nothing to do" in capsys.readouterr().out
+
+    def test_migrate_store_refuses_existing_destination(
+        self, capsys, tmp_path, write_sweep_grid
+    ):
+        grid = write_sweep_grid()
+        out = tmp_path / "out"
+        self._run(grid, out)
+        capsys.readouterr()
+        args = ["migrate-store", "--source", str(out), "--dest",
+                str(tmp_path / "db"), "--to", "sqlite"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        assert "refusing to mix" in capsys.readouterr().err
+
+
 class TestEmitSpec:
     def test_figure3_emits_consumable_sweep_spec(self, capsys, tmp_path):
         target = tmp_path / "figure3.json"

@@ -1194,6 +1194,39 @@ class TestServeWorkCli:
         with np.load(estimates_path) as archive:
             assert np.array_equal(archive["estimates"], serial.estimates)
 
+    def test_serve_checkpoint_store_restores_completed_collection(
+        self, tmp_path, capsys, write_collection_spec
+    ):
+        """serve --checkpoint-store appends one row per absorbed shard; a
+        restarted service restores every summary from the store and
+        completes without any workers at all."""
+        from repro.cli import main
+        from repro.store import make_backend
+
+        spec, spec_path = write_collection_spec(name="ckpt-store-test", n_shards=2)
+        store_dir = tmp_path / "ckpt"
+        base = [
+            "serve",
+            "--spec", str(spec_path),
+            "--transport", "tcp",
+            "--bind", "127.0.0.1:0",
+            "--timeout", "60",
+            "--checkpoint-store", str(store_dir),
+        ]
+        assert main(base + ["--local-workers", "2"]) == 0
+        assert "collected 2 shards" in capsys.readouterr().out
+        with make_backend("sqlite", store_dir) as store:
+            rows = store.load_rows(f"{spec.name}_checkpoint")
+        assert sorted(int(row["shard_id"]) for row in rows) == [0, 1]
+
+        assert main(base + ["--local-workers", "0"]) == 0
+        output = capsys.readouterr().out
+        assert (
+            f"restored 2 shard summaries from the sqlite store at {store_dir}"
+            in output
+        )
+        assert "collected 2 shards" in output
+
     def test_authenticated_tcp_serve_and_work(
         self, tmp_path, capsys, monkeypatch, write_collection_spec
     ):

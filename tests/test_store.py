@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import AggregationError, ExperimentError
-from repro.store import ReportStore, ResultsStore
+from repro.store import ReportStore, ResultsStore, safe_experiment_stem
 
 
 class TestReportStore:
@@ -56,6 +56,30 @@ class TestReportStore:
         store.add(1, 0, "c")
         complete = list(store.iter_complete_rounds())
         assert [batch.round_index for batch in complete] == [0]
+
+    def test_negative_user_id_rejected(self):
+        with pytest.raises(AggregationError, match="user_id must be non-negative"):
+            ReportStore().add(0, -1, "x")
+
+    def test_add_round_negative_round_rejected_before_any_mutation(self):
+        store = ReportStore()
+        with pytest.raises(AggregationError):
+            store.add_round(-1, ["a"])
+        assert len(store) == 0
+
+    def test_add_round_is_all_or_nothing_on_duplicate_users(self):
+        """A rejected round must leave the store exactly as it was: the old
+        per-report loop registered users 0..k-1 before raising on the first
+        duplicate, so retrying the round failed on users it never accepted."""
+        store = ReportStore(expected_users=3)
+        store.add(5, 1, "early")  # user 1 already reported for round 5
+        with pytest.raises(AggregationError, match="all-or-nothing"):
+            store.add_round(5, ["a", "b", "c"])
+        # Users 0 and 2 were NOT registered by the failed bulk call...
+        assert store.n_reports(5) == 1
+        store.add(5, 0, "a")
+        store.add(5, 2, "c")
+        assert store.is_round_complete(5)
 
 
 class TestResultsStore:
@@ -246,3 +270,90 @@ class TestAppendModeAndTornTails:
         store.append_rows("fresh", [{"a": 1, "b": 2}])
         rows = store.load_rows("fresh")
         assert [(row["a"], row["b"]) for row in rows] == [("1", "2")]
+
+
+class TestSafeExperimentStem:
+    """Regression tests for the id-sanitization collision (`"a/b"`, `"a b"`
+    and `"A_B"` all mapped to `a_b.*`, silently interleaving their rows)."""
+
+    def test_safe_ids_keep_their_historical_filenames(self):
+        for experiment_id in ("table1", "sweep_syn", "demo.run-2"):
+            assert safe_experiment_stem(experiment_id) == experiment_id
+
+    def test_ambiguous_ids_get_distinct_stems(self):
+        stems = {safe_experiment_stem(i) for i in ("a/b", "a b", "A_B", "a_b")}
+        assert len(stems) == 4
+
+    def test_mapping_is_deterministic(self):
+        assert safe_experiment_stem("a/b") == safe_experiment_stem("a/b")
+
+    def test_invalid_ids_rejected(self):
+        with pytest.raises(ExperimentError):
+            safe_experiment_stem("")
+        with pytest.raises(ExperimentError):
+            safe_experiment_stem(None)
+
+    def test_cross_id_append_does_not_interleave(self, tmp_path):
+        """Two ids that used to collide write and read back independently."""
+        store = ResultsStore(tmp_path)
+        store.append_rows("a/b", [{"x": "slash"}])
+        store.append_rows("a b", [{"x": "space"}])
+        store.append_rows("A_B", [{"x": "upper"}])
+        store.append_rows("a_b", [{"x": "safe"}])
+        assert [r["x"] for r in store.load_rows("a/b")] == ["slash"]
+        assert [r["x"] for r in store.load_rows("a b")] == ["space"]
+        assert [r["x"] for r in store.load_rows("A_B")] == ["upper"]
+        assert [r["x"] for r in store.load_rows("a_b")] == ["safe"]
+        assert len(list(tmp_path.glob("*.csv"))) == 4
+
+    def test_json_and_csv_of_one_id_share_a_stem(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.save_json("Mixed Case", {"v": 1})
+        store.append_rows("Mixed Case", [{"v": 1}])
+        stems = {path.stem for path in tmp_path.iterdir()}
+        assert len(stems) == 1
+
+
+class TestReaderAlignment:
+    """`read_header_comment` must agree with `load_rows` on what counts as
+    the comment block: a blank line above the fingerprint comment used to
+    make the rows load fine while the comment 'disappeared', silently
+    downgrading the sweep --resume fingerprint check."""
+
+    def test_comment_found_after_leading_blank_lines(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        (tmp_path / "padded.csv").write_text(
+            "\n\n# sweep_spec_fingerprint=abc\na\n1\n"
+        )
+        assert store.read_header_comment("padded") == "sweep_spec_fingerprint=abc"
+        assert [row["a"] for row in store.load_rows("padded")] == ["1"]
+
+    def test_blank_lines_then_header_means_no_comment(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        (tmp_path / "blank.csv").write_text("\na\n1\n")
+        assert store.read_header_comment("blank") is None
+        assert [row["a"] for row in store.load_rows("blank")] == ["1"]
+
+    def test_data_row_hash_is_not_a_comment(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        (tmp_path / "data.csv").write_text("a\n#cell\n")
+        assert store.read_header_comment("data") is None
+
+
+class TestJsonifyNumpyBool:
+    def test_np_bool_round_trips_through_save_json(self, tmp_path):
+        """np.bool_ is not an np.integer subclass; save_json used to raise
+        TypeError on any payload holding a numpy comparison result."""
+        store = ResultsStore(tmp_path)
+        store.save_json(
+            "flags",
+            {
+                "converged": np.bool_(True),
+                "clipped": np.bool_(False),
+                "mask": np.asarray([1.0, -1.0]) > 0,
+            },
+        )
+        loaded = store.load_json("flags")
+        assert loaded["converged"] is True
+        assert loaded["clipped"] is False
+        assert loaded["mask"] == [True, False]
